@@ -1,0 +1,177 @@
+//! EWMA forecaster — the simple statistical baseline family the paper's
+//! related work opens with (§2, citation 7): forecast each feature as an
+//! exponentially-weighted moving average of its past, score by the
+//! z-normalized forecast error.
+//!
+//! Useful as a sanity floor for the DL methods and as a cheap detector in
+//! the ablation benches.
+
+use crate::scorer::AnomalyScorer;
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the EWMA detector.
+#[derive(Debug, Clone)]
+pub struct EwmaConfig {
+    /// Smoothing factor in `(0, 1)`: weight of the newest observation.
+    pub alpha: f64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        Self { alpha: 0.15 }
+    }
+}
+
+/// The EWMA forecaster detector.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    config: EwmaConfig,
+    /// Per-feature standard deviation of the one-step EWMA forecast error
+    /// on training data (the score normalizer).
+    error_scale: Vec<f64>,
+}
+
+impl EwmaDetector {
+    /// Create an (unfitted) detector.
+    pub fn new(config: EwmaConfig) -> Self {
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        Self { config, error_scale: Vec::new() }
+    }
+
+    /// One-step EWMA forecast errors for every record of a series
+    /// (record 0 has error 0: nothing to forecast from).
+    fn errors(&self, ts: &TimeSeries) -> Vec<Vec<f64>> {
+        let m = ts.dims();
+        let a = self.config.alpha;
+        let mut level: Vec<f64> = ts.record(0).iter().map(|x| nan0(*x)).collect();
+        let mut out = Vec::with_capacity(ts.len());
+        out.push(vec![0.0; m]);
+        for i in 1..ts.len() {
+            let rec = ts.record(i);
+            let mut errs = Vec::with_capacity(m);
+            for j in 0..m {
+                let x = nan0(rec[j]);
+                errs.push(x - level[j]);
+                level[j] += a * (x - level[j]);
+            }
+            out.push(errs);
+        }
+        out
+    }
+}
+
+fn nan0(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x
+    }
+}
+
+impl AnomalyScorer for EwmaDetector {
+    fn name(&self) -> &'static str {
+        "EWMA"
+    }
+
+    fn fit(&mut self, train: &[&TimeSeries]) {
+        assert!(!train.is_empty(), "no training traces");
+        let m = train[0].dims();
+        let mut per_feature: Vec<Vec<f64>> = vec![Vec::new(); m];
+        for ts in train {
+            for errs in self.errors(ts) {
+                for (j, e) in errs.iter().enumerate() {
+                    per_feature[j].push(*e);
+                }
+            }
+        }
+        self.error_scale = per_feature
+            .iter()
+            .map(|es| exathlon_linalg::stats::std_dev(es).max(1e-6))
+            .collect();
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        assert!(!self.error_scale.is_empty(), "detector not fitted");
+        assert_eq!(ts.dims(), self.error_scale.len(), "dimension mismatch");
+        self.errors(ts)
+            .iter()
+            .map(|errs| {
+                // Max absolute z-scored error across features.
+                errs.iter()
+                    .zip(&self.error_scale)
+                    .map(|(e, s)| (e / s).abs())
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn smooth(n: usize) -> TimeSeries {
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
+        TimeSeries::from_records(default_names(1), 0, &records)
+    }
+
+    #[test]
+    fn level_shift_scores_high_at_onset() {
+        let train = smooth(300);
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&train]);
+        let mut records: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
+        for r in records.iter_mut().skip(50) {
+            r[0] += 5.0;
+        }
+        let test = TimeSeries::from_records(default_names(1), 0, &records);
+        let scores = det.score_series(&test);
+        let normal_max = scores[5..45].iter().cloned().fold(0.0, f64::max);
+        assert!(scores[50] > 5.0 * normal_max, "onset {} vs normal {normal_max}", scores[50]);
+    }
+
+    #[test]
+    fn adapts_after_shift() {
+        // EWMA tracks the new level: errors fall after the onset (the
+        // classic statistical-baseline failure mode for range anomalies).
+        let train = smooth(300);
+        let mut det = EwmaDetector::new(EwmaConfig { alpha: 0.3 });
+        det.fit(&[&train]);
+        let mut records: Vec<Vec<f64>> = (0..120).map(|_| vec![0.0]).collect();
+        for r in records.iter_mut().skip(40) {
+            r[0] = 5.0;
+        }
+        let test = TimeSeries::from_records(default_names(1), 0, &records);
+        let scores = det.score_series(&test);
+        assert!(scores[40] > 10.0 * scores[100].max(1e-9), "no adaptation");
+    }
+
+    #[test]
+    fn smooth_data_scores_low() {
+        let train = smooth(300);
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&smooth(100));
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean < 2.0, "smooth data should score near its training scale: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = EwmaDetector::new(EwmaConfig { alpha: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        let det = EwmaDetector::new(EwmaConfig::default());
+        let _ = det.score_series(&smooth(5));
+    }
+}

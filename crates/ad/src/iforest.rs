@@ -1,0 +1,292 @@
+//! Isolation forest (Liu, Ting & Zhou) — the isolation-based AD family
+//! the paper's related work contrasts the DL methods with (§2, citation 37).
+//!
+//! Anomalies are "few and different": random axis-aligned splits isolate
+//! them in fewer steps than normal points, so the expected path length of
+//! a point across a forest of random trees — normalized by the expected
+//! path length of an unsuccessful BST search — yields the classic
+//! `2^(-E[h(x)]/c(n))` anomaly score in `(0, 1)`.
+
+use crate::scorer::AnomalyScorer;
+use exathlon_tsdata::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the isolation forest.
+#[derive(Debug, Clone)]
+pub struct IsolationForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Sub-sample size per tree (the classic default is 256).
+    pub sample_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 100, sample_size: 256, seed: 43 }
+    }
+}
+
+/// One node of an isolation tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal split: `feature < threshold` goes left.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Leaf holding `size` training points.
+    Leaf { size: usize },
+}
+
+/// An isolation tree stored as a node arena.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Grow a tree over `points` (indices into `data`) up to `max_depth`.
+    fn grow(data: &[Vec<f64>], points: &mut [usize], max_depth: usize, rng: &mut StdRng) -> Tree {
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.grow_node(data, points, max_depth, rng);
+        tree
+    }
+
+    fn grow_node(
+        &mut self,
+        data: &[Vec<f64>],
+        points: &mut [usize],
+        depth_left: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        if depth_left == 0 || points.len() <= 1 {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { size: points.len() });
+            return id;
+        }
+        let dims = data[points[0]].len();
+        // Pick a feature with spread; give up after a few attempts
+        // (constant data region).
+        let mut feature = None;
+        for _ in 0..8 {
+            let f = rng.gen_range(0..dims);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &p in points.iter() {
+                let v = value(data, p, f);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                feature = Some((f, lo, hi));
+                break;
+            }
+        }
+        let Some((f, lo, hi)) = feature else {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { size: points.len() });
+            return id;
+        };
+        let threshold = rng.gen_range(lo..hi);
+        // Partition in place.
+        let mut split = 0;
+        for i in 0..points.len() {
+            if value(data, points[i], f) < threshold {
+                points.swap(i, split);
+                split += 1;
+            }
+        }
+        if split == 0 || split == points.len() {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf { size: points.len() });
+            return id;
+        }
+        // Reserve this node's slot before recursing.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { size: 0 });
+        let (left_pts, right_pts) = points.split_at_mut(split);
+        let left = self.grow_node(data, left_pts, depth_left - 1, rng);
+        let right = self.grow_node(data, right_pts, depth_left - 1, rng);
+        self.nodes[id] = Node::Split { feature: f, threshold, left, right };
+        id
+    }
+
+    /// Path length of a query point, with the standard `c(size)` credit at
+    /// non-singleton leaves.
+    fn path_length(&self, x: &[f64]) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { size } => {
+                    return depth + average_bst_depth(*size);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    depth += 1.0;
+                    let v = if x[*feature].is_nan() { 0.0 } else { x[*feature] };
+                    node = if v < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn value(data: &[Vec<f64>], point: usize, feature: usize) -> f64 {
+    let v = data[point][feature];
+    if v.is_nan() {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// `c(n)`: the average path length of an unsuccessful BST search over `n`
+/// points — the normalizer of the isolation-forest score.
+pub fn average_bst_depth(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let harmonic = (n - 1.0).ln() + 0.577_215_664_901_532_9;
+    2.0 * harmonic - 2.0 * (n - 1.0) / n
+}
+
+/// The isolation-forest anomaly detector.
+#[derive(Debug, Clone)]
+pub struct IsolationForestDetector {
+    config: IsolationForestConfig,
+    trees: Vec<Tree>,
+    c_n: f64,
+}
+
+impl IsolationForestDetector {
+    /// Create an (unfitted) detector.
+    pub fn new(config: IsolationForestConfig) -> Self {
+        assert!(config.n_trees > 0 && config.sample_size > 1, "degenerate forest config");
+        Self { config, trees: Vec::new(), c_n: 1.0 }
+    }
+}
+
+impl AnomalyScorer for IsolationForestDetector {
+    fn name(&self) -> &'static str {
+        "iForest"
+    }
+
+    fn fit(&mut self, train: &[&TimeSeries]) {
+        assert!(!train.is_empty(), "no training traces");
+        let mut data: Vec<Vec<f64>> = Vec::new();
+        for ts in train {
+            data.extend(ts.records().map(|r| r.to_vec()));
+        }
+        assert!(!data.is_empty(), "empty training traces");
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let sample = self.config.sample_size.min(data.len());
+        let max_depth = (sample as f64).log2().ceil() as usize;
+        self.c_n = average_bst_depth(sample);
+        self.trees = (0..self.config.n_trees)
+            .map(|_| {
+                let mut points: Vec<usize> =
+                    (0..sample).map(|_| rng.gen_range(0..data.len())).collect();
+                Tree::grow(&data, &mut points, max_depth, &mut rng)
+            })
+            .collect();
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "detector not fitted");
+        ts.records()
+            .map(|r| {
+                let mean_path: f64 = self
+                    .trees
+                    .iter()
+                    .map(|t| t.path_length(r))
+                    .sum::<f64>()
+                    / self.trees.len() as f64;
+                2f64.powf(-mean_path / self.c_n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn cluster_train() -> TimeSeries {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let records: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)])
+            .collect();
+        TimeSeries::from_records(default_names(2), 0, &records)
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let train = cluster_train();
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        det.fit(&[&train]);
+        let test = TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![0.1, 0.2], vec![8.0, -9.0]],
+        );
+        let scores = det.score_series(&test);
+        assert!(
+            scores[1] > scores[0] + 0.1,
+            "outlier {} should clearly beat inlier {}",
+            scores[1],
+            scores[0]
+        );
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let train = cluster_train();
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&train);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn average_bst_depth_values() {
+        assert_eq!(average_bst_depth(1), 0.0);
+        // c(2) = 2*(H(1)) - 2*(1/2) = 2*0.5772... - 1 ≈ 0.154 (harmonic
+        // approximation; the exact value is positive and below 1).
+        let c2 = average_bst_depth(2);
+        assert!(c2 > 0.0 && c2 < 1.0, "c(2) = {c2}");
+        // c(n) grows logarithmically.
+        assert!(average_bst_depth(256) > average_bst_depth(16));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = cluster_train();
+        let run = || {
+            let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+            det.fit(&[&train]);
+            det.score_series(&train.slice(0, 10))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nan_records_do_not_crash() {
+        let train = cluster_train();
+        let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
+        det.fit(&[&train]);
+        let test =
+            TimeSeries::from_records(default_names(2), 0, &[vec![f64::NAN, f64::NAN]]);
+        assert!(det.score_series(&test)[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        let det = IsolationForestDetector::new(IsolationForestConfig::default());
+        let _ = det.score_series(&cluster_train());
+    }
+}

@@ -1,0 +1,143 @@
+//! Distance-based baseline: mean Euclidean distance to the `k` nearest
+//! training records.
+//!
+//! Included as the classical comparator the paper's related-work section
+//! positions the DL methods against (distance-based methods "are very
+//! sensitive to data dimensions"), and used by the ablation benches.
+
+use crate::scorer::AnomalyScorer;
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the kNN scorer.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Number of neighbours to average over.
+    pub k: usize,
+    /// Cap on the stored reference set (uniform subsample of the training
+    /// records).
+    pub max_references: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 5, max_references: 2000 }
+    }
+}
+
+/// The kNN anomaly detector.
+#[derive(Debug, Clone)]
+pub struct KnnDetector {
+    config: KnnConfig,
+    references: Vec<Vec<f64>>,
+}
+
+impl KnnDetector {
+    /// Create an (unfitted) detector.
+    pub fn new(config: KnnConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        Self { config, references: Vec::new() }
+    }
+
+    fn distance2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let x = if x.is_nan() { 0.0 } else { *x };
+                let y = if y.is_nan() { 0.0 } else { *y };
+                (x - y) * (x - y)
+            })
+            .sum()
+    }
+}
+
+impl AnomalyScorer for KnnDetector {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn fit(&mut self, train: &[&TimeSeries]) {
+        assert!(!train.is_empty(), "no training traces");
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        for ts in train {
+            all.extend(ts.records().map(|r| r.to_vec()));
+        }
+        assert!(!all.is_empty(), "empty training traces");
+        if all.len() > self.config.max_references {
+            let stride = all.len() as f64 / self.config.max_references as f64;
+            all = (0..self.config.max_references)
+                .map(|i| all[(i as f64 * stride) as usize].clone())
+                .collect();
+        }
+        self.references = all;
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        assert!(!self.references.is_empty(), "detector not fitted");
+        let k = self.config.k.min(self.references.len());
+        ts.records()
+            .map(|r| {
+                // Partial selection of the k smallest distances.
+                let mut dists: Vec<f64> =
+                    self.references.iter().map(|q| Self::distance2(r, q)).collect();
+                dists.select_nth_unstable_by(k - 1, |a, b| {
+                    a.partial_cmp(b).expect("finite distances")
+                });
+                let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
+                mean.sqrt()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn ts(records: &[Vec<f64>]) -> TimeSeries {
+        TimeSeries::from_records(default_names(records[0].len()), 0, records)
+    }
+
+    #[test]
+    fn far_points_score_higher() {
+        let train = ts(&(0..100).map(|i| vec![(i % 10) as f64 * 0.1]).collect::<Vec<_>>());
+        let mut det = KnnDetector::new(KnnConfig { k: 3, max_references: 1000 });
+        det.fit(&[&train]);
+        let test = ts(&[vec![0.5], vec![10.0]]);
+        let scores = det.score_series(&test);
+        assert!(scores[1] > scores[0] * 5.0, "{scores:?}");
+    }
+
+    #[test]
+    fn training_points_score_near_zero() {
+        let train = ts(&(0..50).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let mut det = KnnDetector::new(KnnConfig { k: 1, max_references: 1000 });
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[vec![25.0]]));
+        assert!(scores[0] < 1e-9);
+    }
+
+    #[test]
+    fn reference_subsampling_caps_memory() {
+        let train = ts(&(0..500).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let mut det = KnnDetector::new(KnnConfig { k: 2, max_references: 50 });
+        det.fit(&[&train]);
+        assert_eq!(det.references.len(), 50);
+    }
+
+    #[test]
+    fn nan_values_treated_as_zero() {
+        let train = ts(&[vec![0.0], vec![0.1]]);
+        let mut det = KnnDetector::new(KnnConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[vec![f64::NAN]]));
+        assert!(scores[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        let det = KnnDetector::new(KnnConfig::default());
+        let _ = det.score_series(&ts(&[vec![1.0]]));
+    }
+}

@@ -1,0 +1,42 @@
+//! # exathlon-ad
+//!
+//! The anomaly-detection methods of the Exathlon experimental study
+//! (§6.1, Appendix D.2) plus two classical baselines, and the paper's
+//! unsupervised threshold-selection procedure.
+//!
+//! Every method implements [`scorer::AnomalyScorer`]: fit a *normality
+//! model* on (mostly) normal training traces, then map each record of a
+//! test trace to a real-valued outlier score. Thresholding the scores into
+//! 0/1 predictions is a separate, pluggable step ([`threshold`]).
+//!
+//! * [`lstm_ad`] — LSTM forecaster: score = relative forecast error,
+//!   deliberately **not** window-averaged (the paper keeps the scores "as
+//!   is", which is why LSTM scores are spiky and suffer at AD2/AD4),
+//! * [`ae_ad`] — dense autoencoder over sliding windows: window MSE,
+//!   averaged back onto records (smooth scores),
+//! * [`bigan_ad`] — BiGAN over sliding windows: reconstruction + feature
+//!   loss, averaged back onto records,
+//! * [`knn_ad`] — distance-based baseline (mean distance to the k nearest
+//!   training records),
+//! * [`lof`] — density-based baseline (local outlier factor, Breunig et
+//!   al.),
+//! * [`iforest`] — isolation forest (Liu, Ting & Zhou),
+//! * [`ewma`] — EWMA statistical forecaster baseline,
+//! * [`mad_ad`] — MAD point-outlier baseline (MacroBase's AD module),
+//! * [`threshold`] — the STD / MAD / IQR `S1 + c*S2` rules with factors
+//!   `c ∈ {1.5, 2, 2.5, 3}` and optional second pass: the 24 combinations
+//!   behind Table 4's best/median reporting.
+
+pub mod ae_ad;
+pub mod bigan_ad;
+pub mod ewma;
+pub mod iforest;
+pub mod knn_ad;
+pub mod lof;
+pub mod lstm_ad;
+pub mod mad_ad;
+pub mod scorer;
+pub mod threshold;
+
+pub use scorer::AnomalyScorer;
+pub use threshold::ThresholdRule;

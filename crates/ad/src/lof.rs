@@ -1,0 +1,234 @@
+//! Local outlier factor (Breunig et al.) — the density-based AD family of
+//! the paper's related work (§2, citation 9): a point is anomalous when its local
+//! density is low relative to its neighbours' densities.
+//!
+//! This is the classic formulation computed against a (sub-sampled)
+//! training reference set: k-distance, reachability distance, local
+//! reachability density (lrd), and the LOF ratio.
+
+use crate::scorer::AnomalyScorer;
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the LOF detector.
+#[derive(Debug, Clone)]
+pub struct LofConfig {
+    /// Neighbourhood size `k`.
+    pub k: usize,
+    /// Cap on the stored reference set.
+    pub max_references: usize,
+}
+
+impl Default for LofConfig {
+    fn default() -> Self {
+        Self { k: 10, max_references: 1000 }
+    }
+}
+
+/// The LOF anomaly detector.
+#[derive(Debug, Clone)]
+pub struct LofDetector {
+    config: LofConfig,
+    references: Vec<Vec<f64>>,
+    /// Per-reference k-distance.
+    k_distance: Vec<f64>,
+    /// Per-reference local reachability density.
+    lrd: Vec<f64>,
+    /// Per-reference k nearest reference indices.
+    neighbours: Vec<Vec<usize>>,
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let x = if x.is_nan() { 0.0 } else { *x };
+            let y = if y.is_nan() { 0.0 } else { *y };
+            (x - y) * (x - y)
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl LofDetector {
+    /// Create an (unfitted) detector.
+    pub fn new(config: LofConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        Self {
+            config,
+            references: Vec::new(),
+            k_distance: Vec::new(),
+            lrd: Vec::new(),
+            neighbours: Vec::new(),
+        }
+    }
+
+    /// k nearest reference indices (ascending by distance) to a query,
+    /// excluding `exclude` (for self-neighbourhoods during fitting).
+    fn knn(&self, x: &[f64], exclude: Option<usize>) -> Vec<(usize, f64)> {
+        let mut dists: Vec<(usize, f64)> = self
+            .references
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != exclude)
+            .map(|(i, q)| (i, distance(x, q)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.truncate(self.config.k);
+        dists
+    }
+
+    /// Local reachability density of a query given its k nearest
+    /// reference neighbours.
+    fn lrd_of(&self, knn: &[(usize, f64)]) -> f64 {
+        if knn.is_empty() {
+            return 0.0;
+        }
+        let sum_reach: f64 = knn
+            .iter()
+            .map(|&(j, d)| d.max(self.k_distance[j]))
+            .sum();
+        if sum_reach <= 0.0 {
+            // The query coincides with its neighbours: maximal density.
+            f64::INFINITY
+        } else {
+            knn.len() as f64 / sum_reach
+        }
+    }
+}
+
+impl AnomalyScorer for LofDetector {
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn fit(&mut self, train: &[&TimeSeries]) {
+        assert!(!train.is_empty(), "no training traces");
+        let mut refs: Vec<Vec<f64>> = Vec::new();
+        for ts in train {
+            refs.extend(ts.records().map(|r| r.to_vec()));
+        }
+        assert!(refs.len() > self.config.k, "need more than k training records");
+        if refs.len() > self.config.max_references {
+            let stride = refs.len() as f64 / self.config.max_references as f64;
+            refs = (0..self.config.max_references)
+                .map(|i| refs[(i as f64 * stride) as usize].clone())
+                .collect();
+        }
+        self.references = refs;
+
+        // Pass 1: k-distances and neighbourhoods.
+        let n = self.references.len();
+        let mut k_distance = Vec::with_capacity(n);
+        let mut neighbours = Vec::with_capacity(n);
+        for i in 0..n {
+            let knn = self.knn(&self.references[i].clone(), Some(i));
+            k_distance.push(knn.last().map(|&(_, d)| d).unwrap_or(0.0));
+            neighbours.push(knn.iter().map(|&(j, _)| j).collect());
+        }
+        self.k_distance = k_distance;
+        self.neighbours = neighbours;
+
+        // Pass 2: reference lrds.
+        let mut lrd = Vec::with_capacity(n);
+        for i in 0..n {
+            let knn: Vec<(usize, f64)> = self.neighbours[i]
+                .iter()
+                .map(|&j| (j, distance(&self.references[i], &self.references[j])))
+                .collect();
+            lrd.push(self.lrd_of(&knn));
+        }
+        self.lrd = lrd;
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        assert!(!self.references.is_empty(), "detector not fitted");
+        ts.records()
+            .map(|x| {
+                let knn = self.knn(x, None);
+                let own_lrd = self.lrd_of(&knn);
+                if !own_lrd.is_finite() {
+                    return 1.0; // sits exactly on training data
+                }
+                if own_lrd <= 0.0 {
+                    return f64::MAX.sqrt();
+                }
+                let neighbour_lrd: f64 =
+                    knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>()
+                        / knn.len().max(1) as f64;
+                (neighbour_lrd / own_lrd).max(0.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        TimeSeries::from_records(default_names(2), 0, &records)
+    }
+
+    #[test]
+    fn outlier_has_high_lof() {
+        let train = cluster(300, 1);
+        let mut det = LofDetector::new(LofConfig::default());
+        det.fit(&[&train]);
+        let test = TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![0.0, 0.0], vec![15.0, 15.0]],
+        );
+        let scores = det.score_series(&test);
+        assert!(
+            scores[1] > 2.0 * scores[0],
+            "outlier LOF {} should dwarf inlier LOF {}",
+            scores[1],
+            scores[0]
+        );
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = cluster(300, 2);
+        let mut det = LofDetector::new(LofConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&cluster(50, 3));
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!((0.5..2.0).contains(&mean), "inlier mean LOF {mean} should be near 1");
+    }
+
+    #[test]
+    fn reference_cap_respected() {
+        let train = cluster(5000, 4);
+        let mut det = LofDetector::new(LofConfig { k: 5, max_references: 200 });
+        det.fit(&[&train]);
+        assert_eq!(det.references.len(), 200);
+    }
+
+    #[test]
+    fn duplicate_of_training_point_is_benign() {
+        let train = cluster(100, 5);
+        let mut det = LofDetector::new(LofConfig { k: 3, max_references: 1000 });
+        det.fit(&[&train]);
+        let dup =
+            TimeSeries::from_records(default_names(2), 0, &[train.record(0).to_vec()]);
+        let s = det.score_series(&dup)[0];
+        assert!(s.is_finite());
+        assert!(s < 3.0, "duplicate scored as outlier: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        let det = LofDetector::new(LofConfig::default());
+        let _ = det.score_series(&cluster(5, 6));
+    }
+}

@@ -1,0 +1,89 @@
+//! The common interface of all AD methods: the outlier-score function
+//! `g: x -> R` of §5 step 3.
+
+use exathlon_tsdata::TimeSeries;
+
+/// A semi-supervised anomaly scorer: fit a normality model on normal
+/// traces, then score every record of a test trace.
+pub trait AnomalyScorer {
+    /// Method name as it appears in the paper's tables (`"LSTM"`, `"AE"`,
+    /// `"BiGAN"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Fit the normality model on training traces (assumed mostly normal,
+    /// possibly noisy — the paper's "noisy semi-supervised" setting).
+    ///
+    /// # Panics
+    /// Implementations panic when `train` is empty or traces are too short
+    /// for the method's window size.
+    fn fit(&mut self, train: &[&TimeSeries]);
+
+    /// Outlier score per record of `ts` (same length as `ts`). Higher
+    /// means more anomalous.
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64>;
+}
+
+/// Collect windows from several traces into one training pool, capped at
+/// `max_windows` by uniform striding (the cardinality-reduction lever the
+/// benchmark grants user algorithms, §4.3).
+pub fn pooled_windows(
+    train: &[&TimeSeries],
+    window: usize,
+    max_windows: usize,
+) -> Vec<Vec<f64>> {
+    assert!(!train.is_empty(), "no training traces");
+    let mut all = Vec::new();
+    for ts in train {
+        if ts.len() >= window {
+            all.extend(exathlon_tsdata::window::flattened_windows(ts, window, 1));
+        }
+    }
+    assert!(!all.is_empty(), "training traces shorter than the window size");
+    if all.len() <= max_windows {
+        return all;
+    }
+    let stride = all.len() as f64 / max_windows as f64;
+    (0..max_windows).map(|i| all[(i as f64 * stride) as usize].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn ts(n: usize) -> TimeSeries {
+        let records: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        TimeSeries::from_records(default_names(1), 0, &records)
+    }
+
+    #[test]
+    fn pooled_windows_combines_traces() {
+        let a = ts(10);
+        let b = ts(10);
+        let w = pooled_windows(&[&a, &b], 3, 1000);
+        assert_eq!(w.len(), 16); // 8 per trace
+        assert_eq!(w[0].len(), 3);
+    }
+
+    #[test]
+    fn pooled_windows_caps_count() {
+        let a = ts(100);
+        let w = pooled_windows(&[&a], 4, 10);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn pooled_windows_skips_short_traces() {
+        let a = ts(2);
+        let b = ts(10);
+        let w = pooled_windows(&[&a, &b], 5, 100);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the window")]
+    fn all_short_panics() {
+        let a = ts(2);
+        let _ = pooled_windows(&[&a], 5, 100);
+    }
+}

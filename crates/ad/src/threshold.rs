@@ -1,0 +1,206 @@
+//! Unsupervised threshold selection (Appendix D.2).
+//!
+//! Exathlon offers no labeled data for thresholding, so the threshold on
+//! the outlier score is fit on a held-out slice of the *training* data
+//! (`D²_train`) as `threshold = S1 + c * S2` with:
+//!
+//! * **STD**: `S1 = mean`, `S2 = standard deviation`,
+//! * **MAD**: `S1 = median`, `S2 = 1.4826 * median(|X - median|)`,
+//! * **IQR**: `S1 = Q3`, `S2 = Q3 - Q1`,
+//!
+//! a thresholding factor `c ∈ {1.5, 2, 2.5, 3}`, and optionally a second
+//! pass that recomputes the statistics after dropping the scores above the
+//! first-pass threshold ("to drop any obvious outliers that could prevent
+//! us from finding a suitable threshold"). The paper reports the *best*
+//! and *median* detection performance over the resulting 24 combinations.
+
+/// The statistic pair `(S1, S2)` of a thresholding rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdStat {
+    /// Sample mean and standard deviation.
+    Std,
+    /// Median and scaled median absolute deviation.
+    Mad,
+    /// Third quartile and interquartile range.
+    Iqr,
+}
+
+impl ThresholdStat {
+    /// All three statistics.
+    pub const ALL: [ThresholdStat; 3] =
+        [ThresholdStat::Std, ThresholdStat::Mad, ThresholdStat::Iqr];
+
+    fn s1_s2(self, scores: &[f64]) -> (f64, f64) {
+        use exathlon_linalg::stats::{mad, mean, median, quartiles, std_dev};
+        match self {
+            ThresholdStat::Std => (mean(scores), std_dev(scores)),
+            ThresholdStat::Mad => (median(scores), mad(scores)),
+            ThresholdStat::Iqr => {
+                let (q1, q3) = quartiles(scores);
+                (q3, q3 - q1)
+            }
+        }
+    }
+
+    /// Display name as used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThresholdStat::Std => "STD",
+            ThresholdStat::Mad => "MAD",
+            ThresholdStat::Iqr => "IQR",
+        }
+    }
+}
+
+/// One thresholding rule: statistic, factor, and pass count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRule {
+    /// Which `(S1, S2)` pair to use.
+    pub stat: ThresholdStat,
+    /// The thresholding factor `c`.
+    pub factor: f64,
+    /// Whether to run the two-pass variant.
+    pub two_pass: bool,
+}
+
+impl ThresholdRule {
+    /// The paper's full grid: 3 statistics x 4 factors x {1, 2} passes =
+    /// 24 rules.
+    pub fn all_rules() -> Vec<ThresholdRule> {
+        let mut rules = Vec::with_capacity(24);
+        for stat in ThresholdStat::ALL {
+            for &factor in &[1.5, 2.0, 2.5, 3.0] {
+                for &two_pass in &[false, true] {
+                    rules.push(ThresholdRule { stat, factor, two_pass });
+                }
+            }
+        }
+        rules
+    }
+
+    /// Fit the threshold on held-out training scores.
+    ///
+    /// # Panics
+    /// Panics on an empty score slice.
+    pub fn fit(&self, scores: &[f64]) -> f64 {
+        assert!(!scores.is_empty(), "cannot fit a threshold on no scores");
+        let (s1, s2) = self.stat.s1_s2(scores);
+        let first = s1 + self.factor * s2;
+        if !self.two_pass {
+            return first;
+        }
+        let kept: Vec<f64> = scores.iter().copied().filter(|&s| s <= first).collect();
+        if kept.is_empty() {
+            return first;
+        }
+        let (s1, s2) = self.stat.s1_s2(&kept);
+        s1 + self.factor * s2
+    }
+
+    /// Apply a fitted threshold: `score >= threshold` flags an anomaly.
+    pub fn apply(threshold: f64, scores: &[f64]) -> Vec<bool> {
+        scores.iter().map(|&s| s >= threshold).collect()
+    }
+
+    /// Display label, e.g. `"IQR x2.5 (2-pass)"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} x{}{}",
+            self.stat.label(),
+            self.factor,
+            if self.two_pass { " (2-pass)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normal_scores() -> Vec<f64> {
+        // Deterministic pseudo-normal spread around 1.0.
+        (0..200).map(|i| 1.0 + ((i * 37 % 100) as f64 / 100.0 - 0.5) * 0.4).collect()
+    }
+
+    #[test]
+    fn grid_has_24_rules() {
+        let rules = ThresholdRule::all_rules();
+        assert_eq!(rules.len(), 24);
+        // All distinct.
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                assert_ne!(rules[i], rules[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn std_rule_formula() {
+        use exathlon_linalg::stats::{mean, std_dev};
+        let scores = normal_scores();
+        let rule = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: false };
+        let t = rule.fit(&scores);
+        assert!((t - (mean(&scores) + 2.0 * std_dev(&scores))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_above_bulk_of_scores() {
+        let scores = normal_scores();
+        for rule in ThresholdRule::all_rules() {
+            let t = rule.fit(&scores);
+            let above = scores.iter().filter(|&&s| s >= t).count();
+            assert!(
+                above < scores.len() / 7,
+                "{}: {above} of {} scores above threshold",
+                rule.label(),
+                scores.len()
+            );
+        }
+    }
+
+    #[test]
+    fn two_pass_reduces_threshold_with_outliers() {
+        let mut scores = normal_scores();
+        scores.extend([50.0, 60.0, 70.0]); // contamination
+        let one = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: false };
+        let two = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: true };
+        assert!(
+            two.fit(&scores) < one.fit(&scores),
+            "second pass should shed the contamination"
+        );
+    }
+
+    #[test]
+    fn mad_robust_to_contamination() {
+        let clean = normal_scores();
+        let mut dirty = clean.clone();
+        dirty.extend([100.0; 5]);
+        let rule = ThresholdRule { stat: ThresholdStat::Mad, factor: 2.0, two_pass: false };
+        let a = rule.fit(&clean);
+        let b = rule.fit(&dirty);
+        assert!((a - b).abs() < 0.2 * a, "MAD threshold moved too much: {a} -> {b}");
+    }
+
+    #[test]
+    fn apply_flags_at_or_above() {
+        let flags = ThresholdRule::apply(2.0, &[1.9, 2.0, 2.1]);
+        assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn higher_factor_higher_threshold() {
+        let scores = normal_scores();
+        for stat in ThresholdStat::ALL {
+            let lo = ThresholdRule { stat, factor: 1.5, two_pass: false }.fit(&scores);
+            let hi = ThresholdRule { stat, factor: 3.0, two_pass: false }.fit(&scores);
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no scores")]
+    fn empty_scores_panic() {
+        let rule = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: false };
+        let _ = rule.fit(&[]);
+    }
+}

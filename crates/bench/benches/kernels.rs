@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the numeric kernels everything else is built on:
+//! matrix multiply, the Jacobi eigensolver / PCA, range-based P/R, and
+//! AUPRC. These track the cost drivers behind the P1–P3 results.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exathlon_linalg::pca::{ComponentSelection, Pca};
+use exathlon_linalg::Matrix;
+use exathlon_tsmetrics::auprc::auprc;
+use exathlon_tsmetrics::presets::{evaluate_at_level, AdLevel};
+use exathlon_tsmetrics::Range;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j) as f64 * 0.01).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i + j * 17) as f64 * 0.01).cos());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pca_fit");
+    for d in [19usize, 43] {
+        let data = Matrix::from_fn(500, d, |i, j| ((i * j + i) as f64 * 0.013).sin());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| black_box(Pca::fit(&data, ComponentSelection::Fixed(8))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_pr(c: &mut Criterion) {
+    let real: Vec<Range> = (0..50).map(|i| Range::new(i * 100, i * 100 + 40)).collect();
+    let predicted: Vec<Range> =
+        (0..80).map(|i| Range::new(i * 70 + 5, i * 70 + 30)).collect();
+    c.bench_function("range_pr_ad2", |b| {
+        b.iter(|| black_box(evaluate_at_level(&real, &predicted, AdLevel::Range)))
+    });
+    c.bench_function("range_pr_ad4", |b| {
+        b.iter(|| black_box(evaluate_at_level(&real, &predicted, AdLevel::ExactlyOnce)))
+    });
+}
+
+fn bench_auprc(c: &mut Criterion) {
+    let n = 50_000;
+    let scores: Vec<f64> = (0..n).map(|i| ((i * 37) % 1000) as f64 / 1000.0).collect();
+    let labels: Vec<bool> = (0..n).map(|i| i % 17 == 0).collect();
+    c.bench_function("auprc_50k", |b| b.iter(|| black_box(auprc(&scores, &labels))));
+}
+
+criterion_group!(benches, bench_matmul, bench_pca, bench_range_pr, bench_auprc);
+criterion_main!(benches);

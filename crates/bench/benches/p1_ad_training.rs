@@ -1,0 +1,87 @@
+//! **P1: AD training scalability** (§4.3). Measures model training time
+//! while sweeping the two benchmark parameters:
+//!
+//! * dimensionality `M` (feature count after reduction),
+//! * cardinality factor `α = 1/l` (resampling interval).
+//!
+//! Per-method sample counts are small — training runs are seconds each —
+//! but the relative scaling across `M` and `α` is what P1 reports.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exathlon_core::config::AdMethod;
+use exathlon_core::model::{train_model, TrainingBudget};
+use exathlon_tsdata::resample::resample_mean;
+use exathlon_tsdata::series::default_names;
+use exathlon_tsdata::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic normal training trace with `dims` features.
+fn train_trace(n: usize, dims: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|j| {
+                    let t = i as f64 * 0.2 + j as f64;
+                    t.sin() + rng.gen_range(-0.05..0.05)
+                })
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_records(default_names(dims), 0, &records)
+}
+
+fn bench_training_vs_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_training_vs_M");
+    group.sample_size(10);
+    for dims in [4usize, 19, 43] {
+        let traces = vec![train_trace(600, dims, 1), train_trace(600, dims, 2)];
+        for method in [AdMethod::Ae, AdMethod::Lstm, AdMethod::BiGan] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), dims),
+                &dims,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(train_model(
+                            method,
+                            &traces,
+                            0.25,
+                            TrainingBudget::Quick,
+                            7,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_training_vs_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_training_vs_alpha");
+    group.sample_size(10);
+    let base = [train_trace(1800, 19, 1)];
+    for l in [1usize, 5, 15] {
+        let traces: Vec<TimeSeries> = base.iter().map(|t| resample_mean(t, l)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("AE_alpha", format!("1/{l}")),
+            &l,
+            |b, _| {
+                b.iter(|| {
+                    black_box(train_model(
+                        AdMethod::Ae,
+                        &traces,
+                        0.25,
+                        TrainingBudget::Quick,
+                        7,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_vs_dimensionality, bench_training_vs_cardinality);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **P2: AD inference efficiency** (§4.3). Measures per-trace scoring
+//! time of each fitted model, sweeping dimensionality `M`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exathlon_core::config::AdMethod;
+use exathlon_core::model::{train_model, TrainedModel, TrainingBudget};
+use exathlon_tsdata::series::default_names;
+use exathlon_tsdata::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn trace(n: usize, dims: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dims)
+                .map(|j| ((i as f64 * 0.2 + j as f64).sin()) + rng.gen_range(-0.05..0.05))
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_records(default_names(dims), 0, &records)
+}
+
+fn fitted(method: AdMethod, dims: usize) -> TrainedModel {
+    let traces = vec![trace(400, dims, 1), trace(400, dims, 2)];
+    train_model(method, &traces, 0.25, TrainingBudget::Quick, 7)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_inference_600_records");
+    group.sample_size(10);
+    for dims in [4usize, 19] {
+        let test = trace(600, dims, 9);
+        for method in [
+            AdMethod::Ae,
+            AdMethod::Lstm,
+            AdMethod::BiGan,
+            AdMethod::Knn,
+            AdMethod::Mad,
+        ] {
+            let model = fitted(method, dims);
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), dims),
+                &dims,
+                |b, _| b.iter(|| black_box(model.scorer.score_series(&test))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Ablation: dynamic test-time rescaling.** The pipeline's §5 step
+//! 2.iii introduces a customized scaler that re-normalizes each test trace
+//! against its own recent history, because test traces come from unseen
+//! (rate, concurrency) contexts. This ablation quantifies the design
+//! choice: global separation AUPRC of the AE with the dynamic scaler
+//! versus a static (training-statistics-only) scaler.
+
+use exathlon_bench::{build_dataset, default_config, Scale};
+use exathlon_core::config::AdMethod;
+use exathlon_core::evaluate::{score_tests, separation};
+use exathlon_core::experiment::run_pipeline;
+use exathlon_core::model::train_model;
+use exathlon_core::partition::partition;
+use exathlon_core::transform::FittedTransform;
+use exathlon_tsdata::scale::StandardScaler;
+use exathlon_tsdata::TimeSeries;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablation: dynamic vs static test-time rescaling at {scale:?} scale");
+    let ds = build_dataset(scale);
+    let config = default_config(scale);
+
+    // Dynamic path: the stock pipeline.
+    let run = run_pipeline(&ds, &config, &[AdMethod::Ae], scale.budget());
+    let dynamic_sep = run.method_run(AdMethod::Ae).separation.clone();
+
+    // Static path: same partition/extraction, but test traces scaled with
+    // the frozen training statistics. Reuses the fitted transform's train
+    // output and re-derives the static-scaled test traces.
+    let partitioned = partition(&ds, config.setting, config.peek_fraction);
+    let (transform, train) = FittedTransform::fit(&partitioned.train, &config);
+    let mut pooled: TimeSeries = train[0].clone();
+    for t in &train[1..] {
+        pooled.append(t);
+    }
+    // Training output is already standardized, so this scaler is identity
+    // up to numerical noise — applying it to the dynamic-transform output
+    // of test traces effectively removes the dynamic adaptation.
+    let static_scaler = StandardScaler::fit(&pooled);
+    let static_tests: Vec<_> = partitioned
+        .test
+        .iter()
+        .map(|s| {
+            let mut t = transform.apply_test_static(s, &static_scaler);
+            t.trace_id = s.trace_id;
+            t
+        })
+        .collect();
+    let model = train_model(
+        AdMethod::Ae,
+        &train,
+        config.threshold_holdout,
+        scale.budget(),
+        config.seed ^ 2,
+    );
+    let static_scored = score_tests(&model, &static_tests);
+    let static_sep = separation(&static_scored);
+
+    println!("\n{:<22} {:>8} {:>8} {:>8}", "Scaler", "Trace", "App", "Global");
+    println!(
+        "{:<22} {:>8.2} {:>8.2} {:>8.2}",
+        "dynamic (pipeline)",
+        dynamic_sep.trace.average,
+        dynamic_sep.app.average,
+        dynamic_sep.global.average
+    );
+    println!(
+        "{:<22} {:>8.2} {:>8.2} {:>8.2}",
+        "static (ablated)",
+        static_sep.trace.average,
+        static_sep.app.average,
+        static_sep.global.average
+    );
+    let delta = dynamic_sep.global.average - static_sep.global.average;
+    println!(
+        "\nDynamic rescaling moves global AUPRC by {delta:+.3} — the design\n\
+         choice §5 motivates with unseen test contexts."
+    );
+}

@@ -1,0 +1,47 @@
+//! **Extension study** (beyond the paper's three DL methods): how the
+//! classical AD families of the related-work section — distance-based
+//! (kNN), density-based (LOF), isolation-based (iForest), statistical
+//! (EWMA), and point-outlier (MAD) — fare on the same benchmark, under the
+//! identical LS4 / FS_custom / AD2 setting.
+//!
+//! The paper argues the DL methods "overcome known limitations of previous
+//! density- and distance-based methods"; this binary quantifies that claim
+//! on the reproduced dataset.
+
+use exathlon_bench::{build_dataset, default_config, Scale};
+use exathlon_core::config::AdMethod;
+use exathlon_core::experiment::run_pipeline;
+use exathlon_core::report::SeparationTable;
+use exathlon_tsmetrics::presets::AdLevel;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Extension: classical baselines vs DL methods at {scale:?} scale");
+    let ds = build_dataset(scale);
+    let config = default_config(scale);
+
+    let mut methods = AdMethod::PAPER_METHODS.to_vec();
+    methods.extend(AdMethod::BASELINES);
+    let run = run_pipeline(&ds, &config, &methods, scale.budget());
+
+    let mut table = SeparationTable::default();
+    for (method, mr) in &run.methods {
+        table.push(method.label(), mr.separation.clone());
+    }
+    println!("\n=== Separation AUPRC (LS4, FS_custom), all methods ===");
+    print!("{table}");
+
+    println!("\n=== Detection at AD2 (best / median over 24 thresholds) ===");
+    println!("{:<8} {:>8} {:>8}", "Method", "Best F1", "Med F1");
+    for method in &methods {
+        let (best, median) = run.detection_best_median(*method, AdLevel::Range);
+        println!("{:<8} {:>8.2} {:>8.2}", method.label(), best.f1, median.f1);
+    }
+
+    println!(
+        "\nReading guide: point-wise baselines (MAD, EWMA) lack the windowed\n\
+         context to hold a range detection together; distance/density methods\n\
+         are competitive at the 19-feature dimensionality but are exactly the\n\
+         methods the paper notes degrade as dimensionality grows."
+    );
+}

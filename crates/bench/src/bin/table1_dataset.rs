@@ -1,0 +1,84 @@
+//! Reproduces **Table 1**: the dataset composition — metric counts (a)
+//! and the per-type trace/instance/length breakdown with ground-truth
+//! format (b).
+
+use exathlon_bench::{build_dataset, Scale};
+use exathlon_sparksim::deg::AnomalyType;
+use exathlon_sparksim::metrics::{
+    FULL_DRIVER_METRICS, FULL_EXECUTOR_METRICS, FULL_METRICS, FULL_OS_METRICS,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Building the Exathlon dataset ({scale:?} scale)...");
+    let ds = build_dataset(scale);
+
+    println!("\n=== Table 1(a): metrics and data size ===");
+    println!("Driver Spark UI metrics:    {FULL_DRIVER_METRICS}");
+    println!("Executor Spark UI metrics:  5 x 140 = {FULL_EXECUTOR_METRICS}");
+    println!("OS (Nmon) metrics:          4 x 335 = {FULL_OS_METRICS}");
+    println!("Total metrics per trace:    {FULL_METRICS}");
+    println!("Frequency:                  1 data item per second (1 tick)");
+    println!("Data items (records):       {}", ds.total_records());
+    let hours = ds.total_records() as f64 / 3600.0;
+    println!("Duration:                   {hours:.1} simulated hours");
+
+    println!("\n=== Table 1(b): traces, instances, anomaly lengths ===");
+    println!(
+        "{:<34} {:>6} {:>9} {:>22}",
+        "Trace type", "Traces", "Instances", "Anomaly len min/avg/max"
+    );
+    println!(
+        "{:<34} {:>6} {:>9} {:>22}",
+        "Undisturbed",
+        ds.undisturbed.len(),
+        "-",
+        "-"
+    );
+    let traces = ds.traces_per_type();
+    for (i, t) in AnomalyType::ALL.iter().enumerate() {
+        let lens: Vec<u64> = ds
+            .ground_truth
+            .iter()
+            .filter(|e| e.anomaly_type == *t)
+            .map(|e| e.anomaly_len())
+            .collect();
+        let (min, max) = (
+            lens.iter().min().copied().unwrap_or(0),
+            lens.iter().max().copied().unwrap_or(0),
+        );
+        let avg = if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<u64>() as f64 / lens.len() as f64
+        };
+        println!(
+            "{:<34} {:>6} {:>9} {:>9}s {:>5.0}s {:>5}s",
+            format!("{}: {:?}", t.label(), t),
+            traces[i],
+            lens.len(),
+            min,
+            avg,
+            max
+        );
+    }
+    let total: usize = ds.instances_per_type().iter().sum();
+    println!("Total anomaly instances: {total} over {} disturbed traces", ds.disturbed.len());
+
+    println!("\nGround-truth label format (first 3 rows):");
+    for e in ds.ground_truth.iter().take(3) {
+        println!(
+            "  (app_id={}, trace_id={}, type={}, rci=[{}, {}), eei={:?})",
+            e.app_id,
+            e.trace_id,
+            e.anomaly_type.label(),
+            e.root_cause_start,
+            e.root_cause_end,
+            e.extended_effect
+        );
+    }
+    println!(
+        "\nAs JSON: {}",
+        serde_json::to_string(&ds.ground_truth[0]).expect("serializable ground truth")
+    );
+}

@@ -1,0 +1,110 @@
+//! Reproduces **Table 7**: application-wise separation AUPRC of the three
+//! methods under each learning setting LS1–LS4 (Experiment 4).
+//!
+//! The 1-App settings (LS1, LS3) train one model per application; their
+//! row reports the average over the evaluated applications.
+
+use exathlon_bench::{build_dataset, default_config, Scale};
+use exathlon_core::config::{AdMethod, ExperimentConfig, LearningSetting};
+use exathlon_core::evaluate::TypedAuprc;
+use exathlon_core::experiment::run_pipeline;
+use exathlon_sparksim::dataset::Dataset;
+
+/// Average a list of per-type AUPRC rows (treating absent types as
+/// absent).
+fn average_rows(rows: &[TypedAuprc]) -> TypedAuprc {
+    let mut average = 0.0;
+    let mut per_type = [None; 6];
+    for (i, slot) in per_type.iter_mut().enumerate() {
+        let vals: Vec<f64> = rows.iter().filter_map(|r| r.per_type[i]).collect();
+        if !vals.is_empty() {
+            *slot = Some(vals.iter().sum::<f64>() / vals.len() as f64);
+        }
+    }
+    for r in rows {
+        average += r.average;
+    }
+    TypedAuprc { average: average / rows.len().max(1) as f64, per_type }
+}
+
+fn one_app_row(
+    ds: &Dataset,
+    base: &ExperimentConfig,
+    many: bool,
+    method: AdMethod,
+    budget: exathlon_core::model::TrainingBudget,
+    apps: &[usize],
+) -> TypedAuprc {
+    let rows: Vec<TypedAuprc> = apps
+        .iter()
+        .map(|&a| {
+            let setting =
+                if many { LearningSetting::ls1(a) } else { LearningSetting::ls3(a) };
+            let config = ExperimentConfig { setting, ..base.clone() };
+            let run = run_pipeline(ds, &config, &[method], budget);
+            run.method_run(method).separation.app.clone()
+        })
+        .collect();
+    average_rows(&rows)
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "  - ".into())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Experiment 4: learning settings LS1-LS4 at {scale:?} scale");
+    let ds = build_dataset(scale);
+    let base = default_config(scale);
+    let budget = scale.budget();
+
+    // Applications that have disturbed traces (1-App settings need test
+    // data). Cap the number of per-app trainings to keep runtime sane.
+    let mut apps: Vec<usize> = ds.disturbed.iter().map(|t| t.context.app_id).collect();
+    apps.sort_unstable();
+    apps.dedup();
+    apps.truncate(match scale {
+        Scale::Quick => 2,
+        Scale::Full => 4,
+    });
+    println!("1-App settings evaluated on applications {apps:?}");
+
+    println!(
+        "\n{:<5} {:<7} {:>5}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "LS", "Method", "Ave", "T1", "T2", "T3", "T4", "T5", "T6"
+    );
+    for (label, many, n_app) in [
+        ("LS1", true, false),
+        ("LS2", true, true),
+        ("LS3", false, false),
+        ("LS4", false, true),
+    ] {
+        for method in AdMethod::PAPER_METHODS {
+            let row = if n_app {
+                let setting = if many { LearningSetting::ls2() } else { LearningSetting::ls4() };
+                let config = ExperimentConfig { setting, ..base.clone() };
+                let run = run_pipeline(&ds, &config, &[method], budget);
+                run.method_run(method).separation.app.clone()
+            } else {
+                one_app_row(&ds, &base, many, method, budget, &apps)
+            };
+            println!(
+                "{:<5} {:<7} {:>5.2}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                label,
+                method.label(),
+                row.average,
+                fmt(row.per_type[0]),
+                fmt(row.per_type[1]),
+                fmt(row.per_type[2]),
+                fmt(row.per_type[3]),
+                fmt(row.per_type[4]),
+                fmt(row.per_type[5]),
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): Many-Examples (LS1/LS2) >= Few-Examples (LS3/LS4) \
+         for AE and BiGAN; LSTM may benefit from N-App cardinality instead."
+    );
+}

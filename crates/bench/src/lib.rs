@@ -1,0 +1,122 @@
+//! # exathlon-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (§6) plus Criterion benches for the computational
+//! performance criteria P1–P3 (§4.3).
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1_dataset` | Table 1: dataset composition |
+//! | `figure2_adlevels` | Figure 2: range-based P/R at AD1–AD4 |
+//! | `table3_separation` | Table 3: separation AUPRC (LS4, FS_custom) |
+//! | `figure4_distributions` | Figure 4: outlier-score distributions |
+//! | `figure5_scores` | Figures 5/8: record-wise score profiles |
+//! | `table4_detection` | Table 4: detection at AD1–AD4, best/median |
+//! | `table5_ed` | Table 5 + Figure 6: ED metrics and examples |
+//! | `table7_settings` | Table 7: LS1–LS4 application-wise AUPRC |
+//! | `table8_pca` | Table 8: FS_pca global separation |
+//!
+//! All binaries accept `--quick` (smaller dataset and training budgets —
+//! minutes instead of tens of minutes) and honour `EXATHLON_SEED`.
+
+use exathlon_core::config::ExperimentConfig;
+use exathlon_core::model::TrainingBudget;
+use exathlon_sparksim::dataset::{Dataset, DatasetBuilder};
+
+/// Harness scale, from the `--quick` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dataset + training budgets (CI / laptop smoke runs).
+    Quick,
+    /// The full benchmark composition.
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// The training budget for this scale.
+    pub fn budget(self) -> TrainingBudget {
+        match self {
+            Scale::Quick => TrainingBudget::Quick,
+            Scale::Full => TrainingBudget::Standard,
+        }
+    }
+}
+
+/// The benchmark seed (`EXATHLON_SEED`, default 7).
+pub fn seed() -> u64 {
+    std::env::var("EXATHLON_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(7)
+}
+
+/// Build the benchmark dataset at the given scale. Both scales keep the
+/// Table 1(b) composition (59 + 34 traces, 97 anomalies); `Quick` shortens
+/// the traces.
+pub fn build_dataset(scale: Scale) -> Dataset {
+    let builder = match scale {
+        Scale::Quick => DatasetBuilder::standard(seed()).with_durations(400, 900),
+        Scale::Full => DatasetBuilder::standard(seed()),
+    };
+    builder.build()
+}
+
+/// The default experiment configuration at a scale: LS4, FS_custom, with
+/// resampling to keep deep-model training tractable (the paper uses
+/// `α = 1/15` for the same reason).
+pub fn default_config(scale: Scale) -> ExperimentConfig {
+    ExperimentConfig {
+        resample_interval: match scale {
+            Scale::Quick => 5,
+            Scale::Full => 5,
+        },
+        seed: seed(),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Render a tiny ASCII histogram (for the Figure 4 reproductions).
+pub fn ascii_histogram(values: &[f64], bins: usize, width: usize, title: &str) -> String {
+    use exathlon_linalg::stats::Histogram;
+    let h = Histogram::from_data(values, bins);
+    let max = h.counts().iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("{title} (n={})\n", values.len());
+    for (b, &count) in h.counts().iter().enumerate() {
+        let (lo, hi) = h.bin_bounds(b);
+        let bar = "#".repeat(count * width / max);
+        out.push_str(&format!("{lo:>9.3}..{hi:<9.3} |{bar} {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_keeps_composition() {
+        let ds = build_dataset(Scale::Quick);
+        assert_eq!(ds.undisturbed.len(), 59);
+        assert_eq!(ds.disturbed.len(), 34);
+        assert_eq!(ds.instances_per_type().iter().sum::<usize>(), 97);
+    }
+
+    #[test]
+    fn ascii_histogram_renders() {
+        let h = ascii_histogram(&[1.0, 1.0, 2.0, 5.0], 4, 20, "demo");
+        assert!(h.contains("demo"));
+        assert!(h.contains('#'));
+    }
+
+    #[test]
+    fn config_has_resampling() {
+        let c = default_config(Scale::Quick);
+        assert!(c.resample_interval > 1);
+    }
+}

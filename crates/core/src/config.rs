@@ -1,0 +1,214 @@
+//! Benchmark configuration: learning settings, feature spaces, methods.
+
+use serde::{Deserialize, Serialize};
+
+/// Whose traces a model is trained and evaluated on (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelingSubject {
+    /// 1-App learning: train and evaluate on a single application.
+    OneApp(usize),
+    /// N-App learning: one model across all applications.
+    NApp,
+}
+
+/// How much of each workload context the training data may peek at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainingConstraint {
+    /// Many-Examples: training may include an early (normal) segment of
+    /// each disturbed test trace.
+    ManyExamples,
+    /// Few-Examples: training data is the undisturbed traces only (the
+    /// realistic default).
+    FewExamples,
+}
+
+/// A learning setting LS1–LS4 (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LearningSetting {
+    /// 1-App vs N-App.
+    pub subject: ModelingSubject,
+    /// Many vs Few examples.
+    pub constraint: TrainingConstraint,
+}
+
+impl LearningSetting {
+    /// LS1: 1-App, Many-Examples.
+    pub fn ls1(app_id: usize) -> Self {
+        Self {
+            subject: ModelingSubject::OneApp(app_id),
+            constraint: TrainingConstraint::ManyExamples,
+        }
+    }
+
+    /// LS2: N-App, Many-Examples.
+    pub fn ls2() -> Self {
+        Self { subject: ModelingSubject::NApp, constraint: TrainingConstraint::ManyExamples }
+    }
+
+    /// LS3: 1-App, Few-Examples.
+    pub fn ls3(app_id: usize) -> Self {
+        Self {
+            subject: ModelingSubject::OneApp(app_id),
+            constraint: TrainingConstraint::FewExamples,
+        }
+    }
+
+    /// LS4: N-App, Few-Examples — the paper's default, most realistic
+    /// setting.
+    pub fn ls4() -> Self {
+        Self { subject: ModelingSubject::NApp, constraint: TrainingConstraint::FewExamples }
+    }
+
+    /// Label like `"LS4"` (app-qualified for 1-App settings).
+    pub fn label(&self) -> String {
+        match (self.subject, self.constraint) {
+            (ModelingSubject::OneApp(a), TrainingConstraint::ManyExamples) => format!("LS1(app{a})"),
+            (ModelingSubject::NApp, TrainingConstraint::ManyExamples) => "LS2".into(),
+            (ModelingSubject::OneApp(a), TrainingConstraint::FewExamples) => format!("LS3(app{a})"),
+            (ModelingSubject::NApp, TrainingConstraint::FewExamples) => "LS4".into(),
+        }
+    }
+}
+
+/// Feature-space choice of the transformation phase (§5 step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSpace {
+    /// The curated 19-feature set of Appendix D.1 (`FS_custom`).
+    Custom,
+    /// PCA on the raw base metrics with this many components (`FS_pca`;
+    /// the paper uses 19 to match the custom set's size).
+    Pca(usize),
+}
+
+impl FeatureSpace {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            FeatureSpace::Custom => "FS_custom".into(),
+            FeatureSpace::Pca(k) => format!("FS_pca({k})"),
+        }
+    }
+}
+
+/// The AD method to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdMethod {
+    /// LSTM forecaster.
+    Lstm,
+    /// Dense autoencoder.
+    Ae,
+    /// Bidirectional GAN.
+    BiGan,
+    /// Distance-based baseline.
+    Knn,
+    /// Density-based baseline (local outlier factor).
+    Lof,
+    /// Isolation forest baseline.
+    IForest,
+    /// EWMA statistical forecaster baseline.
+    Ewma,
+    /// MAD point-outlier baseline.
+    Mad,
+}
+
+impl AdMethod {
+    /// The three deep methods of the paper's study.
+    pub const PAPER_METHODS: [AdMethod; 3] = [AdMethod::Lstm, AdMethod::Ae, AdMethod::BiGan];
+
+    /// The classical baselines for the ablation/extension study.
+    pub const BASELINES: [AdMethod; 5] =
+        [AdMethod::Knn, AdMethod::Lof, AdMethod::IForest, AdMethod::Ewma, AdMethod::Mad];
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdMethod::Lstm => "LSTM",
+            AdMethod::Ae => "AE",
+            AdMethod::BiGan => "BiGAN",
+            AdMethod::Knn => "kNN",
+            AdMethod::Lof => "LOF",
+            AdMethod::IForest => "iForest",
+            AdMethod::Ewma => "EWMA",
+            AdMethod::Mad => "MAD",
+        }
+    }
+}
+
+/// A full experiment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Learning setting (LS1–LS4).
+    pub setting: LearningSetting,
+    /// Feature space (`FS_custom` / `FS_pca`).
+    pub feature_space: FeatureSpace,
+    /// Resampling interval `l` in ticks (cardinality factor `α = 1/l`);
+    /// 1 disables resampling.
+    pub resample_interval: usize,
+    /// Fraction of the training records held out as `D²_train` for
+    /// threshold selection.
+    pub threshold_holdout: f64,
+    /// Fraction of each disturbed trace prepended to training under
+    /// Many-Examples (clipped before the first anomaly).
+    pub peek_fraction: f64,
+    /// Experiment RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            setting: LearningSetting::ls4(),
+            feature_space: FeatureSpace::Custom,
+            resample_interval: 1,
+            threshold_holdout: 0.25,
+            peek_fraction: 0.2,
+            seed: 1234,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The cardinality factor `α = 1/l` of the configuration.
+    pub fn cardinality_factor(&self) -> f64 {
+        1.0 / self.resample_interval.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(LearningSetting::ls1(3).label(), "LS1(app3)");
+        assert_eq!(LearningSetting::ls2().label(), "LS2");
+        assert_eq!(LearningSetting::ls3(0).label(), "LS3(app0)");
+        assert_eq!(LearningSetting::ls4().label(), "LS4");
+        assert_eq!(FeatureSpace::Custom.label(), "FS_custom");
+        assert_eq!(FeatureSpace::Pca(19).label(), "FS_pca(19)");
+        assert_eq!(AdMethod::Ae.label(), "AE");
+    }
+
+    #[test]
+    fn default_config_is_paper_default() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.setting, LearningSetting::ls4());
+        assert_eq!(c.feature_space, FeatureSpace::Custom);
+        assert_eq!(c.cardinality_factor(), 1.0);
+    }
+
+    #[test]
+    fn cardinality_factor_of_resampling() {
+        let c = ExperimentConfig { resample_interval: 15, ..Default::default() };
+        assert!((c.cardinality_factor() - 1.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ExperimentConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.setting, c.setting);
+        assert_eq!(back.feature_space, c.feature_space);
+    }
+}

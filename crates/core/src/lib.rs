@@ -1,0 +1,40 @@
+//! # exathlon-core
+//!
+//! The Exathlon benchmark pipeline (§5, Figure 3): everything between the
+//! raw simulated traces and the benchmark scores.
+//!
+//! The seven pipeline phases map onto the modules of this crate:
+//!
+//! 1. **Data partitioning** — [`partition`]: select and split the 93
+//!    traces according to the learning setting (LS1–LS4, [`config`]).
+//! 2. **Data transformation** — [`transform`]: optional `α`-resampling,
+//!    dimensionality reduction (`FS_custom` 19 features or `FS_pca`), and
+//!    rescaling fitted on training data.
+//! 3. **AD modeling** — [`model`]: fit a normality model (LSTM / AE /
+//!    BiGAN / baselines) on `D¹_train`, derive outlier scores, and fit
+//!    unsupervised thresholds on `D²_train`.
+//! 4. **AD inference** — score every test trace; contiguous positive
+//!    predictions form predicted anomaly ranges.
+//! 5. **AD evaluation** — [`evaluate`]: separation AUPRC at trace /
+//!    application / global level (Table 3) and range-based
+//!    precision/recall at AD1–AD4 across the 24 thresholding rules
+//!    (Table 4).
+//! 6. **ED execution** — [`edrun`]: explain each detected anomaly with
+//!    the model-free (EXstream, MacroBase) and model-dependent (LIME)
+//!    methods.
+//! 7. **ED evaluation** — [`edrun`]: conciseness, stability, concordance,
+//!    accuracy, and time (Table 5).
+//!
+//! [`report`] holds the serializable result tables the benchmark binaries
+//! print.
+
+pub mod config;
+pub mod edrun;
+pub mod experiment;
+pub mod evaluate;
+pub mod model;
+pub mod partition;
+pub mod report;
+pub mod transform;
+
+pub use config::{ExperimentConfig, FeatureSpace, LearningSetting};

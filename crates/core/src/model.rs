@@ -1,0 +1,245 @@
+//! Pipeline phase 3: AD modeling (§5 step 3).
+//!
+//! Normality-model training on `D¹_train`, outlier-score derivation, and
+//! the held-out `D²_train` scores the unsupervised threshold selection is
+//! fitted on (Appendix D.2).
+
+use crate::config::AdMethod;
+use exathlon_ad::ae_ad::{AeConfig, AutoencoderDetector};
+use exathlon_ad::bigan_ad::{BiGanConfig, BiGanDetector};
+use exathlon_ad::ewma::{EwmaConfig, EwmaDetector};
+use exathlon_ad::iforest::{IsolationForestConfig, IsolationForestDetector};
+use exathlon_ad::knn_ad::{KnnConfig, KnnDetector};
+use exathlon_ad::lof::{LofConfig, LofDetector};
+use exathlon_ad::lstm_ad::{LstmConfig, LstmDetector};
+use exathlon_ad::mad_ad::MadDetector;
+use exathlon_ad::AnomalyScorer;
+use exathlon_tsdata::TimeSeries;
+
+/// How heavily to train: `Quick` shrinks epochs/window budgets for tests
+/// and examples; `Standard` is the benchmark default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingBudget {
+    /// Small budgets: seconds of training.
+    Quick,
+    /// The benchmark defaults.
+    Standard,
+}
+
+/// A trained AD model together with its held-out training scores.
+pub struct TrainedModel {
+    /// Which method this is.
+    pub method: AdMethod,
+    /// The fitted scorer.
+    pub scorer: Box<dyn AnomalyScorer + Send + Sync>,
+    /// Outlier scores on `D²_train`, the input to threshold selection.
+    pub d2_scores: Vec<f64>,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("method", &self.method)
+            .field("d2_scores", &self.d2_scores.len())
+            .finish()
+    }
+}
+
+/// Build the (unfitted) scorer for a method.
+pub fn build_scorer(
+    method: AdMethod,
+    budget: TrainingBudget,
+    seed: u64,
+) -> Box<dyn AnomalyScorer + Send + Sync> {
+    let quick = budget == TrainingBudget::Quick;
+    match method {
+        AdMethod::Lstm => {
+            let config = LstmConfig {
+                epochs: if quick { 5 } else { 12 },
+                hidden: if quick { 10 } else { 24 },
+                max_pairs: if quick { 400 } else { 2000 },
+                window: if quick { 6 } else { 8 },
+                seed,
+                ..LstmConfig::default()
+            };
+            Box::new(LstmDetector::new(config))
+        }
+        AdMethod::Ae => {
+            let config = AeConfig {
+                epochs: if quick { 10 } else { 30 },
+                hidden: if quick { vec![24] } else { vec![64] },
+                code: if quick { 4 } else { 8 },
+                max_windows: if quick { 800 } else { 4000 },
+                window: if quick { 6 } else { 8 },
+                seed,
+                ..AeConfig::default()
+            };
+            Box::new(AutoencoderDetector::new(config))
+        }
+        AdMethod::BiGan => {
+            let config = BiGanConfig {
+                epochs: if quick { 8 } else { 20 },
+                hidden: if quick { 24 } else { 48 },
+                latent: if quick { 3 } else { 6 },
+                max_windows: if quick { 600 } else { 2500 },
+                window: if quick { 6 } else { 8 },
+                seed,
+                ..BiGanConfig::default()
+            };
+            Box::new(BiGanDetector::new(config))
+        }
+        AdMethod::Knn => Box::new(KnnDetector::new(KnnConfig {
+            k: 5,
+            max_references: if quick { 500 } else { 2000 },
+        })),
+        AdMethod::Lof => Box::new(LofDetector::new(LofConfig {
+            k: 10,
+            max_references: if quick { 300 } else { 1000 },
+        })),
+        AdMethod::IForest => Box::new(IsolationForestDetector::new(IsolationForestConfig {
+            n_trees: if quick { 50 } else { 100 },
+            sample_size: 256,
+            seed,
+        })),
+        AdMethod::Ewma => Box::new(EwmaDetector::new(EwmaConfig::default())),
+        AdMethod::Mad => Box::new(MadDetector::new()),
+    }
+}
+
+/// The AE configuration matching [`build_scorer`], needed when a
+/// model-dependent explainer (LIME) must query the same architecture.
+pub fn ae_config_for(budget: TrainingBudget, seed: u64) -> AeConfig {
+    let quick = budget == TrainingBudget::Quick;
+    AeConfig {
+        epochs: if quick { 10 } else { 30 },
+        hidden: if quick { vec![24] } else { vec![64] },
+        code: if quick { 4 } else { 8 },
+        max_windows: if quick { 800 } else { 4000 },
+        window: if quick { 6 } else { 8 },
+        seed,
+        ..AeConfig::default()
+    }
+}
+
+/// Split the transformed training traces into `D¹_train` (model fitting)
+/// and `D²_train` (threshold fitting): the trailing `holdout` fraction of
+/// *each* trace goes to `D²`, so both sides see every workload context.
+pub fn split_train(
+    train: &[TimeSeries],
+    holdout: f64,
+) -> (Vec<TimeSeries>, Vec<TimeSeries>) {
+    assert!((0.0..1.0).contains(&holdout), "holdout must be in [0, 1)");
+    let mut d1 = Vec::with_capacity(train.len());
+    let mut d2 = Vec::with_capacity(train.len());
+    for ts in train {
+        let cut = ((ts.len() as f64) * (1.0 - holdout)) as usize;
+        let cut = cut.clamp(1, ts.len());
+        d1.push(ts.slice(0, cut));
+        if cut < ts.len() {
+            d2.push(ts.slice(cut, ts.len()));
+        }
+    }
+    (d1, d2)
+}
+
+/// Train a method on transformed training traces: fit on `D¹`, score `D²`.
+pub fn train_model(
+    method: AdMethod,
+    train: &[TimeSeries],
+    holdout: f64,
+    budget: TrainingBudget,
+    seed: u64,
+) -> TrainedModel {
+    let (d1, d2) = split_train(train, holdout);
+    let mut scorer = build_scorer(method, budget, seed);
+    let d1_refs: Vec<&TimeSeries> = d1.iter().collect();
+    scorer.fit(&d1_refs);
+    let mut d2_scores = Vec::new();
+    for ts in &d2 {
+        d2_scores.extend(scorer.score_series(ts));
+    }
+    if d2_scores.is_empty() {
+        // Degenerate holdout: fall back to scoring the training data.
+        for ts in &d1 {
+            d2_scores.extend(scorer.score_series(ts));
+        }
+    }
+    TrainedModel { method, scorer, d2_scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sine_trace(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.3;
+                vec![t.sin() + rng.gen_range(-0.05..0.05), t.cos()]
+            })
+            .collect();
+        TimeSeries::from_records(default_names(2), 0, &records)
+    }
+
+    #[test]
+    fn split_train_fractions() {
+        let traces = vec![sine_trace(100, 1), sine_trace(100, 2)];
+        let (d1, d2) = split_train(&traces, 0.25);
+        assert_eq!(d1.len(), 2);
+        assert_eq!(d2.len(), 2);
+        assert_eq!(d1[0].len(), 75);
+        assert_eq!(d2[0].len(), 25);
+    }
+
+    #[test]
+    fn split_train_zero_holdout() {
+        let traces = vec![sine_trace(50, 1)];
+        let (d1, d2) = split_train(&traces, 0.0);
+        assert_eq!(d1[0].len(), 50);
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn every_method_trains_and_scores() {
+        let traces = vec![sine_trace(150, 1), sine_trace(150, 2)];
+        for method in [
+            AdMethod::Lstm,
+            AdMethod::Ae,
+            AdMethod::BiGan,
+            AdMethod::Knn,
+            AdMethod::Lof,
+            AdMethod::IForest,
+            AdMethod::Ewma,
+            AdMethod::Mad,
+        ] {
+            let m = train_model(method, &traces, 0.25, TrainingBudget::Quick, 7);
+            assert_eq!(m.method, method);
+            assert!(!m.d2_scores.is_empty(), "{method:?} produced no D2 scores");
+            assert!(
+                m.d2_scores.iter().all(|s| s.is_finite()),
+                "{method:?} produced non-finite scores"
+            );
+            let test = sine_trace(60, 9);
+            let scores = m.scorer.score_series(&test);
+            assert_eq!(scores.len(), 60);
+        }
+    }
+
+    #[test]
+    fn scorer_names_match_method() {
+        assert_eq!(build_scorer(AdMethod::Ae, TrainingBudget::Quick, 1).name(), "AE");
+        assert_eq!(build_scorer(AdMethod::Lstm, TrainingBudget::Quick, 1).name(), "LSTM");
+        assert_eq!(build_scorer(AdMethod::BiGan, TrainingBudget::Quick, 1).name(), "BiGAN");
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout")]
+    fn bad_holdout_panics() {
+        let traces = vec![sine_trace(50, 1)];
+        let _ = split_train(&traces, 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Pipeline phase 1: data selection and partitioning (§5 step 1).
+//!
+//! * **1-App settings** (LS1/LS3): keep only the traces of one
+//!   application; undisturbed traces train, disturbed traces test.
+//! * **N-App settings** (LS2/LS4): all traces; undisturbed train,
+//!   disturbed test.
+//! * **Many-Examples** (LS1/LS2): additionally move an early, normal
+//!   segment of each disturbed trace into the training data — the "peek"
+//!   at the test trace's workload context — and test on the remainder.
+
+use crate::config::{LearningSetting, ModelingSubject, TrainingConstraint};
+use exathlon_sparksim::dataset::Dataset;
+use exathlon_sparksim::deg::AnomalyType;
+use exathlon_sparksim::ground_truth::GroundTruthEntry;
+use exathlon_tsdata::TimeSeries;
+
+/// One test trace segment with its ground truth.
+#[derive(Debug, Clone)]
+pub struct TestSegment {
+    /// Trace id in the dataset.
+    pub trace_id: usize,
+    /// Application id.
+    pub app_id: usize,
+    /// Dominant anomaly type of the trace (type of its first injected
+    /// event), used for per-type reporting.
+    pub dominant_type: Option<AnomalyType>,
+    /// The base-metric segment under test (ticks preserved from the full
+    /// trace).
+    pub series: TimeSeries,
+    /// Ground-truth entries of the full trace (tick-space; may partially
+    /// precede the segment under Many-Examples).
+    pub entries: Vec<GroundTruthEntry>,
+}
+
+/// Output of the partitioning phase: training series and labeled test
+/// segments, all still in the raw base-metric space.
+#[derive(Debug, Clone)]
+pub struct Partitioned {
+    /// Normal training series (base metrics).
+    pub train: Vec<TimeSeries>,
+    /// Test segments with ground truth.
+    pub test: Vec<TestSegment>,
+}
+
+/// Partition a dataset according to a learning setting. `peek_fraction`
+/// controls how much of each disturbed trace the Many-Examples settings
+/// prepend to training (always clipped before the first anomaly).
+///
+/// # Panics
+/// Panics if the selection leaves no training or no test traces (e.g. a
+/// 1-App setting for an application with no disturbed traces).
+pub fn partition(ds: &Dataset, setting: LearningSetting, peek_fraction: f64) -> Partitioned {
+    let keep = |app_id: usize| match setting.subject {
+        ModelingSubject::OneApp(a) => app_id == a,
+        ModelingSubject::NApp => true,
+    };
+
+    let mut train: Vec<TimeSeries> = ds
+        .undisturbed
+        .iter()
+        .filter(|t| keep(t.context.app_id))
+        .map(|t| t.base.clone())
+        .collect();
+
+    let mut test = Vec::new();
+    for trace in ds.disturbed.iter().filter(|t| keep(t.context.app_id)) {
+        let entries: Vec<GroundTruthEntry> = ds
+            .ground_truth
+            .iter()
+            .filter(|e| e.trace_id == trace.trace_id)
+            .cloned()
+            .collect();
+        let dominant_type = trace.schedule.events().first().map(|e| e.atype);
+
+        let mut segment = trace.base.clone();
+        if setting.constraint == TrainingConstraint::ManyExamples {
+            let first_anomaly = entries
+                .iter()
+                .map(|e| e.root_cause_start)
+                .min()
+                .unwrap_or(trace.len() as u64);
+            // Peek at the normal head: at most `peek_fraction` of the
+            // trace, and never into the first anomaly (with a safety gap).
+            let cut = ((trace.len() as f64 * peek_fraction) as u64)
+                .min(first_anomaly.saturating_sub(30));
+            if cut >= 60 {
+                train.push(trace.base.slice(0, cut as usize));
+                segment = trace.base.slice(cut as usize, trace.len());
+            }
+        }
+        test.push(TestSegment {
+            trace_id: trace.trace_id,
+            app_id: trace.context.app_id,
+            dominant_type,
+            series: segment,
+            entries,
+        });
+    }
+
+    assert!(!train.is_empty(), "partitioning produced no training traces");
+    assert!(!test.is_empty(), "partitioning produced no test traces");
+    Partitioned { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearningSetting;
+    use exathlon_sparksim::dataset::DatasetBuilder;
+
+    fn ds() -> Dataset {
+        DatasetBuilder::tiny(5).build()
+    }
+
+    #[test]
+    fn ls4_uses_all_traces() {
+        let d = ds();
+        let p = partition(&d, LearningSetting::ls4(), 0.2);
+        assert_eq!(p.train.len(), d.undisturbed.len());
+        assert_eq!(p.test.len(), d.disturbed.len());
+        // Few-Examples: test segments are full traces.
+        assert_eq!(p.test[0].series.len(), d.disturbed[0].len());
+        assert_eq!(p.test[0].series.start_tick(), 0);
+    }
+
+    #[test]
+    fn ls3_filters_by_app() {
+        let d = ds();
+        let p = partition(&d, LearningSetting::ls3(0), 0.2);
+        assert!(p.test.iter().all(|t| t.app_id == 0));
+        assert_eq!(p.train.len(), 2, "tiny dataset has 2 undisturbed app0 traces");
+    }
+
+    #[test]
+    fn ls2_peeks_at_test_heads() {
+        let d = ds();
+        let few = partition(&d, LearningSetting::ls4(), 0.2);
+        let many = partition(&d, LearningSetting::ls2(), 0.2);
+        assert!(many.train.len() > few.train.len(), "peek segments must join training");
+        // Test segments are shortened and tick-shifted.
+        let seg = &many.test[0];
+        assert!(seg.series.len() < d.disturbed[0].len());
+        assert!(seg.series.start_tick() > 0);
+    }
+
+    #[test]
+    fn peek_never_reaches_first_anomaly() {
+        let d = ds();
+        let many = partition(&d, LearningSetting::ls2(), 0.9); // aggressive peek
+        for seg in &many.test {
+            let first = seg.entries.iter().map(|e| e.root_cause_start).min().unwrap();
+            assert!(
+                seg.series.start_tick() + 20 <= first,
+                "peek cut {} too close to anomaly at {first}",
+                seg.series.start_tick()
+            );
+        }
+    }
+
+    #[test]
+    fn dominant_type_recorded() {
+        let d = ds();
+        let p = partition(&d, LearningSetting::ls4(), 0.2);
+        assert!(p.test.iter().all(|t| t.dominant_type.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no training traces")]
+    fn unknown_app_panics() {
+        let d = ds();
+        let _ = partition(&d, LearningSetting::ls3(9), 0.2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Serializable, printable result tables matching the paper's layout.
+
+use crate::edrun::EdEvaluation;
+use crate::evaluate::{DetectionOutcome, SeparationScores};
+use std::fmt;
+
+/// Format an optional score as the paper's tables do (blank when the type
+/// has no instances in scope).
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "  - ".into(),
+    }
+}
+
+/// A Table 3 / 7 / 8 style separation table: one block of trace / app /
+/// global rows per method.
+#[derive(Debug, Clone, Default)]
+pub struct SeparationTable {
+    /// `(method label, scores)` pairs.
+    pub rows: Vec<(String, SeparationScores)>,
+}
+
+impl SeparationTable {
+    /// Add a method's scores.
+    pub fn push(&mut self, method: impl Into<String>, scores: SeparationScores) {
+        self.rows.push((method.into(), scores));
+    }
+}
+
+impl fmt::Display for SeparationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:<7} {:>5}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            "SepLvl", "Method", "Ave", "T1", "T2", "T3", "T4", "T5", "T6"
+        )?;
+        for level in ["Trace", "App", "Global"] {
+            for (method, s) in &self.rows {
+                let t = match level {
+                    "Trace" => &s.trace,
+                    "App" => &s.app,
+                    _ => &s.global,
+                };
+                writeln!(
+                    f,
+                    "{:<8} {:<7} {:>5.2}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                    level,
+                    method,
+                    t.average,
+                    opt(t.per_type[0]),
+                    opt(t.per_type[1]),
+                    opt(t.per_type[2]),
+                    opt(t.per_type[3]),
+                    opt(t.per_type[4]),
+                    opt(t.per_type[5]),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A Table 4 style block: best/median detection rows per method at one AD
+/// level.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionTable {
+    /// Level label (e.g. `"AD2"`).
+    pub level: String,
+    /// `(method, "Best"/"Med", outcome)` triples.
+    pub rows: Vec<(String, String, DetectionOutcome)>,
+}
+
+impl fmt::Display for DetectionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {:<7} {:<5} {:>5} {:>5} {:>5}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            self.level, "Method", "TS", "F1", "Prec", "Rcl", "T1", "T2", "T3", "T4", "T5", "T6"
+        )?;
+        for (method, ts, o) in &self.rows {
+            writeln!(
+                f,
+                "    {:<7} {:<5} {:>5.2} {:>5.2} {:>5.2}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                method,
+                ts,
+                o.f1,
+                o.precision,
+                o.recall,
+                opt(o.per_type_recall[0]),
+                opt(o.per_type_recall[1]),
+                opt(o.per_type_recall[2]),
+                opt(o.per_type_recall[3]),
+                opt(o.per_type_recall[4]),
+                opt(o.per_type_recall[5]),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A Table 5 style ED results table.
+#[derive(Debug, Clone, Default)]
+pub struct EdTable {
+    /// One evaluation block per method.
+    pub evaluations: Vec<EdEvaluation>,
+}
+
+impl fmt::Display for EdTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for eval in &self.evaluations {
+            writeln!(f, "== {} ==", eval.method.label())?;
+            writeln!(
+                f,
+                "{:<5} {:>8} {:>9} {:>11} {:>6} {:>6} {:>10} {:>4}",
+                "Type", "Concise", "Stab(ED1)", "Concd(ED2)", "Prec", "Rcl", "Time(s)", "N"
+            )?;
+            for row in eval.per_type.iter().chain(std::iter::once(&eval.average)) {
+                let label = match row.anomaly_type {
+                    Some(t) => t.label(),
+                    None => "Ave".to_string(),
+                };
+                writeln!(
+                    f,
+                    "{:<5} {:>8.2} {:>9.2} {:>11.2} {:>6} {:>6} {:>10.4} {:>4}",
+                    label,
+                    row.conciseness,
+                    row.stability,
+                    row.concordance,
+                    opt(row.precision),
+                    opt(row.recall),
+                    row.time_secs,
+                    row.n_cases,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::TypedAuprc;
+
+    fn scores() -> SeparationScores {
+        let t = TypedAuprc { average: 0.5, per_type: [Some(0.6), None, Some(0.4), None, None, None] };
+        SeparationScores { trace: t.clone(), app: t.clone(), global: t }
+    }
+
+    #[test]
+    fn separation_table_prints_all_levels() {
+        let mut table = SeparationTable::default();
+        table.push("AE", scores());
+        let text = format!("{table}");
+        assert!(text.contains("Trace"));
+        assert!(text.contains("App"));
+        assert!(text.contains("Global"));
+        assert!(text.contains("0.60"));
+        assert!(text.contains("-"), "missing types print a dash");
+    }
+
+    #[test]
+    fn detection_table_prints_rows() {
+        let o = DetectionOutcome {
+            rule: "IQR x2".into(),
+            threshold: 1.0,
+            f1: 0.5,
+            precision: 0.6,
+            recall: 0.4,
+            per_type_recall: [Some(1.0), None, None, None, None, None],
+        };
+        let table = DetectionTable {
+            level: "AD2".into(),
+            rows: vec![("AE".into(), "Best".into(), o)],
+        };
+        let text = format!("{table}");
+        assert!(text.contains("AD2"));
+        assert!(text.contains("Best"));
+        assert!(text.contains("0.50"));
+    }
+}

@@ -1,0 +1,257 @@
+//! The abstract explanation form the benchmark evaluates (§4.2).
+//!
+//! Exathlon "does not pose any restrictions on the form of explanation
+//! used. Instead, it takes an abstract view": an explanation is a function
+//! of the features, and the benchmark only needs (i) the *feature set*
+//! `G_A(F)` it uses and (ii), when the explanation is a logical formula, a
+//! point-based 0/1 predictive model.
+
+use std::fmt;
+
+/// An interval predicate on one feature: `lo <= x[feature] <= hi`.
+/// Half-open sides are expressed with infinities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Feature index the predicate tests.
+    pub feature: usize,
+    /// Lower bound (inclusive; `-inf` for "no lower bound").
+    pub lo: f64,
+    /// Upper bound (inclusive; `+inf` for "no upper bound").
+    pub hi: f64,
+}
+
+impl Predicate {
+    /// `x[feature] <= hi`.
+    pub fn at_most(feature: usize, hi: f64) -> Self {
+        Self { feature, lo: f64::NEG_INFINITY, hi }
+    }
+
+    /// `x[feature] >= lo`.
+    pub fn at_least(feature: usize, lo: f64) -> Self {
+        Self { feature, lo, hi: f64::INFINITY }
+    }
+
+    /// `lo <= x[feature] <= hi`.
+    pub fn between(feature: usize, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "inverted predicate bounds");
+        Self { feature, lo, hi }
+    }
+
+    /// Evaluate on a record. NaN never satisfies a predicate.
+    pub fn matches(&self, record: &[f64]) -> bool {
+        let x = record[self.feature];
+        !x.is_nan() && x >= self.lo && x <= self.hi
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (false, true) => write!(f, "v_{} <= {:.4}", self.feature, self.hi),
+            (true, false) => write!(f, "v_{} >= {:.4}", self.feature, self.lo),
+            _ => write!(f, "{:.4} <= v_{} <= {:.4}", self.lo, self.feature, self.hi),
+        }
+    }
+}
+
+/// A conjunction of predicates — the logical-formula explanation form of
+/// EXstream and MacroBase. Usable as a point-based predictive model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Conjunction {
+    /// The conjuncts; a record is anomalous iff it satisfies all of them.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Conjunction {
+    /// Predict a single record: 1 (anomalous) iff all predicates match.
+    /// An empty conjunction predicts 0 (nothing to assert).
+    pub fn predict(&self, record: &[f64]) -> bool {
+        !self.predicates.is_empty() && self.predicates.iter().all(|p| p.matches(record))
+    }
+
+    /// Distinct features used, ascending.
+    pub fn features(&self) -> Vec<usize> {
+        let mut f: Vec<usize> = self.predicates.iter().map(|p| p.feature).collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.predicates.is_empty() {
+            return write!(f, "(true)");
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One term of a feature-importance explanation (LIME): a `(feature, lag)`
+/// cell within the explained window and its learned weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceTerm {
+    /// Feature index.
+    pub feature: usize,
+    /// Time offset within the window, counted backwards (`lag = 0` is the
+    /// last record of the window — LIME's `t-0`).
+    pub lag: usize,
+    /// Signed importance weight (linear-model coefficient).
+    pub weight: f64,
+    /// Human-readable condition the weight applies to, e.g.
+    /// `"v_1_t-39 <= -0.20"`.
+    pub condition: String,
+}
+
+/// An explanation in one of the supported forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Explanation {
+    /// Logical formula (EXstream, MacroBase): predictive.
+    Formula(Conjunction),
+    /// Feature-importance scores (LIME): not predictive (§6.3: "the
+    /// coefficients of the returned features ... cannot be applied for
+    /// prediction").
+    Importance(Vec<ImportanceTerm>),
+}
+
+impl Explanation {
+    /// The extraction function `G_A`: the distinct features used by the
+    /// explanation (non-zero coefficients / predicate features), ascending.
+    pub fn features(&self) -> Vec<usize> {
+        match self {
+            Explanation::Formula(c) => c.features(),
+            Explanation::Importance(terms) => {
+                let mut f: Vec<usize> = terms
+                    .iter()
+                    .filter(|t| t.weight != 0.0)
+                    .map(|t| t.feature)
+                    .collect();
+                f.sort_unstable();
+                f.dedup();
+                f
+            }
+        }
+    }
+
+    /// Explanation size `|F|` = number of distinct features (§4.2
+    /// conciseness).
+    pub fn size(&self) -> usize {
+        self.features().len()
+    }
+
+    /// The point-based predictive model, when the form supports one.
+    pub fn as_predictive(&self) -> Option<&Conjunction> {
+        match self {
+            Explanation::Formula(c) => Some(c),
+            Explanation::Importance(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Explanation::Formula(c) => write!(f, "{c}"),
+            Explanation::Importance(terms) => {
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "{}: {:.3}", t.condition, t.weight)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_matching() {
+        let p = Predicate::at_most(1, 5.0);
+        assert!(p.matches(&[0.0, 5.0]));
+        assert!(!p.matches(&[0.0, 5.1]));
+        let q = Predicate::between(0, -1.0, 1.0);
+        assert!(q.matches(&[0.0, 99.0]));
+        assert!(!q.matches(&[2.0, 0.0]));
+    }
+
+    #[test]
+    fn nan_never_matches() {
+        let p = Predicate::at_least(0, -10.0);
+        assert!(!p.matches(&[f64::NAN]));
+    }
+
+    #[test]
+    fn conjunction_predicts_all_must_hold() {
+        let c = Conjunction {
+            predicates: vec![Predicate::at_most(0, 1.0), Predicate::at_least(1, 2.0)],
+        };
+        assert!(c.predict(&[0.5, 3.0]));
+        assert!(!c.predict(&[1.5, 3.0]));
+        assert!(!c.predict(&[0.5, 1.0]));
+    }
+
+    #[test]
+    fn empty_conjunction_predicts_false() {
+        assert!(!Conjunction::default().predict(&[1.0]));
+    }
+
+    #[test]
+    fn features_deduplicate() {
+        let c = Conjunction {
+            predicates: vec![
+                Predicate::at_most(3, 1.0),
+                Predicate::at_least(3, 0.0),
+                Predicate::at_most(1, 2.0),
+            ],
+        };
+        assert_eq!(c.features(), vec![1, 3]);
+        let e = Explanation::Formula(c);
+        assert_eq!(e.size(), 2);
+    }
+
+    #[test]
+    fn importance_features_skip_zero_weights() {
+        let e = Explanation::Importance(vec![
+            ImportanceTerm { feature: 2, lag: 0, weight: 0.5, condition: "a".into() },
+            ImportanceTerm { feature: 4, lag: 1, weight: 0.0, condition: "b".into() },
+            ImportanceTerm { feature: 2, lag: 3, weight: -0.1, condition: "c".into() },
+        ]);
+        assert_eq!(e.features(), vec![2]);
+        assert!(e.as_predictive().is_none());
+    }
+
+    #[test]
+    fn formula_is_predictive() {
+        let e = Explanation::Formula(Conjunction {
+            predicates: vec![Predicate::at_most(0, 0.0)],
+        });
+        assert!(e.as_predictive().is_some());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Predicate::at_most(5, -0.012);
+        assert_eq!(format!("{p}"), "v_5 <= -0.0120");
+        let c = Conjunction {
+            predicates: vec![Predicate::at_most(5, -0.012), Predicate::at_least(0, 1.0)],
+        };
+        assert!(format!("{c}").contains(" AND "));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bounds_panic() {
+        let _ = Predicate::between(0, 2.0, 1.0);
+    }
+}

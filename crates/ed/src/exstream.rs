@@ -1,0 +1,333 @@
+//! EXstream: entropy-based explanation of the separation between an
+//! anomalous period and a reference (normal) period.
+//!
+//! Following Zhang, Diao & Meliou (EDBT'17) as used by the paper
+//! (Appendix D.3):
+//!
+//! 1. For every feature, compute the **single-feature reward**: the class
+//!    entropy divided by the *segmentation entropy* of the feature's
+//!    sorted values — a feature that separates the two classes into few
+//!    pure segments has low segmentation entropy and high reward.
+//! 2. Sort rewards descending and cut at the **sharpest leap** (the
+//!    non-monotone submodular pruning heuristic): only features before the
+//!    biggest relative drop enter the explanation.
+//! 3. Emit one threshold predicate per selected feature, oriented by where
+//!    the anomalous mass sits relative to the reference.
+//!
+//! The false-positive-filtering step of the original algorithm is omitted
+//! (it requires user-labeled data, Appendix D.3).
+
+use crate::explanation::{Conjunction, Explanation, Predicate};
+use exathlon_linalg::stats::{median, pearson};
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the EXstream explainer.
+#[derive(Debug, Clone)]
+pub struct ExstreamConfig {
+    /// Hard cap on explanation size (the leap heuristic usually selects
+    /// fewer).
+    pub max_features: usize,
+    /// Minimum reward for a feature to be considered at all.
+    pub min_reward: f64,
+    /// Absolute Pearson correlation above which two selected features are
+    /// considered redundant; only the higher-reward one is kept (the
+    /// original's correlation-clustering pruning).
+    pub correlation_prune: f64,
+}
+
+impl Default for ExstreamConfig {
+    fn default() -> Self {
+        Self { max_features: 8, min_reward: 0.01, correlation_prune: 0.8 }
+    }
+}
+
+/// The EXstream explainer (model-free).
+#[derive(Debug, Clone, Default)]
+pub struct ExstreamExplainer {
+    config: ExstreamConfig,
+}
+
+impl ExstreamExplainer {
+    /// Create with the given configuration.
+    pub fn new(config: ExstreamConfig) -> Self {
+        Self { config }
+    }
+
+    /// Explain the separation between `anomaly` and `reference`.
+    ///
+    /// # Panics
+    /// Panics if either series is empty or dimensions differ.
+    pub fn explain(&self, anomaly: &TimeSeries, reference: &TimeSeries) -> Explanation {
+        assert!(!anomaly.is_empty() && !reference.is_empty(), "empty ED input");
+        assert_eq!(anomaly.dims(), reference.dims(), "ED input dimension mismatch");
+        let m = anomaly.dims();
+
+        // Step 1: single-feature rewards.
+        let mut rewards: Vec<(usize, f64)> = (0..m)
+            .map(|j| {
+                let a = anomaly.feature_column(j);
+                let r = reference.feature_column(j);
+                (j, single_feature_reward(&a, &r))
+            })
+            .filter(|(_, r)| r.is_finite() && *r >= self.config.min_reward)
+            .collect();
+        rewards.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite rewards"));
+
+        // Step 2a: prune correlated duplicates — among features whose
+        // values move together across the combined data, keep only the
+        // highest-reward representative (rewards are sorted descending,
+        // so a greedy scan keeps the first of each correlated cluster).
+        let combined_col = |j: usize| -> Vec<f64> {
+            let mut col = anomaly.feature_column(j);
+            col.extend(reference.feature_column(j));
+            col
+        };
+        let mut decorrelated: Vec<(usize, f64)> = Vec::new();
+        for &(j, r) in &rewards {
+            let col_j = combined_col(j);
+            let redundant = decorrelated.iter().any(|&(k, _)| {
+                pearson(&col_j, &combined_col(k)).abs() >= self.config.correlation_prune
+            });
+            if !redundant {
+                decorrelated.push((j, r));
+            }
+        }
+
+        // Step 2b: cut at the sharpest leap in the reward sequence.
+        let keep = leap_cutoff(&decorrelated.iter().map(|(_, r)| *r).collect::<Vec<_>>())
+            .min(self.config.max_features);
+        let selected = &decorrelated[..keep.min(decorrelated.len())];
+
+        // Step 3: one threshold predicate per feature.
+        let predicates: Vec<Predicate> = selected
+            .iter()
+            .map(|&(j, _)| {
+                threshold_predicate(
+                    j,
+                    &anomaly.feature_column(j),
+                    &reference.feature_column(j),
+                )
+            })
+            .collect();
+        Explanation::Formula(Conjunction { predicates })
+    }
+}
+
+/// The entropy-based single-feature reward: `H(class) / H(segmentation)`.
+///
+/// Values of both classes are merged and sorted; maximal runs of
+/// same-class values form segments. Pure, long segments mean the feature
+/// separates the classes well (low segmentation entropy -> high reward).
+/// Value ties across classes are penalized by splitting them into
+/// singleton mixed segments, as in the original regularization.
+pub fn single_feature_reward(anomalous: &[f64], reference: &[f64]) -> f64 {
+    let mut merged: Vec<(f64, bool)> = anomalous
+        .iter()
+        .filter(|v| !v.is_nan())
+        .map(|&v| (v, true))
+        .chain(reference.iter().filter(|v| !v.is_nan()).map(|&v| (v, false)))
+        .collect();
+    if merged.is_empty() {
+        return 0.0;
+    }
+    let n = merged.len() as f64;
+    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after filter"));
+
+    // Class entropy.
+    let n_anom = merged.iter().filter(|(_, c)| *c).count() as f64;
+    let n_ref = n - n_anom;
+    if n_anom == 0.0 || n_ref == 0.0 {
+        return 0.0;
+    }
+    let h_class = -(n_anom / n) * (n_anom / n).log2() - (n_ref / n) * (n_ref / n).log2();
+
+    // Segmentation entropy over maximal same-class runs, with ties between
+    // classes broken into singletons (the mixed-segment regularization).
+    let mut h_seg = 0.0;
+    let mut i = 0;
+    while i < merged.len() {
+        // A tie group spanning both classes becomes singletons.
+        let mut j = i + 1;
+        while j < merged.len() && merged[j].0 == merged[i].0 {
+            j += 1;
+        }
+        let tie_mixed = merged[i..j].iter().any(|(_, c)| *c)
+            && merged[i..j].iter().any(|(_, c)| !*c);
+        if tie_mixed {
+            for _ in i..j {
+                h_seg += (1.0 / n) * n.log2();
+            }
+            i = j;
+            continue;
+        }
+        // Extend the run across equal-class neighbours (also absorbing the
+        // tie group we just validated as pure).
+        let class = merged[i].1;
+        let mut k = j;
+        while k < merged.len() && merged[k].1 == class && {
+            // Stop if the next value ties with a different-class value.
+            let mut t = k + 1;
+            while t < merged.len() && merged[t].0 == merged[k].0 {
+                t += 1;
+            }
+            merged[k..t].iter().all(|(_, c)| *c == class)
+        } {
+            k += 1;
+        }
+        let run = (k - i) as f64;
+        h_seg += (run / n) * (n / run).log2();
+        i = k;
+    }
+    if h_seg <= 0.0 {
+        // A single pure segment would mean only one class is present,
+        // already handled; zero here means degenerate input.
+        return 0.0;
+    }
+    h_class / h_seg
+}
+
+/// Index of the sharpest relative drop in a descending reward sequence;
+/// everything before the drop is kept. The cut is unconditional — as in
+/// the original EXstream, which eagerly prunes marginally related
+/// features: uniform reward profiles therefore yield minimal (single
+/// feature) explanations rather than maximal ones.
+pub fn leap_cutoff(sorted_rewards: &[f64]) -> usize {
+    if sorted_rewards.len() <= 1 {
+        return sorted_rewards.len();
+    }
+    let mut best_idx = 1;
+    let mut best_leap = f64::MIN;
+    for i in 0..sorted_rewards.len() - 1 {
+        let hi = sorted_rewards[i];
+        let lo = sorted_rewards[i + 1];
+        if hi <= 0.0 {
+            break;
+        }
+        let leap = (hi - lo) / hi;
+        if leap > best_leap {
+            best_leap = leap;
+            best_idx = i + 1;
+        }
+    }
+    best_idx
+}
+
+/// A one-sided threshold predicate separating the anomalous values from
+/// the reference values, oriented by their medians; the threshold is the
+/// midpoint between the anomalous median-side boundary and the nearest
+/// reference mass.
+fn threshold_predicate(feature: usize, anomalous: &[f64], reference: &[f64]) -> Predicate {
+    let med_a = median(anomalous);
+    let med_r = median(reference);
+    if med_a >= med_r {
+        // Anomalous values sit above: v >= theta.
+        let lo_a = percentile(anomalous, 0.1);
+        let hi_r = percentile(reference, 0.9);
+        let theta = if lo_a > hi_r { (lo_a + hi_r) / 2.0 } else { lo_a.min(med_a) };
+        Predicate::at_least(feature, theta)
+    } else {
+        let hi_a = percentile(anomalous, 0.9);
+        let lo_r = percentile(reference, 0.1);
+        let theta = if hi_a < lo_r { (hi_a + lo_r) / 2.0 } else { hi_a.max(med_a) };
+        Predicate::at_most(feature, theta)
+    }
+}
+
+fn percentile(xs: &[f64], q: f64) -> f64 {
+    exathlon_linalg::stats::quantile(xs, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn ts(cols: Vec<Vec<f64>>) -> TimeSeries {
+        let n = cols[0].len();
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        TimeSeries::from_records(default_names(cols.len()), 0, &records)
+    }
+
+    #[test]
+    fn reward_high_for_separating_feature() {
+        let anom = [10.0, 11.0, 12.0, 10.5];
+        let refr = [1.0, 1.2, 0.8, 1.1];
+        let mixed_a = [1.0, 10.0, 1.2, 9.0];
+        let mixed_r = [1.1, 9.5, 0.9, 10.5];
+        assert!(
+            single_feature_reward(&anom, &refr) > 2.5 * single_feature_reward(&mixed_a, &mixed_r)
+        );
+    }
+
+    #[test]
+    fn reward_zero_for_single_class() {
+        assert_eq!(single_feature_reward(&[1.0, 2.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn tied_values_penalized() {
+        // Identical distributions: heavy tie penalty, low reward.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        let separating = single_feature_reward(&[10.0, 11.0, 12.0], &[1.0, 2.0, 3.0]);
+        assert!(single_feature_reward(&a, &b) < 0.5 * separating);
+    }
+
+    #[test]
+    fn leap_cutoff_finds_drop() {
+        assert_eq!(leap_cutoff(&[1.0, 0.95, 0.1, 0.08]), 2);
+        assert_eq!(leap_cutoff(&[1.0, 0.2]), 1);
+        // Near-uniform rewards: the sharpest (small) leap still prunes.
+        assert_eq!(leap_cutoff(&[0.5, 0.45, 0.42, 0.40]), 1);
+        assert_eq!(leap_cutoff(&[]), 0);
+        assert_eq!(leap_cutoff(&[1.0]), 1);
+    }
+
+    #[test]
+    fn explains_with_the_separating_feature() {
+        // Feature 0 separates; feature 1 is identical noise.
+        let anomaly = ts(vec![vec![10.0, 11.0, 12.0, 10.5], vec![1.0, 2.0, 1.5, 1.8]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1], vec![1.1, 1.9, 1.4, 1.7]]);
+        let e = ExstreamExplainer::default().explain(&anomaly, &reference);
+        assert_eq!(e.features(), vec![0], "should select only the separating feature");
+    }
+
+    #[test]
+    fn explanation_is_predictive_in_neighborhood() {
+        let anomaly = ts(vec![vec![10.0, 11.0, 12.0, 10.5]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1]]);
+        let e = ExstreamExplainer::default().explain(&anomaly, &reference);
+        let c = e.as_predictive().expect("formula");
+        assert!(c.predict(&[10.8]), "anomalous value should match");
+        assert!(!c.predict(&[1.0]), "normal value should not match");
+    }
+
+    #[test]
+    fn downward_anomaly_gets_at_most_predicate() {
+        let anomaly = ts(vec![vec![-5.0, -6.0, -5.5]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8]]);
+        let e = ExstreamExplainer::default().explain(&anomaly, &reference);
+        let c = e.as_predictive().unwrap();
+        assert!(c.predict(&[-5.5]));
+        assert!(!c.predict(&[1.0]));
+    }
+
+    #[test]
+    fn conciseness_bounded_by_config() {
+        // Many weakly separating features; cap at 2.
+        let anomaly = ts((0..6).map(|k| vec![5.0 + k as f64, 6.0, 5.5, 5.8]).collect());
+        let reference = ts((0..6).map(|k| vec![1.0 + k as f64 * 0.1, 1.2, 0.8, 1.1]).collect());
+        let cfg = ExstreamConfig { max_features: 2, min_reward: 0.0, ..Default::default() };
+        let e = ExstreamExplainer::new(cfg).explain(&anomaly, &reference);
+        assert!(e.size() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ED input")]
+    fn empty_input_panics() {
+        let anomaly = TimeSeries::empty(default_names(1));
+        let reference = ts(vec![vec![1.0]]);
+        let _ = ExstreamExplainer::default().explain(&anomaly, &reference);
+    }
+}

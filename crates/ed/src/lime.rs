@@ -1,0 +1,241 @@
+//! LIME in its recurrent-tabular form (Appendix D.3).
+//!
+//! LIME explains why the AD model assigns a high outlier score to an
+//! anomalous window: it samples perturbations of the window, queries the
+//! model on each, weighs samples by proximity, fits a weighted
+//! [Lasso](crate::lasso), and reports the `k = 5` cells — `(feature,
+//! lag)` pairs inside the window — with the largest absolute
+//! coefficients. Model-dependent and *not* usable for prediction ("the
+//! coefficients ... cannot be applied for prediction", §6.3).
+
+use crate::explanation::{Explanation, ImportanceTerm};
+use crate::lasso::weighted_lasso;
+use exathlon_tsdata::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the LIME explainer.
+#[derive(Debug, Clone)]
+pub struct LimeConfig {
+    /// Number of perturbation samples.
+    pub n_samples: usize,
+    /// Number of features to report (the paper sets `k = 5`).
+    pub k: usize,
+    /// Perturbation noise scale relative to each cell's standard deviation
+    /// across the window (floored for constant cells).
+    pub noise_scale: f64,
+    /// Proximity-kernel width (on normalized distances).
+    pub kernel_width: f64,
+    /// Lasso penalty.
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LimeConfig {
+    fn default() -> Self {
+        Self {
+            n_samples: 300,
+            k: 5,
+            noise_scale: 1.0,
+            kernel_width: 0.75,
+            lambda: 0.01,
+            seed: 41,
+        }
+    }
+}
+
+/// The LIME explainer (model-dependent).
+#[derive(Debug, Clone, Default)]
+pub struct LimeExplainer {
+    config: LimeConfig,
+}
+
+impl LimeExplainer {
+    /// Create with the given configuration.
+    pub fn new(config: LimeConfig) -> Self {
+        Self { config }
+    }
+
+    /// Explain the model's outlier score on `window`. `score_fn` maps a
+    /// flattened window (record-major, `window.len() * window.dims()`
+    /// values) to the model's outlier score.
+    ///
+    /// # Panics
+    /// Panics if the window is empty.
+    pub fn explain(
+        &self,
+        window: &TimeSeries,
+        score_fn: &dyn Fn(&[f64]) -> f64,
+    ) -> Explanation {
+        assert!(!window.is_empty(), "empty LIME window");
+        let cfg = &self.config;
+        let t_len = window.len();
+        let m = window.dims();
+        let d = t_len * m;
+
+        // Flatten the window; impute NaN cells with 0 for perturbation.
+        let mut x0 = Vec::with_capacity(d);
+        for rec in window.records() {
+            x0.extend(rec.iter().map(|v| if v.is_nan() { 0.0 } else { *v }));
+        }
+
+        // Per-cell noise scales: std of the feature across the window.
+        let mut scales = vec![0.0; d];
+        for j in 0..m {
+            let col = window.feature_column(j);
+            let std = exathlon_linalg::stats::std_dev(&col).max(0.05);
+            for t in 0..t_len {
+                scales[t * m + j] = std * cfg.noise_scale;
+            }
+        }
+
+        // Perturbation sampling.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut samples: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_samples + 1);
+        samples.push(x0.clone());
+        for _ in 0..cfg.n_samples {
+            let s: Vec<f64> = x0
+                .iter()
+                .zip(&scales)
+                .map(|(&v, &sc)| v + rng.gen_range(-1.5..1.5) * sc)
+                .collect();
+            samples.push(s);
+        }
+
+        // Model responses and proximity-kernel weights.
+        let responses: Vec<f64> = samples.iter().map(|s| score_fn(s)).collect();
+        let weights: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                let d2: f64 = s
+                    .iter()
+                    .zip(&x0)
+                    .zip(&scales)
+                    .map(|((a, b), &sc)| {
+                        let z = (a - b) / sc.max(1e-9);
+                        z * z
+                    })
+                    .sum::<f64>()
+                    / d as f64;
+                (-d2 / (cfg.kernel_width * cfg.kernel_width)).exp()
+            })
+            .collect();
+
+        let fit = weighted_lasso(&samples, &responses, &weights, cfg.lambda, 300, 1e-8);
+
+        // Top-k cells by |coefficient|.
+        let mut order: Vec<usize> = (0..d).filter(|&j| fit.coefficients[j] != 0.0).collect();
+        order.sort_by(|&a, &b| {
+            fit.coefficients[b]
+                .abs()
+                .partial_cmp(&fit.coefficients[a].abs())
+                .expect("finite coefficients")
+        });
+        order.truncate(cfg.k);
+
+        let terms: Vec<ImportanceTerm> = order
+            .iter()
+            .map(|&cell| {
+                let t = cell / m;
+                let feature = cell % m;
+                let lag = t_len - 1 - t;
+                let value = x0[cell];
+                let weight = fit.coefficients[cell];
+                // Human-readable condition in the LIME output style: the
+                // direction that increases the outlier score.
+                let condition = if weight >= 0.0 {
+                    format!("v_{feature}_t-{lag} > {value:.2}")
+                } else {
+                    format!("v_{feature}_t-{lag} <= {value:.2}")
+                };
+                ImportanceTerm { feature, lag, weight, condition }
+            })
+            .collect();
+        Explanation::Importance(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn window(records: &[Vec<f64>]) -> TimeSeries {
+        TimeSeries::from_records(default_names(records[0].len()), 0, records)
+    }
+
+    fn quick() -> LimeExplainer {
+        LimeExplainer::new(LimeConfig { n_samples: 200, ..LimeConfig::default() })
+    }
+
+    #[test]
+    fn identifies_the_influential_feature() {
+        // Model score depends only on feature 0 of the last record.
+        let w = window(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
+        let m = w.dims();
+        let score = move |flat: &[f64]| flat[2 * m] * 10.0; // feature 0 at t=2
+        let e = quick().explain(&w, &score);
+        let feats = e.features();
+        assert!(feats.contains(&0), "feature 0 must be found: {e}");
+        if let Explanation::Importance(terms) = &e {
+            assert_eq!(terms[0].feature, 0);
+            assert_eq!(terms[0].lag, 0, "influential cell is the last record");
+            assert!(terms[0].weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn reports_at_most_k_terms() {
+        let w = window(&[vec![1.0; 8], vec![2.0; 8], vec![3.0; 8]]);
+        let score = |flat: &[f64]| flat.iter().sum::<f64>();
+        let e = quick().explain(&w, &score);
+        if let Explanation::Importance(terms) = &e {
+            assert!(terms.len() <= 5);
+        } else {
+            panic!("LIME must return importance terms");
+        }
+    }
+
+    #[test]
+    fn not_predictive() {
+        let w = window(&[vec![1.0]]);
+        let e = quick().explain(&w, &|f: &[f64]| f[0]);
+        assert!(e.as_predictive().is_none());
+    }
+
+    #[test]
+    fn constant_model_yields_no_features() {
+        let w = window(&[vec![1.0, 2.0], vec![1.5, 2.5]]);
+        let e = quick().explain(&w, &|_: &[f64]| 7.0);
+        assert_eq!(e.size(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = window(&[vec![1.0, 2.0], vec![1.5, 2.5]]);
+        let score = |flat: &[f64]| flat[0] * 2.0 - flat[3];
+        let a = quick().explain(&w, &score);
+        let b = quick().explain(&w, &score);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_influence_reported_with_sign() {
+        let w = window(&[vec![1.0, 5.0]]);
+        let score = |flat: &[f64]| -3.0 * flat[1];
+        let e = quick().explain(&w, &score);
+        if let Explanation::Importance(terms) = &e {
+            let t = terms.iter().find(|t| t.feature == 1).expect("feature 1 found");
+            assert!(t.weight < 0.0);
+            assert!(t.condition.contains("<="));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty LIME window")]
+    fn empty_window_panics() {
+        let w = TimeSeries::empty(default_names(2));
+        let _ = quick().explain(&w, &|_: &[f64]| 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! MacroBase's explanation module: risk-ratio screening over discretized
+//! features plus an Apriori-style itemset search.
+//!
+//! Following Bailis et al. (SIGMOD'17) as used by the paper (Appendix
+//! D.3): numeric features are first discretized by equal-width binning
+//! ("since it is designed for categorical features ... we add an extra
+//! step transforming each numerical feature into categorical values (via
+//! equal width binning)"). Single items `(feature, bin)` with enough
+//! support among the anomalous records and a high enough *risk ratio* are
+//! kept, then combined into larger itemsets while support and risk ratio
+//! stay above threshold. The highest-risk-ratio itemset becomes the
+//! explanation, as a conjunction of bin-interval predicates.
+
+use crate::explanation::{Conjunction, Explanation, Predicate};
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the MacroBase explainer.
+#[derive(Debug, Clone)]
+pub struct MacroBaseConfig {
+    /// Equal-width bins per feature.
+    pub bins: usize,
+    /// Minimum support of an itemset among the anomalous records.
+    pub min_support: f64,
+    /// Minimum risk ratio to keep an itemset.
+    pub min_risk_ratio: f64,
+    /// Maximum itemset size to search (Apriori depth).
+    pub max_itemset: usize,
+}
+
+impl Default for MacroBaseConfig {
+    fn default() -> Self {
+        Self { bins: 6, min_support: 0.5, min_risk_ratio: 2.5, max_itemset: 6 }
+    }
+}
+
+/// An item: one feature falling into one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    feature: usize,
+    bin: usize,
+}
+
+/// The MacroBase explainer (model-free).
+#[derive(Debug, Clone, Default)]
+pub struct MacroBaseExplainer {
+    config: MacroBaseConfig,
+}
+
+impl MacroBaseExplainer {
+    /// Create with the given configuration.
+    pub fn new(config: MacroBaseConfig) -> Self {
+        Self { config }
+    }
+
+    /// Explain the separation between `anomaly` and `reference`.
+    ///
+    /// # Panics
+    /// Panics if either series is empty or dimensions differ.
+    pub fn explain(&self, anomaly: &TimeSeries, reference: &TimeSeries) -> Explanation {
+        assert!(!anomaly.is_empty() && !reference.is_empty(), "empty ED input");
+        assert_eq!(anomaly.dims(), reference.dims(), "ED input dimension mismatch");
+        let m = anomaly.dims();
+        let cfg = &self.config;
+
+        // Discretize: per-feature equal-width bins over the combined data.
+        let mut bounds = Vec::with_capacity(m);
+        for j in 0..m {
+            let mut col = anomaly.feature_column(j);
+            col.extend(reference.feature_column(j));
+            let lo = exathlon_linalg::stats::min(&col);
+            let hi = exathlon_linalg::stats::max(&col);
+            bounds.push(if lo.is_finite() && hi > lo { (lo, hi) } else { (0.0, 1.0) });
+        }
+        let bin_of = |j: usize, x: f64| -> Option<usize> {
+            if x.is_nan() {
+                return None;
+            }
+            let (lo, hi) = bounds[j];
+            let frac = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            Some(((frac * cfg.bins as f64) as usize).min(cfg.bins - 1))
+        };
+        let itemize = |ts: &TimeSeries| -> Vec<Vec<Item>> {
+            ts.records()
+                .map(|r| {
+                    (0..m)
+                        .filter_map(|j| bin_of(j, r[j]).map(|bin| Item { feature: j, bin }))
+                        .collect()
+                })
+                .collect()
+        };
+        let anom_items = itemize(anomaly);
+        let ref_items = itemize(reference);
+        let n_anom = anom_items.len() as f64;
+        let n_ref = ref_items.len() as f64;
+
+        let support_count = |records: &[Vec<Item>], set: &[Item]| -> f64 {
+            records
+                .iter()
+                .filter(|items| set.iter().all(|s| items.contains(s)))
+                .count() as f64
+        };
+        // Risk ratio with the standard 0.5 smoothing against empty cells.
+        let risk_ratio = |set: &[Item]| -> (f64, f64) {
+            let a = support_count(&anom_items, set); // anomalous with item
+            let b = support_count(&ref_items, set); // reference with item
+            let support = a / n_anom;
+            let rr = ((a + 0.5) / (n_anom + 1.0)) / ((b + 0.5) / (n_ref + 1.0));
+            (support, rr)
+        };
+
+        // Level 1: screen single items.
+        let mut level: Vec<(Vec<Item>, f64)> = Vec::new();
+        for j in 0..m {
+            for bin in 0..cfg.bins {
+                let set = vec![Item { feature: j, bin }];
+                let (support, rr) = risk_ratio(&set);
+                if support >= cfg.min_support && rr >= cfg.min_risk_ratio {
+                    level.push((set, rr));
+                }
+            }
+        }
+        let singles = level.clone();
+        let mut best: Option<(Vec<Item>, f64)> = None;
+        let consider = |best: &mut Option<(Vec<Item>, f64)>, cand: &(Vec<Item>, f64)| {
+            let better = match best {
+                // Prefer larger itemsets (more specific), then higher rr:
+                // MacroBase "prefers longer explanations to take care of
+                // correlated features".
+                Some((set, rr)) => {
+                    cand.0.len() > set.len() || (cand.0.len() == set.len() && cand.1 > *rr)
+                }
+                None => true,
+            };
+            if better {
+                *best = Some(cand.clone());
+            }
+        };
+        for cand in &level {
+            consider(&mut best, cand);
+        }
+
+        // Apriori growth: extend surviving sets with surviving single items
+        // on new features.
+        for _ in 2..=cfg.max_itemset {
+            let mut next: Vec<(Vec<Item>, f64)> = Vec::new();
+            for (set, _) in &level {
+                for (single, _) in &singles {
+                    let item = single[0];
+                    if set.iter().any(|s| s.feature >= item.feature) {
+                        continue; // canonical order prevents duplicates
+                    }
+                    let mut grown = set.clone();
+                    grown.push(item);
+                    let (support, rr) = risk_ratio(&grown);
+                    if support >= cfg.min_support && rr >= cfg.min_risk_ratio {
+                        consider(&mut best, &(grown.clone(), rr));
+                        next.push((grown, rr));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            level = next;
+        }
+
+        let predicates = match best {
+            Some((set, _)) => set
+                .iter()
+                .map(|item| {
+                    let (lo, hi) = bounds[item.feature];
+                    let width = (hi - lo) / cfg.bins as f64;
+                    Predicate::between(
+                        item.feature,
+                        lo + item.bin as f64 * width,
+                        lo + (item.bin + 1) as f64 * width,
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Explanation::Formula(Conjunction { predicates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn ts(cols: Vec<Vec<f64>>) -> TimeSeries {
+        let n = cols[0].len();
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        TimeSeries::from_records(default_names(cols.len()), 0, &records)
+    }
+
+    #[test]
+    fn finds_the_separating_feature() {
+        let anomaly = ts(vec![
+            vec![10.0, 10.5, 11.0, 10.2, 10.8],
+            vec![1.0, 1.5, 1.2, 1.3, 1.1],
+        ]);
+        let reference = ts(vec![
+            vec![1.0, 1.2, 0.8, 1.1, 0.9],
+            vec![1.1, 1.4, 1.3, 1.2, 1.0],
+        ]);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        assert!(e.features().contains(&0), "feature 0 separates: {e}");
+        assert!(!e.features().contains(&1), "feature 1 does not separate: {e}");
+    }
+
+    #[test]
+    fn explanation_is_predictive() {
+        let anomaly = ts(vec![vec![10.0, 10.5, 11.0, 10.2, 10.8]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1, 0.9]]);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        let c = e.as_predictive().unwrap();
+        assert!(c.predict(&[10.4]));
+        assert!(!c.predict(&[1.0]));
+    }
+
+    #[test]
+    fn correlated_features_give_longer_explanations() {
+        // Two perfectly correlated separating features: MacroBase keeps
+        // both (it prefers longer itemsets).
+        let anomaly = ts(vec![
+            vec![10.0, 10.5, 11.0, 10.2],
+            vec![20.0, 21.0, 22.0, 20.4],
+        ]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1], vec![2.0, 2.4, 1.6, 2.2]]);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        assert_eq!(e.features(), vec![0, 1], "{e}");
+    }
+
+    #[test]
+    fn no_separation_gives_empty_explanation() {
+        let data = vec![vec![1.0, 2.0, 3.0, 4.0, 1.5, 2.5]];
+        let anomaly = ts(data.clone());
+        let reference = ts(data);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        assert_eq!(e.size(), 0);
+    }
+
+    #[test]
+    fn respects_min_support() {
+        // Only 1 of 5 anomalous records in the extreme bin: with
+        // min_support 0.5 that bin cannot carry the explanation.
+        let anomaly = ts(vec![vec![1.0, 1.1, 0.9, 1.05, 50.0]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1, 0.95]]);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        if let Some(c) = e.as_predictive() {
+            assert!(!c.predict(&[50.0]) || c.predicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn nan_records_do_not_crash() {
+        let anomaly = ts(vec![vec![10.0, f64::NAN, 11.0]]);
+        let reference = ts(vec![vec![1.0, 1.2, f64::NAN]]);
+        let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
+        assert!(e.size() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let anomaly = ts(vec![vec![1.0]]);
+        let reference = ts(vec![vec![1.0], vec![2.0]]);
+        let _ = MacroBaseExplainer::default().explain(&anomaly, &reference);
+    }
+}

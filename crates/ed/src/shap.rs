@@ -1,0 +1,209 @@
+//! KernelSHAP — the Shapley-value feature-importance explainer the paper
+//! lists among the instance-level ED forms (§2: "SHAP scores ... are also
+//! instance-level explanations that assign a numerical score to each
+//! feature"). Model-dependent, like LIME, and likewise not predictive
+//! (§4.2: importance scores cannot be replayed as a 0/1 model).
+//!
+//! This is the kernel-regression estimator of Lundberg & Lee: sample
+//! coalitions `z ∈ {0,1}^d`, evaluate the model with absent cells replaced
+//! by a background value, weight by the Shapley kernel
+//! `π(|z|) = (d-1) / (C(d,|z|) · |z| · (d-|z|))`, and solve the weighted
+//! least-squares problem whose coefficients are the Shapley values.
+
+use crate::explanation::{Explanation, ImportanceTerm};
+use crate::lasso::weighted_lasso;
+use exathlon_tsdata::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the KernelSHAP explainer.
+#[derive(Debug, Clone)]
+pub struct ShapConfig {
+    /// Number of sampled coalitions.
+    pub n_samples: usize,
+    /// Number of features to report.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShapConfig {
+    fn default() -> Self {
+        Self { n_samples: 400, k: 5, seed: 47 }
+    }
+}
+
+/// The KernelSHAP explainer (model-dependent).
+#[derive(Debug, Clone, Default)]
+pub struct ShapExplainer {
+    config: ShapConfig,
+}
+
+impl ShapExplainer {
+    /// Create with the given configuration.
+    pub fn new(config: ShapConfig) -> Self {
+        Self { config }
+    }
+
+    /// Explain the model's output on `window` against a `background`
+    /// window (typically the mean of the preceding normal records).
+    /// `score_fn` maps a flattened window to the model's outlier score.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or shapes disagree.
+    pub fn explain(
+        &self,
+        window: &TimeSeries,
+        background: &[f64],
+        score_fn: &dyn Fn(&[f64]) -> f64,
+    ) -> Explanation {
+        assert!(!window.is_empty(), "empty SHAP window");
+        let t_len = window.len();
+        let m = window.dims();
+        let d = t_len * m;
+        assert_eq!(background.len(), d, "background length must match the window");
+
+        let mut x0 = Vec::with_capacity(d);
+        for rec in window.records() {
+            x0.extend(rec.iter().map(|v| if v.is_nan() { 0.0 } else { *v }));
+        }
+
+        // Shapley kernel weight for coalition size s (0 < s < d).
+        let kernel = |s: usize| -> f64 {
+            let s_f = s as f64;
+            let d_f = d as f64;
+            // (d-1) / (C(d, s) * s * (d-s)); compute C(d, s) in log space
+            // to avoid overflow for large windows.
+            let mut log_c = 0.0;
+            for i in 0..s {
+                log_c += ((d - i) as f64).ln() - ((i + 1) as f64).ln();
+            }
+            ((d_f - 1.0).ln() - log_c - s_f.ln() - (d_f - s_f).ln()).exp()
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut masks: Vec<Vec<f64>> = Vec::with_capacity(self.config.n_samples);
+        let mut responses = Vec::with_capacity(self.config.n_samples);
+        let mut weights = Vec::with_capacity(self.config.n_samples);
+        for _ in 0..self.config.n_samples {
+            // Sample coalition size uniformly in 1..d, then the members.
+            let s = rng.gen_range(1..d.max(2));
+            let mut mask = vec![0.0; d];
+            let mut present = 0;
+            while present < s {
+                let j = rng.gen_range(0..d);
+                if mask[j] == 0.0 {
+                    mask[j] = 1.0;
+                    present += 1;
+                }
+            }
+            let input: Vec<f64> = (0..d)
+                .map(|j| if mask[j] == 1.0 { x0[j] } else { background[j] })
+                .collect();
+            responses.push(score_fn(&input));
+            weights.push(kernel(s).max(1e-12));
+            masks.push(mask);
+        }
+        // Anchor the regression with the two exact endpoints, heavily
+        // weighted (the infinite-weight constraints of the exact method).
+        masks.push(vec![1.0; d]);
+        responses.push(score_fn(&x0));
+        weights.push(1e4);
+        masks.push(vec![0.0; d]);
+        responses.push(score_fn(background));
+        weights.push(1e4);
+
+        let fit = weighted_lasso(&masks, &responses, &weights, 0.0, 2000, 1e-12);
+
+        let mut order: Vec<usize> = (0..d).filter(|&j| fit.coefficients[j] != 0.0).collect();
+        order.sort_by(|&a, &b| {
+            fit.coefficients[b]
+                .abs()
+                .partial_cmp(&fit.coefficients[a].abs())
+                .expect("finite Shapley values")
+        });
+        order.truncate(self.config.k);
+
+        let terms: Vec<ImportanceTerm> = order
+            .iter()
+            .map(|&cell| {
+                let t = cell / m;
+                let feature = cell % m;
+                let lag = t_len - 1 - t;
+                let weight = fit.coefficients[cell];
+                ImportanceTerm {
+                    feature,
+                    lag,
+                    weight,
+                    condition: format!("phi(v_{feature}_t-{lag})"),
+                }
+            })
+            .collect();
+        Explanation::Importance(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn window(records: &[Vec<f64>]) -> TimeSeries {
+        TimeSeries::from_records(default_names(records[0].len()), 0, records)
+    }
+
+    #[test]
+    fn additive_model_recovers_exact_shapley_values() {
+        // f(x) = 3 x0 + 1 x1: Shapley value of cell j is w_j (x_j - bg_j).
+        let w = window(&[vec![2.0, 4.0]]);
+        let background = vec![0.0, 0.0];
+        let score = |flat: &[f64]| 3.0 * flat[0] + 1.0 * flat[1];
+        let e = ShapExplainer::default().explain(&w, &background, &score);
+        let Explanation::Importance(terms) = &e else { panic!("importance expected") };
+        let phi0 = terms.iter().find(|t| t.feature == 0).expect("feature 0").weight;
+        let phi1 = terms.iter().find(|t| t.feature == 1).expect("feature 1").weight;
+        assert!((phi0 - 6.0).abs() < 0.5, "phi0 = {phi0}, want 3 * 2 = 6");
+        assert!((phi1 - 4.0).abs() < 0.5, "phi1 = {phi1}, want 1 * 4 = 4");
+    }
+
+    #[test]
+    fn attributions_sum_to_model_delta() {
+        // Completeness axiom: sum(phi) ≈ f(x) - f(background).
+        let w = window(&[vec![1.0, 2.0, 3.0]]);
+        let background = vec![0.5, 0.5, 0.5];
+        let score = |flat: &[f64]| 2.0 * flat[0] - flat[1] + 0.5 * flat[2];
+        let cfg = ShapConfig { k: 3, ..ShapConfig::default() };
+        let e = ShapExplainer::new(cfg).explain(&w, &background, &score);
+        let Explanation::Importance(terms) = &e else { panic!("importance expected") };
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        let delta = score(&[1.0, 2.0, 3.0]) - score(&background);
+        assert!((total - delta).abs() < 0.3, "sum(phi) = {total}, delta = {delta}");
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_no_attribution() {
+        let w = window(&[vec![1.0, 9.0]]);
+        let background = vec![0.0, 0.0];
+        let score = |flat: &[f64]| 5.0 * flat[0];
+        let e = ShapExplainer::default().explain(&w, &background, &score);
+        let Explanation::Importance(terms) = &e else { panic!("importance expected") };
+        let phi1 = terms.iter().find(|t| t.feature == 1).map(|t| t.weight).unwrap_or(0.0);
+        assert!(phi1.abs() < 0.3, "irrelevant feature attributed {phi1}");
+    }
+
+    #[test]
+    fn not_predictive_and_deterministic() {
+        let w = window(&[vec![1.0]]);
+        let bg = vec![0.0];
+        let run = || ShapExplainer::default().explain(&w, &bg, &|f: &[f64]| f[0]);
+        assert!(run().as_predictive().is_none());
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "background length")]
+    fn background_mismatch_panics() {
+        let w = window(&[vec![1.0, 2.0]]);
+        let _ = ShapExplainer::default().explain(&w, &[0.0], &|_: &[f64]| 0.0);
+    }
+}

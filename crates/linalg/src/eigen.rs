@@ -1,0 +1,245 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! PCA (the paper's `FS_pca` feature extractor, Table 8) needs the
+//! eigenvectors of a covariance matrix. The cyclic Jacobi method is simple,
+//! numerically robust for symmetric matrices, and converges quadratically —
+//! plenty for the feature-space sizes this benchmark works at (tens to a few
+//! thousand dimensions).
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V * diag(values) * V^T`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, matching the order
+/// PCA consumes them in.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Compute the eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// sweeps.
+///
+/// `a` must be square and (numerically) symmetric; asymmetry below 1e-9
+/// relative tolerance is accepted and symmetrized away.
+///
+/// # Panics
+/// Panics if `a` is not square or is badly asymmetric.
+pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> EigenDecomposition {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigendecomposition needs a square matrix");
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)]).abs() <= 1e-9 * scale,
+                "matrix is not symmetric at ({i},{j})"
+            );
+        }
+    }
+
+    // Work on a symmetrized copy.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * scale {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(phi) for the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, phi) on both sides: m = G^T m G.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let values: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).expect("finite eigenvalues"));
+
+    let sorted_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    let vectors = v.select_cols(&order);
+
+    EigenDecomposition { values: sorted_values, vectors }
+}
+
+/// Covariance matrix of `data` treating rows as observations and columns as
+/// features. Divides by `n` (population covariance). NaN cells are treated
+/// as the column mean (i.e. they contribute zero deviation).
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let m = data.cols();
+    if n == 0 {
+        return Matrix::zeros(m, m);
+    }
+    let means: Vec<f64> = (0..m).map(|j| crate::stats::mean(&data.col(j))).collect();
+    let mut cov = Matrix::zeros(m, m);
+    for row in data.iter_rows() {
+        let dev: Vec<f64> = row
+            .iter()
+            .zip(&means)
+            .map(|(&x, &mu)| if x.is_nan() { 0.0 } else { x - mu })
+            .collect();
+        for (i, &di) in dev.iter().enumerate() {
+            if di == 0.0 {
+                continue;
+            }
+            for (j, &dj) in dev.iter().enumerate().skip(i) {
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let inv_n = 1.0 / n as f64;
+    for i in 0..m {
+        for j in i..m {
+            let val = cov[(i, j)] * inv_n;
+            cov[(i, j)] = val;
+            cov[(j, i)] = val;
+        }
+    }
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&a, 50, 1e-12);
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 2.0, 1e-10);
+        assert_close(e.values[2], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigen() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a, 50, 1e-12);
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8);
+        assert_close(v0[1].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_holds() {
+        // A = V diag(w) V^T for a random-ish symmetric matrix.
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, //
+                1.0, 3.0, 0.2, 0.1, //
+                0.5, 0.2, 2.0, 0.3, //
+                0.0, 0.1, 0.3, 1.0,
+            ],
+        );
+        let e = symmetric_eigen(&a, 100, 1e-14);
+        let d = Matrix::from_fn(4, 4, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let recon = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_close(recon[(i, j)], a[(i, j)], 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a, 100, 1e-14);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(vtv[(i, j)], expect, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated() {
+        // y = 2x => cov = [[var(x), 2 var(x)], [2 var(x), 4 var(x)]]
+        let data = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+            vec![4.0, 8.0],
+        ]);
+        let cov = covariance_matrix(&data);
+        let var_x = crate::stats::variance(&[1.0, 2.0, 3.0, 4.0]);
+        assert_close(cov[(0, 0)], var_x, 1e-12);
+        assert_close(cov[(0, 1)], 2.0 * var_x, 1e-12);
+        assert_close(cov[(1, 1)], 4.0 * var_x, 1e-12);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Matrix::from_vec(3, 3, vec![5.0, 2.0, 0.0, 2.0, 4.0, 1.0, 0.0, 1.0, 3.0]);
+        let e = symmetric_eigen(&a, 100, 1e-14);
+        let trace: f64 = (0..3).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert_close(trace, sum, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = Matrix::zeros(2, 3);
+        let _ = symmetric_eigen(&a, 10, 1e-10);
+    }
+}

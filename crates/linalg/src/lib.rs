@@ -1,0 +1,28 @@
+//! # exathlon-linalg
+//!
+//! Dense linear-algebra and descriptive-statistics substrate for the Exathlon
+//! benchmark reproduction.
+//!
+//! The Exathlon pipeline needs a small but trustworthy numerical core:
+//!
+//! * a dense [`Matrix`] type with the usual kernels (multiply, transpose,
+//!   row/column views) used by the from-scratch neural networks in
+//!   `exathlon-nn`,
+//! * a symmetric [eigensolver](eigen) (cyclic Jacobi) backing
+//!   [principal component analysis](pca), which the paper uses as the
+//!   `FS_pca` feature-extraction alternative (Table 8),
+//! * [descriptive statistics](stats) — mean, standard deviation, median,
+//!   MAD, IQR, quantiles, histograms and Shannon entropy — that drive the
+//!   unsupervised threshold-selection rules (Appendix D.2) and the ED
+//!   consistency metrics (§4.2).
+//!
+//! Everything is `f64`, allocation-conscious, and implemented from scratch:
+//! no external BLAS or ndarray dependency.
+
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use pca::Pca;

@@ -1,0 +1,351 @@
+//! Descriptive statistics used across the benchmark.
+//!
+//! These back three separate parts of the paper:
+//!
+//! * the unsupervised **threshold-selection** rules `threshold = S1 + c*S2`
+//!   with `(S1, S2)` drawn from (mean, std), (median, MAD) or (Q3, IQR)
+//!   (Appendix D.2),
+//! * the **entropy-based consistency** metrics for explanation discovery
+//!   (§4.2: stability and concordance),
+//! * the **risk-ratio / reward** computations inside the ED methods
+//!   themselves (EXstream's entropy-based single-feature reward, MacroBase's
+//!   equal-width binning).
+//!
+//! All quantile-style functions ignore NaN values, mirroring the pipeline's
+//! tolerance for the missing metrics of inactive executors.
+
+/// Arithmetic mean; `0.0` for an empty slice. NaNs are skipped.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if !x.is_nan() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Population variance (divides by `n`); `0.0` for fewer than one finite value.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if !x.is_nan() {
+            let d = x - m;
+            sum += d * d;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sorted copy of the finite values of `xs`.
+fn sorted_finite(xs: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    v
+}
+
+/// Linear-interpolation quantile `q in [0, 1]` of the finite values.
+/// Returns `0.0` for an empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let v = sorted_finite(xs);
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already-sorted slice (ascending, no NaN).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of the finite values.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation, scaled by the 1.4826 consistency constant so
+/// that it estimates the standard deviation under normality — exactly the
+/// `MAD = 1.4826 * median(|X - median(X)|)` definition in Appendix D.2.
+pub fn mad(xs: &[f64]) -> f64 {
+    let med = median(xs);
+    let devs: Vec<f64> = xs
+        .iter()
+        .filter(|x| !x.is_nan())
+        .map(|&x| (x - med).abs())
+        .collect();
+    1.4826 * median(&devs)
+}
+
+/// Interquartile range `Q3 - Q1` of the finite values.
+pub fn iqr(xs: &[f64]) -> f64 {
+    let v = sorted_finite(xs);
+    quantile_sorted(&v, 0.75) - quantile_sorted(&v, 0.25)
+}
+
+/// First and third quartiles `(Q1, Q3)`.
+pub fn quartiles(xs: &[f64]) -> (f64, f64) {
+    let v = sorted_finite(xs);
+    (quantile_sorted(&v, 0.25), quantile_sorted(&v, 0.75))
+}
+
+/// Minimum of the finite values (`+inf` if none).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of the finite values (`-inf` if none).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Shannon entropy (base 2) of a discrete distribution given as
+/// non-negative weights. Weights are normalized internally; zero weights
+/// contribute nothing. Returns `0.0` when the total weight is zero.
+///
+/// This is the `H(A)` of the paper's consistency metric: identical
+/// explanations give entropy `log2(k)` for an explanation of `k` features
+/// (the paper's `H_1 = 0`, `H_2 = 1`, `H_3 = 1.58` reference points).
+pub fn entropy(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -weights
+        .iter()
+        .filter(|w| **w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// An equal-width histogram over `[lo, hi]` with `bins` buckets.
+///
+/// Used by MacroBase's discretization step and by the figure-reproduction
+/// binaries that print outlier-score distributions (Figure 4).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build a histogram of the finite values of `xs` with `bins` equal-width
+    /// buckets spanning the data range. A degenerate range (all values equal)
+    /// puts everything in the first bucket.
+    pub fn from_data(xs: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let lo = min(xs);
+        let hi = max(xs);
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        };
+        let mut h = Self { lo, hi, counts: vec![0; bins] };
+        for &x in xs {
+            if !x.is_nan() {
+                let b = h.bin_of(x);
+                h.counts[b] += 1;
+            }
+        }
+        h
+    }
+
+    /// The bucket index for value `x` (clamped to the histogram range).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Lower and upper bound of bucket `b`.
+    pub fn bin_bounds(&self, b: usize) -> (f64, f64) {
+        let bins = self.counts.len() as f64;
+        let width = (self.hi - self.lo) / bins;
+        (self.lo + b as f64 * width, self.lo + (b + 1) as f64 * width)
+    }
+
+    /// Total number of counted values.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Pearson correlation between two equal-length slices; `0.0` when either
+/// side has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_skips_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn mad_known_value() {
+        // median = 2, |x - 2| = [1, 0, 1], median deviation = 1
+        let xs = [1.0, 2.0, 3.0];
+        assert!((mad(&xs) - 1.4826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iqr_uniform() {
+        let xs: Vec<f64> = (0..=100).map(|x| x as f64).collect();
+        assert!((iqr(&xs) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log2_k() {
+        assert!((entropy(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1.0, 1.0, 1.0]) - 3f64.log2()).abs() < 1e-12);
+        assert_eq!(entropy(&[1.0]), 0.0);
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_skewed_below_uniform() {
+        assert!(entropy(&[9.0, 1.0]) < entropy(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn histogram_bins_and_bounds() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let h = Histogram::from_data(&xs, 5);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.counts().len(), 5);
+        // 9.0 must land in the last bin even though it's the max
+        assert_eq!(h.bin_of(9.0), 4);
+        let (lo, hi) = h.bin_bounds(0);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_degenerate_range() {
+        let h = Histogram::from_data(&[3.0, 3.0, 3.0], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 3);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn quartiles_match_quantiles() {
+        let xs: Vec<f64> = (0..101).map(|x| x as f64).collect();
+        let (q1, q3) = quartiles(&xs);
+        assert_eq!(q1, 25.0);
+        assert_eq!(q3, 75.0);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        assert_eq!(min(&[f64::NAN, 2.0, -1.0]), -1.0);
+        assert_eq!(max(&[f64::NAN, 2.0, -1.0]), 2.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests on the numeric core: linear-algebra identities
+//! and statistics invariants for arbitrary inputs.
+
+use exathlon_linalg::eigen::{covariance_matrix, symmetric_eigen};
+use exathlon_linalg::pca::{ComponentSelection, Pca};
+use exathlon_linalg::stats::{entropy, mad, mean, median, quantile, std_dev};
+use exathlon_linalg::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(max_n: usize, max_m: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_n, 1..max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(-100.0f64..100.0, n * m)
+            .prop_map(move |data| Matrix::from_vec(n, m, data))
+    })
+}
+
+proptest! {
+    /// (A B)^T = B^T A^T.
+    #[test]
+    fn transpose_of_product(a in arb_matrix(6, 5), b_data in proptest::collection::vec(-10.0f64..10.0, 30)) {
+        let k = a.cols();
+        let cols = b_data.len() / k;
+        prop_assume!(cols > 0);
+        let b = Matrix::from_vec(k, cols, b_data[..k * cols].to_vec());
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Matrix-vector multiply agrees with matmul against a column vector.
+    #[test]
+    fn matvec_consistency(a in arb_matrix(6, 6)) {
+        let v: Vec<f64> = (0..a.cols()).map(|j| (j as f64 * 0.7).sin()).collect();
+        let fast = a.matvec(&v);
+        let slow = a.matmul(&Matrix::col_vector(&v)).col(0);
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Eigendecomposition reconstructs symmetric matrices and preserves
+    /// the trace.
+    #[test]
+    fn eigen_reconstruction(m in arb_matrix(5, 5)) {
+        prop_assume!(m.rows() == m.cols());
+        let n = m.rows();
+        let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (m[(i, j)] + m[(j, i)]));
+        let e = symmetric_eigen(&sym, 100, 1e-12);
+        let d = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let recon = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        let scale = sym.max_abs().max(1.0);
+        for (x, y) in recon.as_slice().iter().zip(sym.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * scale, "{x} vs {y}");
+        }
+        let trace: f64 = (0..n).map(|i| sym[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * scale);
+    }
+
+    /// Covariance matrices are positive semi-definite (all eigenvalues
+    /// >= 0 up to numerics).
+    #[test]
+    fn covariance_is_psd(data in arb_matrix(12, 4)) {
+        let cov = covariance_matrix(&data);
+        let e = symmetric_eigen(&cov, 100, 1e-12);
+        for &v in &e.values {
+            prop_assert!(v > -1e-6 * cov.max_abs().max(1.0), "negative eigenvalue {v}");
+        }
+    }
+
+    /// PCA with full components reconstructs every training row.
+    #[test]
+    fn pca_full_rank_roundtrip(data in arb_matrix(10, 4)) {
+        prop_assume!(data.rows() >= 2);
+        let pca = Pca::fit(&data, ComponentSelection::Fixed(data.cols()));
+        for row in data.iter_rows() {
+            let z = pca.transform_row(row);
+            let back = pca.inverse_transform_row(&z);
+            let scale = data.max_abs().max(1.0);
+            for (a, b) in row.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6 * scale, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(xs in proptest::collection::vec(-1e4f64..1e4, 1..60)) {
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.5);
+        let q75 = quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert_eq!(median(&xs), q50);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= q25 && q75 <= hi);
+    }
+
+    /// Mean/std shift-invariance: std is unchanged by a constant shift,
+    /// mean shifts by it.
+    #[test]
+    fn shift_invariance(xs in proptest::collection::vec(-1e3f64..1e3, 2..50), c in -1e3f64..1e3) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - c).abs() < 1e-6);
+        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-6);
+        prop_assert!((mad(&shifted) - mad(&xs)).abs() < 1e-6);
+    }
+
+    /// Entropy is maximal for uniform weights.
+    #[test]
+    fn entropy_maximal_at_uniform(weights in proptest::collection::vec(0.1f64..10.0, 2..10)) {
+        let k = weights.len();
+        let uniform = vec![1.0; k];
+        prop_assert!(entropy(&weights) <= entropy(&uniform) + 1e-9);
+        prop_assert!((entropy(&uniform) - (k as f64).log2()).abs() < 1e-9);
+    }
+}

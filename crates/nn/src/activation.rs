@@ -1,0 +1,111 @@
+//! Element-wise activation functions and their derivatives.
+
+use exathlon_linalg::Matrix;
+
+/// Supported activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for `x > 0`, `0.2 x` otherwise (the GAN literature default).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (linear output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation element-wise.
+    pub fn forward(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::LeakyRelu => x.map(|v| if v > 0.0 { v } else { 0.2 * v }),
+            Activation::Tanh => x.map(f64::tanh),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of
+    /// the *output* `y = forward(x)` (cheapest form for all five).
+    pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::LeakyRelu => y.map(|v| if v > 0.0 { 1.0 } else { 0.2 }),
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+            Activation::Identity => Matrix::filled(y.rows(), y.cols(), 1.0),
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(vals: &[f64]) -> Matrix {
+        Matrix::from_vec(1, vals.len(), vals.to_vec())
+    }
+
+    #[test]
+    fn relu_forward() {
+        let y = Activation::Relu.forward(&m(&[-1.0, 0.0, 2.0]));
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_forward() {
+        let y = Activation::LeakyRelu.forward(&m(&[-1.0, 2.0]));
+        assert_eq!(y.as_slice(), &[-0.2, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-9);
+        assert!(sigmoid(-100.0) < 1e-9);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            for &x in &[-1.3, -0.4, 0.7, 1.9] {
+                let y0 = act.forward(&m(&[x]));
+                let y1 = act.forward(&m(&[x + eps]));
+                let numeric = (y1.as_slice()[0] - y0.as_slice()[0]) / eps;
+                let analytic = act.derivative_from_output(&y0).as_slice()[0];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let x = m(&[1.0, -2.0]);
+        assert_eq!(Activation::Identity.forward(&x), x);
+    }
+}

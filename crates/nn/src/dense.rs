@@ -1,0 +1,199 @@
+//! Fully-connected layers with explicit backpropagation.
+
+use crate::activation::Activation;
+use crate::param::Param;
+use exathlon_linalg::Matrix;
+use rand::rngs::StdRng;
+
+/// A dense layer `y = act(x W^T + b)` operating on batches (rows = samples).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out_dim x in_dim`.
+    pub weight: Param,
+    /// Bias row, `1 x out_dim`.
+    pub bias: Param,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+    /// Cached input of the last forward pass (for backprop).
+    cached_input: Option<Matrix>,
+    /// Cached output of the last forward pass.
+    cached_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Create a layer with initialization matched to the activation.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let weight = match activation {
+            Activation::Relu | Activation::LeakyRelu => Param::he(out_dim, in_dim, in_dim, rng),
+            _ => Param::xavier(out_dim, in_dim, in_dim, out_dim, rng),
+        };
+        Self {
+            weight,
+            bias: Param::zeros(1, out_dim),
+            activation,
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Forward pass for a batch (`n x in_dim`), caching activations for a
+    /// subsequent [`Dense::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let out = self.forward_inference(x);
+        self.cached_input = Some(x.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "dense input dimension mismatch");
+        let mut z = x.matmul(&self.weight.value.transpose());
+        for i in 0..z.rows() {
+            let row = z.row_mut(i);
+            for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
+                *v += b;
+            }
+        }
+        self.activation.forward(&z)
+    }
+
+    /// Backward pass: takes `dL/dy` for the cached batch, accumulates
+    /// parameter gradients, and returns `dL/dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), y.shape(), "grad shape mismatch");
+
+        // dL/dz = dL/dy * act'(z)
+        let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
+        // dL/dW = dz^T x ; dL/db = column sums of dz
+        let dw = dz.transpose().matmul(x);
+        self.weight.grad += &dw;
+        for i in 0..dz.rows() {
+            let row = dz.row(i);
+            for (g, &d) in self.bias.grad.row_mut(0).iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dL/dx = dz W
+        dz.matmul(&self.weight.value)
+    }
+
+    /// Mutable access to the layer's parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.weight, &mut self.bias]
+    }
+
+    /// Zero both gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut layer = Dense::new(3, 2, Activation::Identity, &mut rng());
+        let x = Matrix::from_vec(4, 3, vec![0.1; 12]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+    }
+
+    #[test]
+    fn identity_layer_is_affine() {
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut rng());
+        // Set W = [[1, 2]], b = [3].
+        layer.weight.value = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        layer.bias.value = Matrix::from_vec(1, 1, vec![3.0]);
+        let y = layer.forward(&Matrix::from_vec(1, 2, vec![10.0, 20.0]));
+        assert_eq!(y.as_slice(), &[53.0]);
+    }
+
+    /// Gradient check against finite differences on a tiny layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Dense::new(2, 2, Activation::Tanh, &mut rng());
+        let x = Matrix::from_vec(3, 2, vec![0.5, -0.3, 0.1, 0.9, -0.7, 0.2]);
+        // Loss = sum(y); dL/dy = ones.
+        let loss = |layer: &Dense, x: &Matrix| layer.forward_inference(x).sum();
+
+        layer.zero_grad();
+        let _ = layer.forward(&x);
+        let grad_in = layer.backward(&Matrix::filled(3, 2, 1.0));
+
+        let eps = 1e-6;
+        // Check weight gradients.
+        for i in 0..2 {
+            for j in 0..2 {
+                let orig = layer.weight.value[(i, j)];
+                layer.weight.value[(i, j)] = orig + eps;
+                let up = loss(&layer, &x);
+                layer.weight.value[(i, j)] = orig - eps;
+                let down = loss(&layer, &x);
+                layer.weight.value[(i, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = layer.weight.grad[(i, j)];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "dW[{i}{j}] numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+        // Check input gradient.
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut x2 = x.clone();
+                x2[(i, j)] += eps;
+                let up = loss(&layer, &x2);
+                x2[(i, j)] -= 2.0 * eps;
+                let down = loss(&layer, &x2);
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - grad_in[(i, j)]).abs() < 1e-5,
+                    "dX[{i}{j}] numeric {numeric} vs analytic {}",
+                    grad_in[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut layer = Dense::new(1, 1, Activation::Identity, &mut rng());
+        layer.zero_grad();
+        let x = Matrix::from_vec(5, 1, vec![1.0; 5]);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Matrix::filled(5, 1, 2.0));
+        assert_eq!(layer.bias.grad[(0, 0)], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng());
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,328 @@
+//! Bidirectional GAN (BiGAN) for reconstruction-based anomaly detection.
+//!
+//! Following the paper's Appendix D.2: a generator `G: z -> x`, an encoder
+//! `E: x -> z` learned jointly (Donahue et al.), and a discriminator `D`
+//! over `(x, z)` pairs. At test time the outlier score of a window is the
+//! average of its reconstruction error through `(E, G)` and its feature
+//! loss under `D`, as defined by Zenati et al. (Efficient GAN-based AD).
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::loss::{bce, bce_grad, row_squared_errors};
+use crate::mlp::Mlp;
+use crate::optimizer::Optimizer;
+use exathlon_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trained (or training) BiGAN.
+#[derive(Debug, Clone)]
+pub struct BiGan {
+    /// Encoder `x -> z`.
+    encoder: Mlp,
+    /// Generator `z -> x`.
+    generator: Mlp,
+    /// Discriminator feature extractor over `(x, z)` pairs.
+    d_features: Mlp,
+    /// Discriminator head: features -> probability.
+    d_head: Dense,
+    in_dim: usize,
+    latent: usize,
+    /// Global step counter for the discriminator head's Adam state.
+    step: u64,
+}
+
+/// Losses from one adversarial training step.
+#[derive(Debug, Clone, Copy)]
+pub struct GanLosses {
+    /// Discriminator loss (BCE on real + fake pairs).
+    pub d_loss: f64,
+    /// Encoder+generator adversarial loss.
+    pub eg_loss: f64,
+}
+
+impl BiGan {
+    /// Build a BiGAN for `in_dim` inputs with `latent` latent units and the
+    /// given hidden width for all three networks.
+    pub fn new(in_dim: usize, latent: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let encoder = Mlp::new(
+            &[(in_dim, hidden, Activation::LeakyRelu), (hidden, latent, Activation::Identity)],
+            rng,
+        );
+        let generator = Mlp::new(
+            &[(latent, hidden, Activation::LeakyRelu), (hidden, in_dim, Activation::Identity)],
+            rng,
+        );
+        let d_features = Mlp::new(
+            &[
+                (in_dim + latent, hidden, Activation::LeakyRelu),
+                (hidden, hidden / 2, Activation::LeakyRelu),
+            ],
+            rng,
+        );
+        let d_head = Dense::new(hidden / 2, 1, Activation::Sigmoid, rng);
+        Self { encoder, generator, d_features, d_head, in_dim, latent, step: 0 }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        self.latent
+    }
+
+    fn concat(x: &Matrix, z: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), z.rows(), "pair batch mismatch");
+        let mut rows = Vec::with_capacity(x.rows());
+        for i in 0..x.rows() {
+            let mut r = Vec::with_capacity(x.cols() + z.cols());
+            r.extend_from_slice(x.row(i));
+            r.extend_from_slice(z.row(i));
+            rows.push(r);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    fn split_grad(&self, g: &Matrix) -> (Matrix, Matrix) {
+        let gx = g.select_cols(&(0..self.in_dim).collect::<Vec<_>>());
+        let gz =
+            g.select_cols(&(self.in_dim..self.in_dim + self.latent).collect::<Vec<_>>());
+        (gx, gz)
+    }
+
+    /// Discriminator probability for a batch of `(x, z)` pairs (inference).
+    pub fn discriminate(&self, x: &Matrix, z: &Matrix) -> Matrix {
+        let f = self.d_features.predict(&Self::concat(x, z));
+        self.d_head.forward_inference(&f)
+    }
+
+    /// Discriminator feature vector for a batch of `(x, z)` pairs.
+    pub fn features(&self, x: &Matrix, z: &Matrix) -> Matrix {
+        self.d_features.predict(&Self::concat(x, z))
+    }
+
+    /// Encode a batch.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        self.encoder.predict(x)
+    }
+
+    /// Generate a batch from latent codes.
+    pub fn generate(&self, z: &Matrix) -> Matrix {
+        self.generator.predict(z)
+    }
+
+    /// Reconstruct a batch through encoder then generator.
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        self.generate(&self.encode(x))
+    }
+
+    /// One adversarial training step on a batch of real samples.
+    pub fn train_batch(&mut self, x: &Matrix, opt: &Optimizer, rng: &mut StdRng) -> GanLosses {
+        let n = x.rows();
+        let z = Matrix::from_fn(n, self.latent, |_, _| rng.gen_range(-1.0..1.0));
+        let ones = Matrix::filled(n, 1, 1.0);
+        let zeros = Matrix::filled(n, 1, 0.0);
+
+        // --- Discriminator step: real (x, E(x)) -> 1, fake (G(z), z) -> 0.
+        let e_x = self.encoder.predict(x);
+        let g_z = self.generator.predict(&z);
+        self.d_features.zero_grad();
+        self.d_head.zero_grad();
+        let mut d_loss = 0.0;
+        for (input, target) in [(Self::concat(x, &e_x), &ones), (Self::concat(&g_z, &z), &zeros)]
+        {
+            let f = self.d_features.forward(&input);
+            let p = self.d_head.forward(&f);
+            d_loss += bce(&p, target);
+            let g = self.d_head.backward(&bce_grad(&p, target));
+            let _ = self.d_features.backward(&g);
+        }
+        self.d_features.apply_step(opt);
+        self.step += 1;
+        {
+            let step = self.step;
+            let mut head_params = self.d_head.params_mut();
+            opt.step(&mut head_params, step);
+        }
+
+        // --- Encoder+generator step: swap labels to fool D.
+        self.encoder.zero_grad();
+        self.generator.zero_grad();
+        let mut eg_loss = 0.0;
+
+        // Real pair should look fake to D: gradient flows into E via z slot.
+        let e_x = self.encoder.forward(x);
+        {
+            self.d_features.zero_grad();
+            self.d_head.zero_grad();
+            let f = self.d_features.forward(&Self::concat(x, &e_x));
+            let p = self.d_head.forward(&f);
+            eg_loss += bce(&p, &zeros);
+            let g = self.d_head.backward(&bce_grad(&p, &zeros));
+            let g_in = self.d_features.backward(&g);
+            let (_, gz) = self.split_grad(&g_in);
+            let _ = self.encoder.backward(&gz);
+        }
+        // Fake pair should look real to D: gradient flows into G via x slot.
+        let g_z = self.generator.forward(&z);
+        {
+            self.d_features.zero_grad();
+            self.d_head.zero_grad();
+            let f = self.d_features.forward(&Self::concat(&g_z, &z));
+            let p = self.d_head.forward(&f);
+            eg_loss += bce(&p, &ones);
+            let g = self.d_head.backward(&bce_grad(&p, &ones));
+            let g_in = self.d_features.backward(&g);
+            let (gx, _) = self.split_grad(&g_in);
+            let _ = self.generator.backward(&gx);
+        }
+        // Discard the D gradients accumulated while backpropagating through
+        // it; only E and G update here.
+        self.d_features.zero_grad();
+        self.d_head.zero_grad();
+        self.encoder.apply_step(opt);
+        self.generator.apply_step(opt);
+
+        GanLosses { d_loss: d_loss / 2.0, eg_loss: eg_loss / 2.0 }
+    }
+
+    /// Train for `epochs` over the rows of `data` with shuffled
+    /// minibatches; returns the last epoch's losses.
+    pub fn fit(
+        &mut self,
+        data: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        opt: &Optimizer,
+        rng: &mut StdRng,
+    ) -> GanLosses {
+        use rand::seq::SliceRandom;
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..data.rows()).collect();
+        let mut last = GanLosses { d_loss: f64::NAN, eg_loss: f64::NAN };
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(batch_size) {
+                let xb = data.select_rows(chunk);
+                last = self.train_batch(&xb, opt, rng);
+            }
+        }
+        last
+    }
+
+    /// The Zenati et al. outlier score for each row of `x`: the average of
+    /// the `(E, G)` reconstruction error and the discriminator feature loss
+    /// between the input pair and its reconstruction pair.
+    pub fn outlier_scores(&self, x: &Matrix) -> Vec<f64> {
+        let z = self.encode(x);
+        let recon = self.generate(&z);
+        let rec_err = row_squared_errors(&recon, x);
+        let f_real = self.features(x, &z);
+        let f_recon = self.features(&recon, &z);
+        let feat_err = row_squared_errors(&f_recon, &f_real);
+        rec_err
+            .iter()
+            .zip(&feat_err)
+            .map(|(r, f)| 0.5 * r + 0.5 * f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    /// Normal data: points near the line x1 = x0 in [0, 1].
+    fn normal_batch(n: usize, rng: &mut StdRng) -> Matrix {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| {
+                    let t: f64 = rng.gen_range(0.0..1.0);
+                    vec![t, t + rng.gen_range(-0.05..0.05)]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn shapes() {
+        let gan = BiGan::new(4, 2, 8, &mut rng());
+        assert_eq!(gan.in_dim(), 4);
+        assert_eq!(gan.latent_dim(), 2);
+        let x = Matrix::from_vec(3, 4, vec![0.1; 12]);
+        let z = gan.encode(&x);
+        assert_eq!(z.shape(), (3, 2));
+        let r = gan.reconstruct(&x);
+        assert_eq!(r.shape(), (3, 4));
+        let p = gan.discriminate(&x, &z);
+        assert_eq!(p.shape(), (3, 1));
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_step_returns_finite_losses() {
+        let mut r = rng();
+        let mut gan = BiGan::new(2, 2, 8, &mut r);
+        let x = normal_batch(16, &mut r);
+        let losses = gan.train_batch(&x, &Optimizer::adam(0.001), &mut r);
+        assert!(losses.d_loss.is_finite());
+        assert!(losses.eg_loss.is_finite());
+    }
+
+    #[test]
+    fn anomalies_score_higher_after_training() {
+        let mut r = rng();
+        let mut gan = BiGan::new(2, 1, 16, &mut r);
+        let train = normal_batch(256, &mut r);
+        gan.fit(&train, 60, 32, &Optimizer::adam(0.002), &mut r);
+
+        let normal = normal_batch(50, &mut r);
+        let anomalous = Matrix::from_rows(
+            &(0..50)
+                .map(|_| {
+                    let t: f64 = r.gen_range(0.0..1.0);
+                    vec![t, 3.0 + t] // far off the manifold
+                })
+                .collect::<Vec<_>>(),
+        );
+        let sn: f64 = gan.outlier_scores(&normal).iter().sum::<f64>() / 50.0;
+        let sa: f64 = gan.outlier_scores(&anomalous).iter().sum::<f64>() / 50.0;
+        assert!(
+            sa > sn * 1.5,
+            "anomalies should score higher: normal {sn} vs anomalous {sa}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_tracks_training_data() {
+        let mut r = rng();
+        let mut gan = BiGan::new(2, 1, 16, &mut r);
+        let train = normal_batch(256, &mut r);
+        gan.fit(&train, 60, 32, &Optimizer::adam(0.002), &mut r);
+        let x = normal_batch(20, &mut r);
+        let recon = gan.reconstruct(&x);
+        let err: f64 =
+            row_squared_errors(&recon, &x).iter().sum::<f64>() / 20.0;
+        assert!(err < 1.0, "reconstruction error too high: {err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut r = StdRng::seed_from_u64(77);
+            let mut gan = BiGan::new(2, 1, 8, &mut r);
+            let x = normal_batch(32, &mut r);
+            let l = gan.train_batch(&x, &Optimizer::adam(0.001), &mut r);
+            (l.d_loss, l.eg_loss)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,38 @@
+//! # exathlon-nn
+//!
+//! A from-scratch neural-network substrate for the Exathlon benchmark's
+//! deep-learning AD methods (§6.1, Appendix D.2): the LSTM forecaster, the
+//! dense autoencoder, and the BiGAN.
+//!
+//! The paper trains its models with Keras/TensorFlow; Rust has no
+//! comparable offline-available stack, so this crate implements the needed
+//! subset directly on [`exathlon_linalg::Matrix`]:
+//!
+//! * [`param`] — trainable parameters with gradient and Adam moment state,
+//! * [`activation`] — ReLU / leaky ReLU / tanh / sigmoid and derivatives,
+//! * [`dense`] — fully-connected layers with explicit backprop,
+//! * [`loss`] — MSE and binary cross-entropy with gradients,
+//! * [`optimizer`] — SGD and Adam,
+//! * [`mlp`] — a sequential multi-layer perceptron (used by the
+//!   autoencoder and the BiGAN's three networks),
+//! * [`lstm`] — a single-layer LSTM with truncated BPTT and a linear
+//!   readout (the forecaster),
+//! * [`gan`] — the bidirectional GAN: encoder, generator, discriminator,
+//!   adversarial training, and the reconstruction + feature-loss outlier
+//!   score of Zenati et al. that the paper adopts.
+//!
+//! Networks here are deliberately small: the benchmark's findings depend on
+//! the *shape* of the outlier scores each model family produces (spiky
+//! forecast errors vs. smooth window reconstruction errors), not on
+//! large-model accuracy.
+
+pub mod activation;
+pub mod dense;
+pub mod gan;
+pub mod loss;
+pub mod lstm;
+pub mod mlp;
+pub mod optimizer;
+pub mod param;
+
+pub use mlp::Mlp;

@@ -1,0 +1,150 @@
+//! Losses: mean squared error (forecasting, reconstruction) and binary
+//! cross-entropy (GAN discriminator/generator objectives).
+
+use exathlon_linalg::Matrix;
+
+/// Mean squared error over all elements of a batch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n
+}
+
+/// Gradient of [`mse`] with respect to `pred`.
+pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    Matrix::from_vec(
+        pred.rows(),
+        pred.cols(),
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(p, t)| 2.0 * (p - t) / n)
+            .collect(),
+    )
+}
+
+/// Per-row squared error (useful for per-sample outlier scores).
+pub fn row_squared_errors(pred: &Matrix, target: &Matrix) -> Vec<f64> {
+    assert_eq!(pred.shape(), target.shape(), "row error shape mismatch");
+    let m = pred.cols().max(1) as f64;
+    (0..pred.rows())
+        .map(|i| {
+            pred.row(i)
+                .iter()
+                .zip(target.row(i))
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / m
+        })
+        .collect()
+}
+
+/// Binary cross-entropy for probabilities in `(0, 1)` against 0/1 targets,
+/// averaged over the batch. Inputs are clamped away from 0 and 1 for
+/// stability.
+pub fn bce(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let p = p.clamp(1e-7, 1.0 - 1e-7);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Gradient of [`bce`] with respect to `pred`.
+pub fn bce_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    Matrix::from_vec(
+        pred.rows(),
+        pred.cols(),
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let p = p.clamp(1e-7, 1.0 - 1e-7);
+                ((1.0 - t) / (1.0 - p) - t / p) / n
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        assert!((mse(&p, &t) - 2.5).abs() < 1e-12); // (1 + 4) / 2
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let p = Matrix::from_vec(1, 3, vec![0.5, -0.2, 1.1]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.3, 1.0]);
+        let g = mse_grad(&p, &t);
+        let eps = 1e-7;
+        for j in 0..3 {
+            let mut p2 = p.clone();
+            p2[(0, j)] += eps;
+            let numeric = (mse(&p2, &t) - mse(&p, &t)) / eps;
+            assert!((numeric - g[(0, j)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_errors_per_sample() {
+        let p = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.0, 0.0]);
+        let t = Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(row_squared_errors(&p, &t), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = Matrix::from_vec(1, 2, vec![0.9999, 0.0001]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        assert!(bce(&p, &t) < 0.001);
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let p = Matrix::from_vec(1, 2, vec![0.3, 0.8]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let g = bce_grad(&p, &t);
+        let eps = 1e-7;
+        for j in 0..2 {
+            let mut p2 = p.clone();
+            p2[(0, j)] += eps;
+            let numeric = (bce(&p2, &t) - bce(&p, &t)) / eps;
+            assert!((numeric - g[(0, j)]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_clamps_extremes() {
+        let p = Matrix::from_vec(1, 1, vec![0.0]);
+        let t = Matrix::from_vec(1, 1, vec![1.0]);
+        assert!(bce(&p, &t).is_finite());
+        assert!(bce_grad(&p, &t).as_slice()[0].is_finite());
+    }
+}

@@ -1,0 +1,420 @@
+//! A single-layer LSTM with a linear readout, trained by backpropagation
+//! through time.
+//!
+//! This backs the paper's LSTM forecaster (Appendix D.2, following
+//! Bontemps et al.): given a window of consecutive records, predict the
+//! next record; the relative forecast error becomes the outlier score.
+
+use crate::activation::sigmoid;
+use crate::loss::{mse, mse_grad};
+use crate::optimizer::{clip_grad_norm, Optimizer};
+use crate::param::Param;
+use exathlon_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Gate layout inside the stacked `4h` dimension: input, forget, output,
+/// candidate.
+const GATES: usize = 4;
+
+/// A single-layer LSTM network with linear readout from the final hidden
+/// state.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+    /// Input weights, `4h x in_dim`.
+    wx: Param,
+    /// Recurrent weights, `4h x h`.
+    wh: Param,
+    /// Gate biases, `4h x 1`.
+    b: Param,
+    /// Readout weights, `out x h`.
+    wy: Param,
+    /// Readout bias, `out x 1`.
+    by: Param,
+    step: u64,
+}
+
+/// Per-step forward cache for BPTT.
+struct StepCache {
+    x: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+impl Lstm {
+    /// Create an LSTM mapping sequences of `in_dim` vectors to a single
+    /// `out_dim` prediction through `hidden` units.
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let mut lstm = Self {
+            in_dim,
+            hidden,
+            out_dim,
+            wx: Param::xavier(GATES * hidden, in_dim, in_dim, hidden, rng),
+            wh: Param::xavier(GATES * hidden, hidden, hidden, hidden, rng),
+            b: Param::zeros(GATES * hidden, 1),
+            wy: Param::xavier(out_dim, hidden, hidden, out_dim, rng),
+            by: Param::zeros(out_dim, 1),
+            step: 0,
+        };
+        // Forget-gate bias init to 1: the standard trick to let gradients
+        // flow early in training.
+        for j in 0..hidden {
+            lstm.b.value[(hidden + j, 0)] = 1.0;
+        }
+        lstm
+    }
+
+    /// Input dimensionality per step.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output (forecast) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.wx.count() + self.wh.count() + self.b.count() + self.wy.count() + self.by.count()
+    }
+
+    fn forward_sequence(&self, seq: &[Vec<f64>]) -> (Vec<StepCache>, Vec<f64>) {
+        let h_dim = self.hidden;
+        let mut h = vec![0.0; h_dim];
+        let mut c = vec![0.0; h_dim];
+        let mut caches = Vec::with_capacity(seq.len());
+        for x in seq {
+            assert_eq!(x.len(), self.in_dim, "sequence step dimension mismatch");
+            // z = Wx x + Wh h + b
+            let mut z = self.wx.value.matvec(x);
+            let zh = self.wh.value.matvec(&h);
+            for (zi, (zhi, bi)) in
+                z.iter_mut().zip(zh.iter().zip(self.b.value.as_slice()))
+            {
+                *zi += zhi + bi;
+            }
+            let mut i_g = vec![0.0; h_dim];
+            let mut f_g = vec![0.0; h_dim];
+            let mut o_g = vec![0.0; h_dim];
+            let mut g_g = vec![0.0; h_dim];
+            for j in 0..h_dim {
+                i_g[j] = sigmoid(z[j]);
+                f_g[j] = sigmoid(z[h_dim + j]);
+                o_g[j] = sigmoid(z[2 * h_dim + j]);
+                g_g[j] = z[3 * h_dim + j].tanh();
+            }
+            let mut new_c = vec![0.0; h_dim];
+            let mut tanh_c = vec![0.0; h_dim];
+            let mut new_h = vec![0.0; h_dim];
+            for j in 0..h_dim {
+                new_c[j] = f_g[j] * c[j] + i_g[j] * g_g[j];
+                tanh_c[j] = new_c[j].tanh();
+                new_h[j] = o_g[j] * tanh_c[j];
+            }
+            caches.push(StepCache {
+                x: x.clone(),
+                i: i_g,
+                f: f_g,
+                o: o_g,
+                g: g_g,
+                c: new_c.clone(),
+                tanh_c,
+                h: new_h.clone(),
+            });
+            h = new_h;
+            c = new_c;
+        }
+        let mut y = self.wy.value.matvec(&h);
+        for (yi, bi) in y.iter_mut().zip(self.by.value.as_slice()) {
+            *yi += bi;
+        }
+        (caches, y)
+    }
+
+    /// Predict the next record from a sequence of input records.
+    pub fn predict(&self, seq: &[Vec<f64>]) -> Vec<f64> {
+        self.forward_sequence(seq).1
+    }
+
+    /// Accumulate gradients for one `(sequence, target)` pair; returns the
+    /// sample loss.
+    fn backward_sequence(&mut self, seq: &[Vec<f64>], target: &[f64]) -> f64 {
+        let (caches, y) = self.forward_sequence(seq);
+        let h_dim = self.hidden;
+        let t_len = caches.len();
+        assert!(t_len > 0, "empty sequence");
+
+        let pred = Matrix::row_vector(&y);
+        let tgt = Matrix::row_vector(target);
+        let loss = mse(&pred, &tgt);
+        let dy: Vec<f64> = mse_grad(&pred, &tgt).as_slice().to_vec();
+
+        // Readout gradients.
+        let h_last = &caches[t_len - 1].h;
+        self.wy.grad += &Matrix::outer(&dy, h_last);
+        for (g, d) in self.by.grad.as_mut_slice().iter_mut().zip(&dy) {
+            *g += d;
+        }
+
+        // BPTT.
+        let mut dh = self.wy.value.transpose_matvec(&dy);
+        let mut dc = vec![0.0; h_dim];
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h_dim]
+            } else {
+                caches[t - 1].c.clone()
+            };
+            let h_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h_dim]
+            } else {
+                caches[t - 1].h.clone()
+            };
+
+            // dL/dc += dL/dh * o * (1 - tanh(c)^2)
+            let mut dz = vec![0.0; GATES * h_dim];
+            for j in 0..h_dim {
+                let dtanh = 1.0 - cache.tanh_c[j] * cache.tanh_c[j];
+                let dcj = dc[j] + dh[j] * cache.o[j] * dtanh;
+                let di = dcj * cache.g[j];
+                let df = dcj * c_prev[j];
+                let do_ = dh[j] * cache.tanh_c[j];
+                let dg = dcj * cache.i[j];
+                // Through the gate nonlinearities.
+                dz[j] = di * cache.i[j] * (1.0 - cache.i[j]);
+                dz[h_dim + j] = df * cache.f[j] * (1.0 - cache.f[j]);
+                dz[2 * h_dim + j] = do_ * cache.o[j] * (1.0 - cache.o[j]);
+                dz[3 * h_dim + j] = dg * (1.0 - cache.g[j] * cache.g[j]);
+                // Carry to previous cell state.
+                dc[j] = dcj * cache.f[j];
+            }
+
+            // Parameter gradients.
+            self.wx.grad += &Matrix::outer(&dz, &cache.x);
+            self.wh.grad += &Matrix::outer(&dz, &h_prev);
+            for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(&dz) {
+                *g += d;
+            }
+            // Carry to previous hidden state.
+            dh = self.wh.value.transpose_matvec(&dz);
+        }
+        loss
+    }
+
+    /// One minibatch step over `(sequence, target)` pairs; returns the mean
+    /// sample loss. Gradients are clipped to L2 norm 5 before the update.
+    pub fn train_batch(
+        &mut self,
+        batch: &[(&[Vec<f64>], &[f64])],
+        opt: &Optimizer,
+    ) -> f64 {
+        assert!(!batch.is_empty(), "empty batch");
+        self.zero_grad();
+        let mut loss = 0.0;
+        for (seq, target) in batch {
+            loss += self.backward_sequence(seq, target);
+        }
+        // Average gradients over the batch.
+        let scale = 1.0 / batch.len() as f64;
+        for p in self.params_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+        self.step += 1;
+        let step = self.step;
+        let mut params = self.params_mut();
+        clip_grad_norm(&mut params, 5.0);
+        opt.step(&mut params, step);
+        loss / batch.len() as f64
+    }
+
+    /// Train for `epochs` over the `(sequence, target)` dataset with
+    /// shuffled minibatches; returns per-epoch mean losses.
+    pub fn fit(
+        &mut self,
+        data: &[(Vec<Vec<f64>>, Vec<f64>)],
+        epochs: usize,
+        batch_size: usize,
+        opt: &Optimizer,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let batch: Vec<(&[Vec<f64>], &[f64])> =
+                    chunk.iter().map(|&i| (&data[i].0[..], &data[i].1[..])).collect();
+                epoch_loss += self.train_batch(&batch, opt);
+                batches += 1;
+            }
+            history.push(epoch_loss / batches.max(1) as f64);
+        }
+        history
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b, &mut self.wy, &mut self.by]
+    }
+
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let lstm = Lstm::new(3, 8, 3, &mut rng());
+        assert_eq!(lstm.in_dim(), 3);
+        assert_eq!(lstm.out_dim(), 3);
+        let expected = 4 * 8 * 3 + 4 * 8 * 8 + 4 * 8 + 3 * 8 + 3;
+        assert_eq!(lstm.param_count(), expected);
+        let y = lstm.predict(&[vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]]);
+        assert_eq!(y.len(), 3);
+    }
+
+    /// Full BPTT gradient check against finite differences on a tiny net.
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut lstm = Lstm::new(2, 3, 2, &mut rng());
+        let seq = vec![vec![0.5, -0.3], vec![0.2, 0.8], vec![-0.6, 0.1]];
+        let target = vec![0.3, -0.4];
+
+        lstm.zero_grad();
+        let _ = lstm.backward_sequence(&seq, &target);
+        let analytic_wx = lstm.wx.grad.clone();
+        let analytic_wh = lstm.wh.grad.clone();
+        let analytic_b = lstm.b.grad.clone();
+
+        let eps = 1e-6;
+        let loss_at = |l: &Lstm| {
+            let y = l.predict(&seq);
+            let pred = Matrix::row_vector(&y);
+            let tgt = Matrix::row_vector(&target);
+            mse(&pred, &tgt)
+        };
+        // Spot-check a handful of entries in each parameter.
+        for (r, c) in [(0usize, 0usize), (3, 1), (7, 0), (11, 1)] {
+            let orig = lstm.wx.value[(r, c)];
+            lstm.wx.value[(r, c)] = orig + eps;
+            let up = loss_at(&lstm);
+            lstm.wx.value[(r, c)] = orig - eps;
+            let down = loss_at(&lstm);
+            lstm.wx.value[(r, c)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_wx[(r, c)]).abs() < 1e-5,
+                "wx[{r},{c}]: numeric {numeric} vs analytic {}",
+                analytic_wx[(r, c)]
+            );
+        }
+        for (r, c) in [(0usize, 0usize), (5, 2), (9, 1)] {
+            let orig = lstm.wh.value[(r, c)];
+            lstm.wh.value[(r, c)] = orig + eps;
+            let up = loss_at(&lstm);
+            lstm.wh.value[(r, c)] = orig - eps;
+            let down = loss_at(&lstm);
+            lstm.wh.value[(r, c)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_wh[(r, c)]).abs() < 1e-5,
+                "wh[{r},{c}]: numeric {numeric} vs analytic {}",
+                analytic_wh[(r, c)]
+            );
+        }
+        for r in [0usize, 4, 8, 11] {
+            let orig = lstm.b.value[(r, 0)];
+            lstm.b.value[(r, 0)] = orig + eps;
+            let up = loss_at(&lstm);
+            lstm.b.value[(r, 0)] = orig - eps;
+            let down = loss_at(&lstm);
+            lstm.b.value[(r, 0)] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_b[(r, 0)]).abs() < 1e-5,
+                "b[{r}]: numeric {numeric} vs analytic {}",
+                analytic_b[(r, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_to_forecast_sine() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(1, 12, 1, &mut r);
+        // Sequences of 8 sine samples -> next sample.
+        let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut data = Vec::new();
+        for start in 0..series.len() - 9 {
+            let seq: Vec<Vec<f64>> = (0..8).map(|k| vec![series[start + k]]).collect();
+            data.push((seq, vec![series[start + 8]]));
+        }
+        let history = lstm.fit(&data, 30, 16, &Optimizer::adam(0.01), &mut r);
+        assert!(
+            history[29] < 0.01,
+            "LSTM failed to learn the sine: final loss {}",
+            history[29]
+        );
+        // Forecast quality on a fresh window.
+        let seq: Vec<Vec<f64>> = (100..108).map(|i| vec![series[i]]).collect();
+        let pred = lstm.predict(&seq)[0];
+        assert!((pred - series[108]).abs() < 0.3, "bad forecast {pred} vs {}", series[108]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut r = rng();
+        let mut lstm = Lstm::new(2, 6, 2, &mut r);
+        let data: Vec<(Vec<Vec<f64>>, Vec<f64>)> = (0..30)
+            .map(|i| {
+                let t = i as f64 * 0.3;
+                let seq = vec![vec![t.sin(), t.cos()], vec![(t + 0.3).sin(), (t + 0.3).cos()]];
+                (seq, vec![(t + 0.6).sin(), (t + 0.6).cos()])
+            })
+            .collect();
+        let h = lstm.fit(&data, 40, 8, &Optimizer::adam(0.01), &mut r);
+        assert!(h[39] < h[0], "loss should decrease: {} -> {}", h[0], h[39]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut r = StdRng::seed_from_u64(5);
+            let lstm = Lstm::new(2, 4, 2, &mut r);
+            lstm.predict(&[vec![0.1, 0.2]])
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let lstm = Lstm::new(3, 4, 3, &mut rng());
+        let _ = lstm.predict(&[vec![1.0]]);
+    }
+}

@@ -1,0 +1,271 @@
+//! A sequential multi-layer perceptron.
+//!
+//! This is the workhorse behind the dense autoencoder (§D.2 "AE") and the
+//! three BiGAN networks: a stack of [`Dense`] layers trained with
+//! minibatch backprop.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::loss::{mse, mse_grad};
+use crate::optimizer::Optimizer;
+use crate::param::Param;
+use exathlon_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A feed-forward network: `layers[0]` sees the input.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    step: u64,
+}
+
+impl Mlp {
+    /// Build from `(in, out, activation)` specs chained in order.
+    ///
+    /// # Panics
+    /// Panics if consecutive layer dimensions do not chain, or `specs` is
+    /// empty.
+    pub fn new(specs: &[(usize, usize, Activation)], rng: &mut StdRng) -> Self {
+        assert!(!specs.is_empty(), "MLP needs at least one layer");
+        for w in specs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "layer dimensions do not chain");
+        }
+        let layers = specs.iter().map(|&(i, o, a)| Dense::new(i, o, a, rng)).collect();
+        Self { layers, step: 0 }
+    }
+
+    /// Convenience: a symmetric autoencoder `in -> hidden... -> code ->
+    /// hidden... -> in` with the given activation in hidden layers and a
+    /// linear output.
+    pub fn autoencoder(
+        in_dim: usize,
+        hidden: &[usize],
+        code: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut specs = Vec::new();
+        let mut prev = in_dim;
+        for &h in hidden {
+            specs.push((prev, h, activation));
+            prev = h;
+        }
+        specs.push((prev, code, activation));
+        prev = code;
+        for &h in hidden.iter().rev() {
+            specs.push((prev, h, activation));
+            prev = h;
+        }
+        specs.push((prev, in_dim, Activation::Identity));
+        Self::new(&specs, rng)
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weight.count() + l.bias.count()).sum()
+    }
+
+    /// Forward pass with activation caching (training mode).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Backward pass through all layers; returns `dL/dx`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All parameters, for optimizer steps and gradient clipping.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| {
+                let [w, b] = l.params_mut();
+                [w, b]
+            })
+            .collect()
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Apply one optimizer step (increments the internal step counter).
+    pub fn apply_step(&mut self, opt: &Optimizer) {
+        self.step += 1;
+        let step = self.step;
+        let mut params = self.params_mut();
+        opt.step(&mut params, step);
+    }
+
+    /// One supervised minibatch step against `targets` under MSE; returns
+    /// the batch loss.
+    pub fn train_batch(&mut self, x: &Matrix, targets: &Matrix, opt: &Optimizer) -> f64 {
+        self.zero_grad();
+        let pred = self.forward(x);
+        let loss = mse(&pred, targets);
+        let grad = mse_grad(&pred, targets);
+        self.backward(&grad);
+        self.apply_step(opt);
+        loss
+    }
+
+    /// Train for `epochs` over `(inputs, targets)` rows with shuffled
+    /// minibatches; returns the loss after each epoch.
+    ///
+    /// For autoencoders pass the inputs as their own targets.
+    pub fn fit(
+        &mut self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        opt: &Optimizer,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        assert_eq!(inputs.rows(), targets.rows(), "inputs/targets row mismatch");
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = inputs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let xb = inputs.select_rows(chunk);
+                let tb = targets.select_rows(chunk);
+                epoch_loss += self.train_batch(&xb, &tb, opt);
+                batches += 1;
+            }
+            history.push(epoch_loss / batches.max(1) as f64);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let mlp = Mlp::new(
+            &[(4, 8, Activation::Relu), (8, 2, Activation::Identity)],
+            &mut rng(),
+        );
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_layers_panic() {
+        let _ = Mlp::new(
+            &[(4, 8, Activation::Relu), (9, 2, Activation::Identity)],
+            &mut rng(),
+        );
+    }
+
+    #[test]
+    fn autoencoder_is_symmetric() {
+        let ae = Mlp::autoencoder(10, &[8], 3, Activation::Tanh, &mut rng());
+        assert_eq!(ae.in_dim(), 10);
+        assert_eq!(ae.out_dim(), 10);
+        assert_eq!(ae.layers.len(), 4); // 10-8, 8-3, 3-8, 8-10
+    }
+
+    #[test]
+    fn learns_linear_map() {
+        // y = 2 x0 - x1, learnable exactly by a linear MLP.
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[(2, 1, Activation::Identity)], &mut r);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..64 {
+            let a = (i % 8) as f64 / 8.0;
+            let b = (i / 8) as f64 / 8.0;
+            xs.push(vec![a, b]);
+            ys.push(vec![2.0 * a - b]);
+        }
+        let x = Matrix::from_rows(&xs);
+        let y = Matrix::from_rows(&ys);
+        let history = mlp.fit(&x, &y, 300, 16, &Optimizer::adam(0.01), &mut r);
+        assert!(history[299] < 1e-4, "did not converge: {}", history[299]);
+    }
+
+    #[test]
+    fn autoencoder_reconstructs_low_rank_data() {
+        // Data on a 1-D manifold in 4-D space: x = [t, 2t, -t, 0.5t].
+        let mut r = rng();
+        let mut ae = Mlp::autoencoder(4, &[], 1, Activation::Identity, &mut r);
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 50.0 - 0.5;
+                vec![t, 2.0 * t, -t, 0.5 * t]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let history = ae.fit(&x, &x, 400, 10, &Optimizer::adam(0.01), &mut r);
+        assert!(history[399] < 1e-3, "AE did not converge: {}", history[399]);
+    }
+
+    #[test]
+    fn fit_loss_decreases() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(
+            &[(3, 6, Activation::Tanh), (6, 1, Activation::Identity)],
+            &mut r,
+        );
+        let x = Matrix::from_fn(40, 3, |i, j| ((i * 3 + j) as f64 * 0.37).sin());
+        let y = Matrix::from_fn(40, 1, |i, _| (i as f64 * 0.2).cos());
+        let h = mlp.fit(&x, &y, 50, 8, &Optimizer::adam(0.005), &mut r);
+        assert!(h[49] < h[0], "loss should decrease: {} -> {}", h[0], h[49]);
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let mut mlp = Mlp::new(&[(2, 3, Activation::Tanh)], &mut rng());
+        let x = Matrix::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]);
+        let a = mlp.forward(&x);
+        let b = mlp.predict(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Trainable parameters: value, gradient, and Adam moment buffers bundled
+//! together so optimizers can step any network uniformly.
+
+use exathlon_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trainable matrix parameter with its gradient accumulator and Adam
+/// moment estimates.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Adam first-moment estimate.
+    pub m: Matrix,
+    /// Adam second-moment estimate.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// A zero-initialized parameter (used for biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            value: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Xavier/Glorot uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers.
+    pub fn xavier(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        let mut p = Self::zeros(rows, cols);
+        for x in p.value.as_mut_slice() {
+            *x = rng.gen_range(-a..a);
+        }
+        p
+    }
+
+    /// He (Kaiming) normal-ish initialization via a uniform with matched
+    /// variance: suits ReLU layers.
+    pub fn he(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / fan_in as f64).sqrt();
+        let mut p = Self::zeros(rows, cols);
+        for x in p.value.as_mut_slice() {
+            *x = rng.gen_range(-a..a);
+        }
+        p
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        let (r, c) = self.value.shape();
+        r * c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape() {
+        let p = Param::zeros(3, 4);
+        assert_eq!(p.value.shape(), (3, 4));
+        assert_eq!(p.count(), 12);
+        assert!(p.value.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::xavier(10, 10, 10, 10, &mut rng);
+        let a = (6.0 / 20.0_f64).sqrt();
+        assert!(p.value.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not all zero.
+        assert!(p.value.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = Param::he(5, 100, 100, &mut rng);
+        let narrow = Param::he(5, 4, 4, &mut rng);
+        assert!(wide.value.max_abs() < narrow.value.max_abs() + 1.3);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::zeros(2, 2);
+        p.grad[(0, 0)] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = Param::xavier(4, 4, 4, 4, &mut StdRng::seed_from_u64(9));
+        let b = Param::xavier(4, 4, 4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.value, b.value);
+    }
+}

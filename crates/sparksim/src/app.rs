@@ -1,0 +1,171 @@
+//! The 10-application catalogue.
+//!
+//! The paper's workload is "10 stream processing applications that analyze
+//! user click streams from the WorldCup 1998 website", each with its own
+//! workload characteristics ("e.g., CPU or I/O intensive", §3.1). Those
+//! characteristics matter for the benchmark because they drive the
+//! generalization axis of the learning settings: a CPU-intensive
+//! application is more sensitive to CPU-contention anomalies, an
+//! I/O-intensive one to HDFS noise, and so on.
+
+/// Broad workload class of a streaming application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Heavy per-record computation: most sensitive to CPU contention.
+    CpuIntensive,
+    /// Heavy HDFS reads/writes: most sensitive to I/O noise, moderate CPU.
+    IoIntensive,
+    /// Heavy shuffles between executors: network + memory pressure.
+    ShuffleHeavy,
+    /// Balanced profile.
+    Mixed,
+}
+
+/// Static profile of one of the 10 streaming applications.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application id in `0..10`.
+    pub id: usize,
+    /// Workload class.
+    pub kind: WorkloadKind,
+    /// Micro-batch interval in ticks (seconds).
+    pub batch_interval: u64,
+    /// Normal input rate in records/second the app is sized for.
+    pub base_input_rate: f64,
+    /// CPU cost (executor-core-seconds) to process 1000 records.
+    pub cpu_cost_per_krec: f64,
+    /// HDFS write operations issued per 1000 processed records.
+    pub hdfs_ops_per_krec: f64,
+    /// Shuffle records moved per processed record.
+    pub shuffle_factor: f64,
+    /// Bytes of executor heap held per queued (unprocessed) record.
+    pub mem_per_queued_record: f64,
+    /// Steady-state heap in MB when the queue is empty.
+    pub base_heap_mb: f64,
+}
+
+impl AppProfile {
+    /// The full 10-application catalogue. Application ids are stable and
+    /// used throughout the dataset's ground-truth table.
+    pub fn catalogue() -> Vec<AppProfile> {
+        use WorkloadKind::*;
+        // Interleave kinds so that any 5-of-10 concurrency draw mixes
+        // workload classes, as in the paper's random co-location.
+        let kinds = [
+            CpuIntensive,
+            IoIntensive,
+            ShuffleHeavy,
+            Mixed,
+            CpuIntensive,
+            IoIntensive,
+            ShuffleHeavy,
+            Mixed,
+            CpuIntensive,
+            Mixed,
+        ];
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(id, &kind)| {
+                // Deterministic per-app variety: rates and costs vary with id
+                // so no two applications look identical in the data.
+                let spread = 1.0 + 0.13 * (id as f64);
+                let (cpu, hdfs, shuffle) = match kind {
+                    CpuIntensive => (2.4, 1.0, 0.4),
+                    IoIntensive => (0.9, 6.0, 0.6),
+                    ShuffleHeavy => (1.3, 2.0, 2.2),
+                    Mixed => (1.4, 3.0, 1.0),
+                };
+                AppProfile {
+                    id,
+                    kind,
+                    batch_interval: 5 + (id as u64 % 3) * 5, // 5, 10, or 15 s
+                    base_input_rate: 900.0 * spread,
+                    cpu_cost_per_krec: cpu,
+                    hdfs_ops_per_krec: hdfs,
+                    shuffle_factor: shuffle,
+                    mem_per_queued_record: 2_400.0,
+                    base_heap_mb: 320.0 + 40.0 * (id as f64),
+                }
+            })
+            .collect()
+    }
+
+    /// Profile of application `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= 10`.
+    pub fn by_id(id: usize) -> AppProfile {
+        let cat = Self::catalogue();
+        assert!(id < cat.len(), "application id {id} out of range");
+        cat[id].clone()
+    }
+
+    /// Records/second one executor core can process for this application at
+    /// full CPU share.
+    pub fn per_core_throughput(&self) -> f64 {
+        1000.0 / self.cpu_cost_per_krec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_ten_distinct_apps() {
+        let cat = AppProfile::catalogue();
+        assert_eq!(cat.len(), 10);
+        for (i, app) in cat.iter().enumerate() {
+            assert_eq!(app.id, i);
+        }
+        // Rates must differ between apps (workload variety).
+        let rates: Vec<f64> = cat.iter().map(|a| a.base_input_rate).collect();
+        for i in 0..rates.len() {
+            for j in (i + 1)..rates.len() {
+                assert_ne!(rates[i], rates[j], "apps {i} and {j} identical rate");
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_present() {
+        let cat = AppProfile::catalogue();
+        for kind in [
+            WorkloadKind::CpuIntensive,
+            WorkloadKind::IoIntensive,
+            WorkloadKind::ShuffleHeavy,
+            WorkloadKind::Mixed,
+        ] {
+            assert!(cat.iter().any(|a| a.kind == kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn cpu_intensive_costs_more_cpu() {
+        let cat = AppProfile::catalogue();
+        let cpu = cat.iter().find(|a| a.kind == WorkloadKind::CpuIntensive).unwrap();
+        let io = cat.iter().find(|a| a.kind == WorkloadKind::IoIntensive).unwrap();
+        assert!(cpu.cpu_cost_per_krec > io.cpu_cost_per_krec);
+        assert!(io.hdfs_ops_per_krec > cpu.hdfs_ops_per_krec);
+    }
+
+    #[test]
+    fn by_id_matches_catalogue() {
+        let app = AppProfile::by_id(7);
+        assert_eq!(app.id, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn by_id_out_of_range_panics() {
+        let _ = AppProfile::by_id(10);
+    }
+
+    #[test]
+    fn throughput_positive() {
+        for app in AppProfile::catalogue() {
+            assert!(app.per_core_throughput() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The Disruptive Event Generator (DEG).
+//!
+//! The paper's chaos-engineering component: a generator that, during a
+//! trace, injects one of six anomalous event types and records the interval
+//! it was active as the *root cause interval* (§3.2, Appendix A.1). This
+//! module defines the event taxonomy and injection schedules; the
+//! [`engine`](crate::engine) interprets them during simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// The six anomaly types of the Exathlon dataset (Table 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnomalyType {
+    /// T1: input rate temporarily multiplied by a burst factor.
+    BurstyInput,
+    /// T2: burst sustained until executors OOM and the application crashes.
+    BurstyInputUntilCrash,
+    /// T3: input rate set to 0 (data-source failure).
+    StalledInput,
+    /// T4: external programs consume the CPU of one cluster node.
+    CpuContention,
+    /// T5: the driver process is killed and restarts (~20 s).
+    DriverFailure,
+    /// T6: an executor process is killed and restarts (~10 s).
+    ExecutorFailure,
+}
+
+impl AnomalyType {
+    /// All six types in T1..T6 order.
+    pub const ALL: [AnomalyType; 6] = [
+        AnomalyType::BurstyInput,
+        AnomalyType::BurstyInputUntilCrash,
+        AnomalyType::StalledInput,
+        AnomalyType::CpuContention,
+        AnomalyType::DriverFailure,
+        AnomalyType::ExecutorFailure,
+    ];
+
+    /// 1-based index as used in the paper's tables (T1..T6).
+    pub fn index(self) -> usize {
+        match self {
+            AnomalyType::BurstyInput => 1,
+            AnomalyType::BurstyInputUntilCrash => 2,
+            AnomalyType::StalledInput => 3,
+            AnomalyType::CpuContention => 4,
+            AnomalyType::DriverFailure => 5,
+            AnomalyType::ExecutorFailure => 6,
+        }
+    }
+
+    /// Short label (`"T1"`..`"T6"`).
+    pub fn label(self) -> String {
+        format!("T{}", self.index())
+    }
+}
+
+/// One scheduled disruptive event inside a trace.
+///
+/// `start` is in trace-local ticks. `duration` is the length of the DEG
+/// activity — the root cause interval. For [`AnomalyType::BurstyInputUntilCrash`]
+/// the duration is open-ended ("the DEG period lasts forever"): the event
+/// ends when the simulation crashes the application, so `duration` is
+/// interpreted as an upper bound for safety.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectedEvent {
+    /// Anomaly type.
+    pub atype: AnomalyType,
+    /// Trace-local start tick of the DEG activity.
+    pub start: u64,
+    /// Planned DEG activity length in ticks.
+    pub duration: u64,
+    /// Type-specific intensity:
+    /// * T1/T2: input-rate multiplication factor (e.g. 3.0),
+    /// * T4: fraction of the node's cores consumed by external programs
+    ///   (0..=1),
+    /// * others: unused (0.0 conventional).
+    pub intensity: f64,
+    /// For T4/T5/T6: the cluster node (0..4) the event hits. The engine
+    /// maps this onto driver/executor placement.
+    pub node: usize,
+}
+
+impl InjectedEvent {
+    /// End tick (exclusive) of the planned DEG activity.
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+
+    /// Whether the DEG is active at `tick`.
+    pub fn active_at(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.end()
+    }
+}
+
+/// A full injection schedule for one trace: non-overlapping events sorted
+/// by start tick.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DegSchedule {
+    events: Vec<InjectedEvent>,
+}
+
+impl DegSchedule {
+    /// An empty (undisturbed) schedule.
+    pub fn undisturbed() -> Self {
+        Self::default()
+    }
+
+    /// Build from events, validating they are sorted and non-overlapping.
+    ///
+    /// # Panics
+    /// Panics if events overlap or are out of order.
+    pub fn new(events: Vec<InjectedEvent>) -> Self {
+        for w in events.windows(2) {
+            assert!(
+                w[0].end() <= w[1].start,
+                "DEG events overlap: [{}, {}) then [{}, {})",
+                w[0].start,
+                w[0].end(),
+                w[1].start,
+                w[1].end()
+            );
+        }
+        Self { events }
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[InjectedEvent] {
+        &self.events
+    }
+
+    /// The event active at `tick`, if any.
+    pub fn active_at(&self, tick: u64) -> Option<&InjectedEvent> {
+        self.events.iter().find(|e| e.active_at(tick))
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(atype: AnomalyType, start: u64, duration: u64) -> InjectedEvent {
+        InjectedEvent { atype, start, duration, intensity: 3.0, node: 0 }
+    }
+
+    #[test]
+    fn labels_and_indices() {
+        assert_eq!(AnomalyType::BurstyInput.label(), "T1");
+        assert_eq!(AnomalyType::ExecutorFailure.label(), "T6");
+        for (i, t) in AnomalyType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i + 1);
+        }
+    }
+
+    #[test]
+    fn event_activity_window() {
+        let e = ev(AnomalyType::BurstyInput, 100, 50);
+        assert!(!e.active_at(99));
+        assert!(e.active_at(100));
+        assert!(e.active_at(149));
+        assert!(!e.active_at(150));
+    }
+
+    #[test]
+    fn schedule_finds_active_event() {
+        let s = DegSchedule::new(vec![
+            ev(AnomalyType::BurstyInput, 100, 50),
+            ev(AnomalyType::StalledInput, 300, 30),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(s.active_at(120).is_some());
+        assert!(s.active_at(200).is_none());
+        assert_eq!(s.active_at(310).unwrap().atype, AnomalyType::StalledInput);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_events_panic() {
+        let _ = DegSchedule::new(vec![
+            ev(AnomalyType::BurstyInput, 100, 50),
+            ev(AnomalyType::StalledInput, 120, 30),
+        ]);
+    }
+
+    #[test]
+    fn undisturbed_is_empty() {
+        let s = DegSchedule::undisturbed();
+        assert!(s.is_empty());
+        assert!(s.active_at(0).is_none());
+    }
+
+    #[test]
+    fn anomaly_type_serde_roundtrip() {
+        let json = serde_json::to_string(&AnomalyType::CpuContention).unwrap();
+        let back: AnomalyType = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AnomalyType::CpuContention);
+    }
+}

@@ -1,0 +1,677 @@
+//! The tick-level cluster simulation.
+//!
+//! One simulated second per tick. The engine models the micro-batch
+//! execution loop of a Spark Streaming application (§3.1, Figure 1):
+//! receivers accumulate records, a batch forms every `batch_interval`
+//! seconds, executors drain the batch queue at a rate set by their CPU
+//! share, and the driver reports per-batch scheduling/processing delays.
+//! The six DEG anomaly types perturb exactly the quantities the paper
+//! describes (Appendix A.1):
+//!
+//! * **T1/T2 bursty input** multiplies the input rate; when the batch
+//!   inflow exceeds processing capacity the queue — and with it scheduling
+//!   delay and memory — builds up; sustained pressure OOMs executors and
+//!   eventually kills the application (T2).
+//! * **T3 stalled input** zeroes the input rate: processed-record diffs
+//!   drop to zero and processing time falls below normal.
+//! * **T4 CPU contention** removes CPU share from one node, slowing every
+//!   executor placed there.
+//! * **T5 driver failure** stops the whole application for ~20 s.
+//! * **T6 executor failure** takes one executor down for ~10 s, after
+//!   which a backup slot takes over.
+//!
+//! Normal traces are *noisy by design*, like the paper's: periodic
+//! checkpointing steals capacity and spikes the processing delay, and an
+//! HDFS DataNode sporadically consumes node CPU.
+
+use crate::app::AppProfile;
+use crate::deg::{AnomalyType, DegSchedule};
+use crate::ground_truth::{derive_eei, GroundTruthEntry};
+use crate::metrics::{base, base_metric_names, BASE_METRICS, EXECUTOR_SLOTS, NODES};
+use crate::trace::{Trace, WorkloadContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Specification of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimSpec {
+    /// Application to run.
+    pub app_id: usize,
+    /// Trace id to stamp on the output.
+    pub trace_id: usize,
+    /// Input-rate factor relative to the application's sized-for rate.
+    pub rate_factor: f64,
+    /// Number of applications sharing the cluster (background load).
+    pub concurrency: usize,
+    /// Planned duration in ticks; a crash may end the trace earlier.
+    pub duration: u64,
+    /// RNG seed — every run is fully deterministic given its spec.
+    pub seed: u64,
+    /// Anomaly injection schedule.
+    pub schedule: DegSchedule,
+}
+
+impl SimSpec {
+    /// An undisturbed run.
+    pub fn undisturbed(
+        app_id: usize,
+        trace_id: usize,
+        rate_factor: f64,
+        concurrency: usize,
+        duration: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            app_id,
+            trace_id,
+            rate_factor,
+            concurrency,
+            duration,
+            seed,
+            schedule: DegSchedule::undisturbed(),
+        }
+    }
+}
+
+/// Capacity headroom the cluster is sized for: processing capacity is
+/// `HEADROOM x` the application's nominal input rate (§A.1: parameters are
+/// configured "to suit the capacity of the cluster").
+const HEADROOM: f64 = 3.0;
+/// Executor heap limit above the application's base heap before an OOM
+/// crash (MB).
+const OOM_HEADROOM_MB: f64 = 380.0;
+/// Executor restart time after a failure (ticks), per §3.2.
+const EXECUTOR_RESTART_TICKS: u64 = 10;
+/// Driver restart time after a failure (ticks), per §3.2.
+const DRIVER_RESTART_TICKS: u64 = 20;
+/// Number of executor OOMs after which Spark kills the application.
+const CRASH_OOM_THRESHOLD: usize = 4;
+/// Minimum ticks between OOM kills: heap pressure takes time to rebuild
+/// after a replacement executor joins.
+const OOM_COOLDOWN_TICKS: u64 = 15;
+/// Active executors at any time (3 active + 2 backup slots).
+const ACTIVE_EXECUTORS: usize = 3;
+/// Cores allocated per executor.
+const CORES_PER_EXECUTOR: f64 = 4.0;
+/// Cores per cluster node.
+const NODE_CORES: f64 = 32.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ExecState {
+    /// Running on a node.
+    Active { node: usize },
+    /// Crashed/failed; comes back (possibly on a new node) at `until`.
+    Restarting { node: usize, until: u64 },
+    /// Backup slot, never launched: reports NaN metrics.
+    Inactive,
+}
+
+#[derive(Debug)]
+struct Batch {
+    total: f64,
+    remaining: f64,
+    created: u64,
+    started: Option<u64>,
+}
+
+/// Per-executor cumulative counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct ExecCounters {
+    hdfs_ops: f64,
+    cpu_time: f64,
+    run_time: f64,
+    shuffle_read: f64,
+    shuffle_written: f64,
+}
+
+/// Run the simulation and return the recorded trace plus its ground-truth
+/// entries (one per injected event, with EEIs derived from the recorded
+/// metrics via the Appendix A.2 rules).
+pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
+    let app = AppProfile::by_id(spec.app_id);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // --- Per-trace noise profile. Real runs differ in how noisy their
+    // "normal" is (checkpoint cost, DataNode activity, sender jitter);
+    // this cross-trace variety is what makes pooled (application/global)
+    // score comparison harder than per-trace comparison, as the paper
+    // observes in its Table 3 level degradation (§6.2).
+    let noise_scale: f64 = 0.5 + 2.0 * rng.gen::<f64>();
+
+    // --- Placement (YARN): driver node + executor nodes. ---
+    let driver_node = rng.gen_range(0..NODES);
+    let mut exec_state = [ExecState::Inactive; EXECUTOR_SLOTS];
+    for slot in exec_state.iter_mut().take(ACTIVE_EXECUTORS) {
+        *slot = ExecState::Active { node: rng.gen_range(0..NODES) };
+    }
+    let mut exec_counters = [ExecCounters::default(); EXECUTOR_SLOTS];
+
+    // --- Capacity model. ---
+    let nominal_rate = app.base_input_rate * spec.rate_factor;
+    let capacity_full = HEADROOM * nominal_rate; // records/s with all executors at full share
+    let per_exec_capacity = capacity_full / ACTIVE_EXECUTORS as f64;
+    // Executors are sized for the workload: the OOM headroom scales with the
+    // nominal input rate, so a transient T1 burst fits in memory for every
+    // application while a sustained T2 burst always overflows it.
+    let heap_limit = app.base_heap_mb + OOM_HEADROOM_MB * (nominal_rate / 900.0);
+
+    // --- Mutable run state. ---
+    let mut pending = 0.0_f64;
+    let mut queue: VecDeque<Batch> = VecDeque::new();
+    let mut cum_received = 0.0;
+    let mut cum_processed = 0.0;
+    let mut completed_batches = 0.0;
+    let mut last_received_batch = 0.0;
+    let mut last_processing_delay = 0.0;
+    let mut last_scheduling_delay = 0.0;
+    let mut driver_down_until: Option<u64> = None;
+    let mut oom_count = 0usize;
+    let mut last_oom: Option<u64> = None;
+    let mut crashed_at: Option<u64> = None;
+    let mut next_checkpoint = 60 + rng.gen_range(0..60);
+    let mut checkpoint_left = 0u32;
+    // DataNode background activity per node: occasional CPU draw.
+    let mut datanode_left = [0u32; NODES];
+
+    let mut values: Vec<f64> = Vec::with_capacity(spec.duration as usize * BASE_METRICS);
+
+    for t in 0..spec.duration {
+        let event = spec.schedule.active_at(t).cloned();
+
+        // --- Event onsets. ---
+        if let Some(e) = &event {
+            if t == e.start {
+                match e.atype {
+                    AnomalyType::DriverFailure => {
+                        driver_down_until = Some(t + DRIVER_RESTART_TICKS);
+                    }
+                    AnomalyType::ExecutorFailure => {
+                        // Kill the first active executor on the target node
+                        // (or any active one if none is placed there).
+                        let victim = exec_state
+                            .iter()
+                            .position(
+                                |s| matches!(s, ExecState::Active { node } if *node == e.node),
+                            )
+                            .or_else(|| {
+                                exec_state
+                                    .iter()
+                                    .position(|s| matches!(s, ExecState::Active { .. }))
+                            });
+                        if let Some(v) = victim {
+                            let node = match exec_state[v] {
+                                ExecState::Active { node } => node,
+                                _ => 0,
+                            };
+                            exec_state[v] =
+                                ExecState::Restarting { node, until: t + EXECUTOR_RESTART_TICKS };
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // --- Restarts. ---
+        let driver_up = match driver_down_until {
+            Some(until) if t < until => false,
+            Some(_) => {
+                driver_down_until = None;
+                true
+            }
+            None => true,
+        };
+        for s in &mut exec_state {
+            if let ExecState::Restarting { node, until } = *s {
+                if t >= until {
+                    *s = ExecState::Active { node };
+                }
+            }
+        }
+
+        // --- Checkpoint / DataNode noise timers. ---
+        if t == next_checkpoint {
+            checkpoint_left = 2 + rng.gen_range(0..2);
+            next_checkpoint = t + 60 + rng.gen_range(0..60);
+        }
+        let checkpointing = checkpoint_left > 0;
+        if checkpointing {
+            checkpoint_left -= 1;
+        }
+        for d in &mut datanode_left {
+            if *d == 0 && rng.gen_bool((0.004 * noise_scale).min(0.5)) {
+                *d = 5 + rng.gen_range(0..10);
+            } else if *d > 0 {
+                *d -= 1;
+            }
+        }
+
+        // --- Input. ---
+        let mut rate = nominal_rate
+            * (1.0
+                + 0.04 * ((t as f64) * 0.021).sin()
+                + rng.gen_range(-0.03..0.03) * noise_scale);
+        match event.as_ref().map(|e| e.atype) {
+            Some(AnomalyType::BurstyInput) | Some(AnomalyType::BurstyInputUntilCrash) => {
+                rate *= event.as_ref().map(|e| e.intensity).unwrap_or(1.0);
+            }
+            Some(AnomalyType::StalledInput) => rate = 0.0,
+            _ => {}
+        }
+        if !driver_up {
+            rate = 0.0; // receivers stop while the driver is down
+        }
+        pending += rate;
+        cum_received += rate;
+
+        // --- Batch formation. ---
+        if driver_up && t > 0 && t % app.batch_interval == 0 {
+            last_received_batch = pending;
+            queue.push_back(Batch { total: pending, remaining: pending, created: t, started: None });
+            pending = 0.0;
+        }
+
+        // --- Per-node CPU shares. ---
+        let mut node_external = [0.0_f64; NODES]; // contention + datanode, as core fraction
+        for (n, ext) in node_external.iter_mut().enumerate() {
+            // Other concurrently-running applications on the cluster.
+            let background = 0.05 * (spec.concurrency.saturating_sub(1)) as f64 / 4.0
+                + rng.gen_range(0.0..0.03);
+            let datanode = if datanode_left[n] > 0 { 0.20 * noise_scale } else { 0.0 };
+            let contention = match &event {
+                Some(e) if e.atype == AnomalyType::CpuContention && e.node == n => e.intensity,
+                _ => 0.0,
+            };
+            *ext = (background + datanode + contention).min(0.98);
+        }
+
+        // --- Processing capacity this tick. ---
+        let mut capacity = 0.0;
+        let mut exec_share = [0.0_f64; EXECUTOR_SLOTS];
+        if driver_up {
+            for (i, s) in exec_state.iter().enumerate() {
+                if let ExecState::Active { node } = *s {
+                    let share = (1.0 - node_external[node]).clamp(0.02, 1.0);
+                    exec_share[i] = share;
+                    capacity += per_exec_capacity * share;
+                }
+            }
+            if checkpointing {
+                // Noisier traces lose more capacity to checkpointing.
+                capacity *= (0.35 / noise_scale).clamp(0.08, 0.5);
+            }
+        }
+
+        // --- Drain the batch queue FIFO. ---
+        let mut processed_this_tick = 0.0;
+        let mut cap_left = capacity;
+        while cap_left > 0.0 {
+            let Some(head) = queue.front_mut() else { break };
+            if head.started.is_none() {
+                head.started = Some(t);
+            }
+            let take = cap_left.min(head.remaining);
+            head.remaining -= take;
+            processed_this_tick += take;
+            cap_left -= take;
+            if head.remaining <= 1e-9 {
+                let started = head.started.unwrap_or(t);
+                last_scheduling_delay = (started - head.created) as f64;
+                last_processing_delay = (t - started + 1) as f64
+                    + if checkpointing { 3.0 * noise_scale } else { 0.0 };
+                cum_processed += head.total;
+                completed_batches += 1.0;
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // --- Per-executor counters. ---
+        let active_now: Vec<usize> = (0..EXECUTOR_SLOTS)
+            .filter(|&i| matches!(exec_state[i], ExecState::Active { .. }))
+            .collect();
+        if !active_now.is_empty() {
+            let share = processed_this_tick / active_now.len() as f64;
+            let busy = if capacity > 0.0 { (processed_this_tick / capacity).min(1.0) } else { 0.0 };
+            for &i in &active_now {
+                let c = &mut exec_counters[i];
+                c.hdfs_ops += share * app.hdfs_ops_per_krec / 1000.0;
+                c.cpu_time += busy * exec_share[i] * CORES_PER_EXECUTOR;
+                c.run_time += busy * CORES_PER_EXECUTOR;
+                c.shuffle_read += share * app.shuffle_factor;
+                c.shuffle_written += share * app.shuffle_factor * 0.9;
+            }
+        }
+
+        // --- Memory. ---
+        let queued: f64 = pending + queue.iter().map(|b| b.remaining).sum::<f64>();
+        let n_active = active_now.len().max(1) as f64;
+        let exec_heap =
+            app.base_heap_mb + queued * app.mem_per_queued_record / (1e6 * n_active);
+        let driver_heap = if driver_up {
+            250.0 + queued * 2e-4 + rng.gen_range(-4.0..4.0)
+        } else {
+            40.0
+        };
+        let block_mem = queued * app.mem_per_queued_record / 1e6 * 0.6;
+
+        // --- OOM cascade (T2 physics, but live for any sustained pressure). ---
+        let oom_ready = last_oom.is_none_or(|o| t >= o + OOM_COOLDOWN_TICKS);
+        if exec_heap > heap_limit && oom_ready {
+            if let Some(&victim) = active_now.first() {
+                let node = match exec_state[victim] {
+                    ExecState::Active { node } => node,
+                    _ => 0,
+                };
+                exec_state[victim] =
+                    ExecState::Restarting { node, until: t + EXECUTOR_RESTART_TICKS };
+                oom_count += 1;
+                last_oom = Some(t);
+                if oom_count >= CRASH_OOM_THRESHOLD {
+                    crashed_at = Some(t);
+                }
+            }
+        }
+
+        // --- Record the tick. ---
+        // Metric *reporting* is itself noisy (Spark UI counters and Nmon
+        // samples jitter); the amount differs per run. This per-trace
+        // jitter level is the main source of cross-trace score-scale
+        // mismatch the paper observes when pooling traces (§6.2).
+        let mut jitter = |scale: f64| -> f64 { rng.gen_range(-1.0..1.0) * scale * noise_scale };
+        let mut rec = vec![0.0; BASE_METRICS];
+        rec[base::PROCESSING_DELAY] = if driver_up {
+            (last_processing_delay * (1.0 + jitter(0.10)) + jitter(0.3).abs()).max(0.0)
+        } else {
+            0.0
+        };
+        rec[base::SCHEDULING_DELAY] = if driver_up {
+            // Live scheduling delay: age of the oldest unprocessed batch
+            // dominates once a queue builds; falls back to the last
+            // completed batch's delay when the queue is empty.
+            queue
+                .front()
+                .map(|b| (t.saturating_sub(b.created)) as f64)
+                .unwrap_or(last_scheduling_delay.min(1.0))
+        } else {
+            0.0
+        };
+        rec[base::TOTAL_DELAY] = rec[base::PROCESSING_DELAY] + rec[base::SCHEDULING_DELAY];
+        rec[base::TOTAL_COMPLETED_BATCHES] = completed_batches;
+        rec[base::TOTAL_PROCESSED_RECORDS] = cum_processed + jitter(0.04 * nominal_rate);
+        rec[base::TOTAL_RECEIVED_RECORDS] = cum_received + jitter(0.04 * nominal_rate);
+        rec[base::LAST_RECEIVED_BATCH_RECORDS] = if driver_up { last_received_batch } else { 0.0 };
+        rec[base::BLOCK_MANAGER_MEM_MB] = if driver_up { block_mem } else { 0.0 };
+        rec[base::DRIVER_JVM_HEAP] = driver_heap;
+        for (i, s) in exec_state.iter().enumerate() {
+            let blk = base::executor_block(i);
+            match s {
+                ExecState::Active { .. } => {
+                    let c = &exec_counters[i];
+                    rec[blk + base::EXEC_HDFS_WRITE_OPS] = c.hdfs_ops;
+                    rec[blk + base::EXEC_CPU_TIME] = c.cpu_time;
+                    rec[blk + base::EXEC_RUN_TIME] = c.run_time;
+                    rec[blk + base::EXEC_SHUFFLE_READ] = c.shuffle_read;
+                    rec[blk + base::EXEC_SHUFFLE_WRITTEN] = c.shuffle_written;
+                    rec[blk + base::EXEC_JVM_HEAP] = exec_heap + jitter(3.0);
+                }
+                _ => {
+                    for off in 0..crate::metrics::EXEC_BASE_METRICS {
+                        rec[blk + off] = f64::NAN;
+                    }
+                }
+            }
+        }
+        for n in 0..NODES {
+            let mut usage = node_external[n];
+            for (i, s) in exec_state.iter().enumerate() {
+                if let ExecState::Active { node } = *s {
+                    if node == n && capacity > 0.0 {
+                        let busy = (processed_this_tick / capacity).min(1.0);
+                        usage += busy * exec_share[i] * CORES_PER_EXECUTOR / NODE_CORES;
+                    }
+                }
+            }
+            if n == driver_node && driver_up {
+                usage += 0.03;
+            }
+            rec[base::node_cpu_idle(n)] =
+                (100.0 * (1.0 - usage) + jitter(1.5)).clamp(0.0, 100.0);
+        }
+        values.extend_from_slice(&rec);
+
+        if crashed_at.is_some() {
+            break;
+        }
+    }
+
+    let series =
+        exathlon_tsdata::series::TimeSeries::from_flat(base_metric_names(), 0, values);
+    let trace = Trace {
+        trace_id: spec.trace_id,
+        context: WorkloadContext {
+            app_id: spec.app_id,
+            rate_factor: spec.rate_factor,
+            concurrency: spec.concurrency,
+        },
+        base: series,
+        schedule: spec.schedule.clone(),
+        crashed_at,
+    };
+
+    // --- Ground truth. ---
+    let trace_len = trace.len() as u64;
+    let clean_until = spec.schedule.events().first().map(|e| e.start).unwrap_or(trace_len);
+    let events = spec.schedule.events();
+    let entries = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.start < trace_len)
+        .map(|(i, e)| {
+            // T2's RCI runs until the crash ends the trace.
+            let rci_end = if e.atype == AnomalyType::BurstyInputUntilCrash {
+                crashed_at.map(|c| c + 1).unwrap_or(e.end()).min(trace_len)
+            } else {
+                e.end().min(trace_len)
+            };
+            // Cap the EEI at the next event's start so ground-truth
+            // intervals never overlap (the paper leaves "sufficient gap
+            // between two instances").
+            let cap_end = events.get(i + 1).map(|nx| nx.start).unwrap_or(u64::MAX);
+            let eei = derive_eei(&trace, e.atype, e.start, rci_end, clean_until, cap_end);
+            GroundTruthEntry {
+                app_id: spec.app_id,
+                trace_id: spec.trace_id,
+                anomaly_type: e.atype,
+                root_cause_start: e.start,
+                root_cause_end: rci_end,
+                extended_effect: eei,
+            }
+        })
+        .collect();
+
+    (trace, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deg::InjectedEvent;
+
+    fn base_spec(duration: u64) -> SimSpec {
+        SimSpec::undisturbed(0, 0, 1.0, 5, duration, 42)
+    }
+
+    fn spec_with(events: Vec<InjectedEvent>, duration: u64) -> SimSpec {
+        SimSpec { schedule: DegSchedule::new(events), ..base_spec(duration) }
+    }
+
+    #[test]
+    fn undisturbed_run_is_deterministic() {
+        let (a, _) = simulate(&base_spec(300));
+        let (b, _) = simulate(&base_spec(300));
+        assert!(a.base.same_data(&b.base));
+        assert_eq!(a.len(), 300);
+        assert!(a.crashed_at.is_none());
+    }
+
+    #[test]
+    fn undisturbed_makes_progress() {
+        let (t, gt) = simulate(&base_spec(300));
+        assert!(gt.is_empty());
+        let processed = t.base.feature_column(base::TOTAL_PROCESSED_RECORDS);
+        assert!(processed[299] > 0.0, "no records processed");
+        // Cumulative counters are monotone up to reporting jitter.
+        let slack = processed[299] * 0.01;
+        for w in processed.windows(2) {
+            assert!(w[1] >= w[0] - slack, "processed counter decreased beyond jitter");
+        }
+        // Received roughly equals processed at steady state (queue drains).
+        let received = t.base.feature_column(base::TOTAL_RECEIVED_RECORDS);
+        assert!(processed[299] > 0.8 * received[299], "queue never drains");
+    }
+
+    #[test]
+    fn bursty_input_raises_delays() {
+        let ev = InjectedEvent {
+            atype: AnomalyType::BurstyInput,
+            start: 150,
+            duration: 90,
+            intensity: 5.0,
+            node: 0,
+        };
+        let (t, gt) = simulate(&spec_with(vec![ev], 600));
+        assert_eq!(gt.len(), 1);
+        let sched = t.base.feature_column(base::SCHEDULING_DELAY);
+        let normal_max = sched[..140].iter().cloned().fold(0.0, f64::max);
+        let burst_max = sched[150..260].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            burst_max > normal_max + 5.0,
+            "burst did not raise scheduling delay: {normal_max} vs {burst_max}"
+        );
+        // EEI must exist and start right after the RCI.
+        let eei = gt[0].extended_effect.expect("T1 should have an EEI");
+        assert_eq!(eei.0, gt[0].root_cause_end);
+        assert!(eei.1 > eei.0);
+    }
+
+    #[test]
+    fn bursty_until_crash_kills_application() {
+        let ev = InjectedEvent {
+            atype: AnomalyType::BurstyInputUntilCrash,
+            start: 100,
+            duration: 10_000, // open-ended
+            intensity: 10.0,
+            node: 0,
+        };
+        let (t, gt) = simulate(&spec_with(vec![ev], 2_000));
+        assert!(t.crashed_at.is_some(), "application should crash under sustained burst");
+        assert!(t.len() < 2_000, "trace should end at the crash");
+        assert_eq!(gt.len(), 1);
+        assert_eq!(gt[0].extended_effect, None, "T2 has a null EEI");
+        assert_eq!(gt[0].root_cause_end as usize, t.len());
+    }
+
+    #[test]
+    fn stalled_input_zeroes_throughput() {
+        let ev = InjectedEvent {
+            atype: AnomalyType::StalledInput,
+            start: 150,
+            duration: 60,
+            intensity: 0.0,
+            node: 0,
+        };
+        let (t, gt) = simulate(&spec_with(vec![ev], 400));
+        let processed = t.base.feature_column(base::TOTAL_PROCESSED_RECORDS);
+        // Once the pre-stall queue drains, the counter must flatline (up
+        // to reporting jitter, which is a zero-mean fraction of the rate).
+        let mid = processed[190] - processed[180];
+        let normal = processed[100] - processed[90];
+        assert!(
+            mid.abs() < 0.3 * normal,
+            "processing continued during stall: {mid} vs normal {normal}"
+        );
+        assert_eq!(gt.len(), 1);
+    }
+
+    #[test]
+    fn driver_failure_stops_everything_briefly() {
+        let ev = InjectedEvent {
+            atype: AnomalyType::DriverFailure,
+            start: 200,
+            duration: 20,
+            intensity: 0.0,
+            node: 0,
+        };
+        let (t, gt) = simulate(&spec_with(vec![ev], 400));
+        let heap = t.base.feature_column(base::DRIVER_JVM_HEAP);
+        assert!(heap[205] < 100.0, "driver heap should collapse while down");
+        assert!(heap[250] > 100.0, "driver should be back up");
+        assert_eq!(gt.len(), 1);
+    }
+
+    #[test]
+    fn executor_failure_makes_slot_nan() {
+        let ev = InjectedEvent {
+            atype: AnomalyType::ExecutorFailure,
+            start: 200,
+            duration: 10,
+            intensity: 0.0,
+            node: 0,
+        };
+        let (t, _) = simulate(&spec_with(vec![ev], 400));
+        // Some executor slot must be NaN during the outage.
+        let any_nan = (0..EXECUTOR_SLOTS).any(|e| {
+            let blk = base::executor_block(e);
+            t.base.value(205, blk + base::EXEC_CPU_TIME).is_nan()
+        });
+        assert!(any_nan, "failed executor should report NaN metrics");
+    }
+
+    #[test]
+    fn cpu_contention_raises_processing_time() {
+        // Hit every node to be placement-independent.
+        let evs: Vec<InjectedEvent> = (0..4)
+            .map(|n| InjectedEvent {
+                atype: AnomalyType::CpuContention,
+                start: 150 + n as u64 * 100,
+                duration: 60,
+                intensity: 0.95,
+                node: n,
+            })
+            .collect();
+        let (t, gt) = simulate(&spec_with(evs, 700));
+        assert_eq!(gt.len(), 4);
+        let proc = t.base.feature_column(base::PROCESSING_DELAY);
+        let normal_mean: f64 = proc[..140].iter().sum::<f64>() / 140.0;
+        let contended_mean: f64 = proc[150..550].iter().sum::<f64>() / 400.0;
+        assert!(
+            contended_mean > normal_mean,
+            "contention did not raise processing delay: {normal_mean} vs {contended_mean}"
+        );
+    }
+
+    #[test]
+    fn backup_slots_are_nan_in_normal_operation() {
+        let (t, _) = simulate(&base_spec(50));
+        for e in ACTIVE_EXECUTORS..EXECUTOR_SLOTS {
+            let blk = base::executor_block(e);
+            assert!(t.base.value(10, blk).is_nan(), "backup slot {e} should be NaN");
+        }
+    }
+
+    #[test]
+    fn checkpoint_noise_appears_in_undisturbed_traces() {
+        let (t, _) = simulate(&base_spec(600));
+        let proc = t.base.feature_column(base::PROCESSING_DELAY);
+        let max = proc.iter().cloned().fold(0.0, f64::max);
+        let med = {
+            let mut v = proc.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        assert!(max > med * 1.5 + 1.0, "expected checkpoint spikes (max {max}, median {med})");
+    }
+}

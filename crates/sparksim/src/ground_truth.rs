@@ -1,0 +1,273 @@
+//! Ground-truth labels: root cause intervals and extended effect intervals.
+//!
+//! The paper labels each anomaly instance with the tuple
+//! `(app_id, trace_id, anomaly_type, root_cause_start, root_cause_end,
+//! extended_effect_start, extended_effect_end)` (Table 1(b)). The RCI is
+//! the interval the DEG program was running; the EEI "starts immediately
+//! after an RCI and ends when important system metrics return to normal
+//! values or the application is eventually pushed to crash", determined
+//! with domain knowledge (Appendix A.2). [`derive_eei`] encodes those
+//! per-type rules against the *observable* trace metrics, mirroring the
+//! authors' manual labeling procedure.
+
+use crate::deg::AnomalyType;
+use crate::metrics::base;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One ground-truth row, matching the paper's label format.
+///
+/// All ticks are trace-local; intervals are half-open `[start, end)`.
+/// `extended_effect` is `None` when the EEI is null (T2: "the root cause
+/// event already ends at the time of the application crash").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruthEntry {
+    /// Application the trace belongs to.
+    pub app_id: usize,
+    /// Trace id within the dataset.
+    pub trace_id: usize,
+    /// The injected anomaly type.
+    pub anomaly_type: AnomalyType,
+    /// Root cause interval start (DEG activity begins).
+    pub root_cause_start: u64,
+    /// Root cause interval end, exclusive (DEG activity ends).
+    pub root_cause_end: u64,
+    /// Extended effect interval `[start, end)`, or `None`.
+    pub extended_effect: Option<(u64, u64)>,
+}
+
+impl GroundTruthEntry {
+    /// The combined anomaly interval the benchmark evaluates against:
+    /// RCI plus EEI (§4.1 AD1).
+    pub fn anomaly_interval(&self) -> (u64, u64) {
+        match self.extended_effect {
+            Some((_, eei_end)) => (self.root_cause_start, eei_end),
+            None => (self.root_cause_start, self.root_cause_end),
+        }
+    }
+
+    /// Length of the combined anomaly interval in ticks.
+    pub fn anomaly_len(&self) -> u64 {
+        let (s, e) = self.anomaly_interval();
+        e - s
+    }
+}
+
+/// How many consecutive in-band ticks count as "back to normal".
+const STABLE_TICKS: usize = 5;
+
+/// Derive the extended effect interval for an anomaly whose RCI is
+/// `[rci_start, rci_end)`, using the Appendix A.2 per-type rules evaluated
+/// on the trace's recorded metrics:
+///
+/// * **T1 / T4 / T6** — EEI ends when processing and scheduling delay fall
+///   back inside the normal band (estimated from the pre-anomaly segment)
+///   for a few consecutive ticks (`STABLE_TICKS`).
+/// * **T2** — EEI is `None`: the RCI itself ends at the application crash.
+/// * **T3 / T5** — EEI ends when the application is processing records
+///   again at a normal rate (diff of processed records recovers) and the
+///   delays are back in band.
+///
+/// Returns `None` (no EEI) when the RCI already extends to the end of the
+/// trace, and caps the EEI at trace end otherwise.
+pub fn derive_eei(
+    trace: &Trace,
+    atype: AnomalyType,
+    rci_start: u64,
+    rci_end: u64,
+    clean_until: u64,
+    cap_end: u64,
+) -> Option<(u64, u64)> {
+    if atype == AnomalyType::BurstyInputUntilCrash {
+        return None;
+    }
+    let n = (trace.len() as u64).min(cap_end);
+    if rci_end >= n {
+        return None;
+    }
+
+    // Normal band from the *clean* pre-anomaly segment (before the first
+    // injected event of the trace): 95th percentile of delays plus slack.
+    // Using the whole head would inflate the band with earlier anomalies'
+    // effects. Falls back to a permissive default for very short heads.
+    let head_end = (clean_until.min(rci_start) as usize).min(trace.len());
+    let proc_col = trace.base.feature_column(base::PROCESSING_DELAY);
+    let sched_col = trace.base.feature_column(base::SCHEDULING_DELAY);
+    let proc_band = normal_band(&proc_col[..head_end]);
+    let sched_band = normal_band(&sched_col[..head_end]);
+
+    let needs_throughput = matches!(atype, AnomalyType::StalledInput | AnomalyType::DriverFailure);
+    let processed = trace.base.feature_column(base::TOTAL_PROCESSED_RECORDS);
+    // Per-tick rate estimated from the clean head, to make the progress
+    // check robust to counter reporting jitter.
+    let rate_est = if head_end > 10 {
+        (processed[head_end - 1] - processed[0]).max(0.0) / head_end as f64
+    } else {
+        0.0
+    };
+
+    let mut stable = 0usize;
+    for t in rci_end as usize..n as usize {
+        let delays_ok = proc_col[t] <= proc_band && sched_col[t] <= sched_band;
+        // Progress is bursty (a batch completes every few ticks), so the
+        // throughput check looks over a trailing window rather than a
+        // single tick.
+        let throughput_ok = if needs_throughput {
+            let back = t.saturating_sub(15);
+            processed[t] - processed[back] > 0.2 * rate_est * (t - back) as f64
+        } else {
+            true
+        };
+        if delays_ok && throughput_ok {
+            stable += 1;
+            if stable >= STABLE_TICKS {
+                let eei_end = (t + 1 - STABLE_TICKS).max(rci_end as usize) as u64;
+                if eei_end <= rci_end {
+                    return None;
+                }
+                return Some((rci_end, eei_end));
+            }
+        } else {
+            stable = 0;
+        }
+    }
+    // Effects never subsided: EEI runs to the end of the trace.
+    Some((rci_end, n))
+}
+
+/// Upper edge of the "normal" band for a delay metric: p95 of the normal
+/// segment plus 50% slack, with a floor to tolerate all-zero heads.
+fn normal_band(normal_segment: &[f64]) -> f64 {
+    if normal_segment.len() < 10 {
+        return 5.0;
+    }
+    let p95 = exathlon_linalg_quantile(normal_segment, 0.95);
+    (p95 * 1.5).max(1.0)
+}
+
+// Minimal local quantile to keep this crate's dependency surface small
+// (semantics match exathlon-linalg::stats::quantile).
+fn exathlon_linalg_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] * (1.0 - (pos - lo as f64)) + v[hi] * (pos - lo as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deg::DegSchedule;
+    use crate::metrics::{base_metric_names, BASE_METRICS};
+    use crate::trace::WorkloadContext;
+    use exathlon_tsdata::series::TimeSeries;
+
+    /// A trace whose delays spike during `[40, 60)` and decay back to
+    /// normal by tick 80.
+    fn trace_with_spike() -> Trace {
+        let records: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let mut r = vec![0.0; BASE_METRICS];
+                let delay = match i {
+                    40..=59 => 20.0,
+                    60..=79 => 20.0 - (i - 59) as f64, // decays to ~0
+                    _ => 0.5,
+                };
+                r[base::PROCESSING_DELAY] = delay;
+                r[base::SCHEDULING_DELAY] = delay * 0.5;
+                r[base::TOTAL_PROCESSED_RECORDS] = (i * 100) as f64;
+                r
+            })
+            .collect();
+        Trace {
+            trace_id: 0,
+            context: WorkloadContext { app_id: 0, rate_factor: 1.0, concurrency: 5 },
+            base: TimeSeries::from_records(base_metric_names(), 0, &records),
+            schedule: DegSchedule::undisturbed(),
+            crashed_at: None,
+        }
+    }
+
+    #[test]
+    fn anomaly_interval_includes_eei() {
+        let e = GroundTruthEntry {
+            app_id: 0,
+            trace_id: 0,
+            anomaly_type: AnomalyType::BurstyInput,
+            root_cause_start: 10,
+            root_cause_end: 20,
+            extended_effect: Some((20, 35)),
+        };
+        assert_eq!(e.anomaly_interval(), (10, 35));
+        assert_eq!(e.anomaly_len(), 25);
+    }
+
+    #[test]
+    fn anomaly_interval_without_eei() {
+        let e = GroundTruthEntry {
+            app_id: 0,
+            trace_id: 0,
+            anomaly_type: AnomalyType::BurstyInputUntilCrash,
+            root_cause_start: 10,
+            root_cause_end: 50,
+            extended_effect: None,
+        };
+        assert_eq!(e.anomaly_interval(), (10, 50));
+    }
+
+    #[test]
+    fn t2_has_no_eei() {
+        let t = trace_with_spike();
+        assert_eq!(derive_eei(&t, AnomalyType::BurstyInputUntilCrash, 40, 60, 40, u64::MAX), None);
+    }
+
+    #[test]
+    fn eei_ends_when_delays_recover() {
+        let t = trace_with_spike();
+        let eei = derive_eei(&t, AnomalyType::BurstyInput, 40, 60, 40, u64::MAX).expect("EEI expected");
+        assert_eq!(eei.0, 60);
+        // Delay decays to <= band (~1.25) around tick 78-79.
+        assert!(eei.1 >= 70 && eei.1 <= 85, "unexpected EEI end {}", eei.1);
+    }
+
+    #[test]
+    fn eei_caps_at_trace_end_when_never_recovering() {
+        let mut t = trace_with_spike();
+        // Make delays stay high forever after the RCI.
+        for i in 60..t.base.len() {
+            t.base.record_mut(i)[base::PROCESSING_DELAY] = 50.0;
+        }
+        let eei = derive_eei(&t, AnomalyType::BurstyInput, 40, 60, 40, u64::MAX).unwrap();
+        assert_eq!(eei, (60, 120));
+    }
+
+    #[test]
+    fn rci_at_trace_end_has_no_eei() {
+        let t = trace_with_spike();
+        assert_eq!(derive_eei(&t, AnomalyType::BurstyInput, 100, 120, 100, u64::MAX), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = GroundTruthEntry {
+            app_id: 2,
+            trace_id: 9,
+            anomaly_type: AnomalyType::StalledInput,
+            root_cause_start: 1,
+            root_cause_end: 2,
+            extended_effect: Some((2, 3)),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: GroundTruthEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,52 @@
+//! # exathlon-sparksim
+//!
+//! A discrete-time simulator of a Spark Streaming cluster, standing in for
+//! the physical 4-node cluster the Exathlon paper collected its traces from.
+//!
+//! The paper's dataset (§3) consists of 93 traces: per-application
+//! multivariate time series recorded at 1 Hz while 5 of 10 streaming
+//! applications ran concurrently, some runs disturbed by a *disruptive
+//! event generator* (DEG) injecting six types of anomalous events. This
+//! crate rebuilds that data-generating process:
+//!
+//! * [`app`] — the 10-application catalogue with per-application workload
+//!   characteristics (CPU- vs I/O-intensive, batch interval, record cost),
+//! * [`deg`] — the disruptive event generator: anomaly types T1–T6 and
+//!   injection schedules,
+//! * [`engine`] — the tick-level simulation of micro-batch execution:
+//!   input queues, processing/scheduling delays, memory pressure, executor
+//!   OOM cascades, driver/executor failures, CPU contention, plus the
+//!   paper's "normal noise" (checkpoint spikes, HDFS DataNode activity),
+//! * [`metrics`] — the metric schema: the curated 19-feature set of
+//!   Appendix D.1 and the full 2,283-metric layout of Table 1(a),
+//! * [`trace`] — a recorded [`trace::Trace`] with its workload context
+//!   (application, input rate, concurrency),
+//! * [`ground_truth`] — root-cause intervals (RCI) from the DEG schedule
+//!   and extended effect intervals (EEI) derived with the Appendix A.2
+//!   rules,
+//! * [`dataset`] — the [`dataset::DatasetBuilder`] reproducing the
+//!   Table 1(b) composition: 59 undisturbed + 34 disturbed traces carrying
+//!   97 anomaly instances.
+//!
+//! Why this substitution is faithful: AD/ED algorithms only observe the
+//! numeric traces and the ground-truth table. The simulator reproduces the
+//! *causal structure* the paper documents per anomaly type (e.g. bursty
+//! input → batch size ↑ → processing time > batch interval → queue and
+//! scheduling delay build-up → memory growth → executor OOM), and the same
+//! sources of benign variation the paper insists are part of "normal"
+//! (checkpointing, DataNode CPU). Trace durations are scaled down so the
+//! full benchmark runs on a laptop.
+
+pub mod app;
+pub mod dataset;
+pub mod deg;
+pub mod engine;
+pub mod ground_truth;
+pub mod metrics;
+pub mod persist;
+pub mod trace;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use deg::AnomalyType;
+pub use ground_truth::GroundTruthEntry;
+pub use trace::Trace;

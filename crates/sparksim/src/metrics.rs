@@ -1,0 +1,392 @@
+//! Metric schema: the base metrics the simulator records, the curated
+//! 19-feature set of Appendix D.1, and the full 2,283-metric layout of
+//! Table 1(a).
+//!
+//! The simulator records a compact set of *base* metrics — the physically
+//! meaningful signals (delays, counters, memory, CPU) that the paper's
+//! Appendix D.1 features are derived from. The full 2,283-dimension layout
+//! is produced on demand by deterministic expansion: each synthetic metric
+//! is a fixed sparse linear mixture of base signals plus noise, which
+//! preserves the real dataset's properties the paper calls out (correlated
+//! features, many near-redundant dimensions, null values for inactive
+//! executors).
+
+use exathlon_tsdata::series::TimeSeries;
+use exathlon_tsdata::transform::{average_features, difference_features};
+
+/// Number of executor metric slots (3 active + 2 backup, §3.1).
+pub const EXECUTOR_SLOTS: usize = 5;
+/// Number of cluster nodes.
+pub const NODES: usize = 4;
+/// Per-executor base metrics recorded by the simulator.
+pub const EXEC_BASE_METRICS: usize = 6;
+/// Driver base metrics recorded by the simulator.
+pub const DRIVER_BASE_METRICS: usize = 9;
+/// Total base metrics: driver + executors + per-node OS.
+pub const BASE_METRICS: usize = DRIVER_BASE_METRICS + EXECUTOR_SLOTS * EXEC_BASE_METRICS + NODES;
+
+/// Full-layout counts from Table 1(a).
+pub const FULL_DRIVER_METRICS: usize = 243;
+/// Full-layout executor metrics: 5 slots x 140.
+pub const FULL_EXECUTOR_METRICS: usize = EXECUTOR_SLOTS * 140;
+/// Full-layout OS metrics: 4 nodes x 335.
+pub const FULL_OS_METRICS: usize = NODES * 335;
+/// The paper's 2,283 total.
+pub const FULL_METRICS: usize = FULL_DRIVER_METRICS + FULL_EXECUTOR_METRICS + FULL_OS_METRICS;
+
+/// Indices of the driver base metrics within a base record.
+pub mod base {
+    /// Processing delay of the last completed batch (seconds).
+    pub const PROCESSING_DELAY: usize = 0;
+    /// Scheduling delay of the last completed batch (seconds).
+    pub const SCHEDULING_DELAY: usize = 1;
+    /// Total delay of the last completed batch (seconds).
+    pub const TOTAL_DELAY: usize = 2;
+    /// Cumulative completed batches.
+    pub const TOTAL_COMPLETED_BATCHES: usize = 3;
+    /// Cumulative processed records.
+    pub const TOTAL_PROCESSED_RECORDS: usize = 4;
+    /// Cumulative received records.
+    pub const TOTAL_RECEIVED_RECORDS: usize = 5;
+    /// Records in the last received batch.
+    pub const LAST_RECEIVED_BATCH_RECORDS: usize = 6;
+    /// BlockManager memory used (MB).
+    pub const BLOCK_MANAGER_MEM_MB: usize = 7;
+    /// Driver JVM heap used (MB).
+    pub const DRIVER_JVM_HEAP: usize = 8;
+
+    /// Start of executor slot `e`'s block (each
+    /// [`EXEC_BASE_METRICS`](super::EXEC_BASE_METRICS) wide).
+    pub const fn executor_block(e: usize) -> usize {
+        super::DRIVER_BASE_METRICS + e * super::EXEC_BASE_METRICS
+    }
+    /// Offsets within an executor block.
+    pub const EXEC_HDFS_WRITE_OPS: usize = 0;
+    /// Cumulative executor CPU time.
+    pub const EXEC_CPU_TIME: usize = 1;
+    /// Cumulative executor run time.
+    pub const EXEC_RUN_TIME: usize = 2;
+    /// Cumulative shuffle records read.
+    pub const EXEC_SHUFFLE_READ: usize = 3;
+    /// Cumulative shuffle records written.
+    pub const EXEC_SHUFFLE_WRITTEN: usize = 4;
+    /// Executor JVM heap used (MB).
+    pub const EXEC_JVM_HEAP: usize = 5;
+
+    /// Index of node `n`'s CPU idle%.
+    pub const fn node_cpu_idle(n: usize) -> usize {
+        super::DRIVER_BASE_METRICS + super::EXECUTOR_SLOTS * super::EXEC_BASE_METRICS + n
+    }
+}
+
+/// Names of the base metrics, in record order.
+pub fn base_metric_names() -> Vec<String> {
+    let mut names = vec![
+        "driver_Streaming_lastCompletedBatch_processingDelay_value".to_string(),
+        "driver_Streaming_lastCompletedBatch_schedulingDelay_value".to_string(),
+        "driver_Streaming_lastCompletedBatch_totalDelay_value".to_string(),
+        "driver_Streaming_totalCompletedBatches_value".to_string(),
+        "driver_Streaming_totalProcessedRecords_value".to_string(),
+        "driver_Streaming_totalReceivedRecords_value".to_string(),
+        "driver_Streaming_lastReceivedBatch_records_value".to_string(),
+        "driver_BlockManager_memory_memUsed_MB_value".to_string(),
+        "driver_jvm_heap_used_value".to_string(),
+    ];
+    for e in 0..EXECUTOR_SLOTS {
+        names.push(format!("executor{e}_filesystem_hdfs_write_ops_value"));
+        names.push(format!("executor{e}_cpuTime_count"));
+        names.push(format!("executor{e}_runTime_count"));
+        names.push(format!("executor{e}_shuffleRecordsRead_count"));
+        names.push(format!("executor{e}_shuffleRecordsWritten_count"));
+        names.push(format!("executor{e}_jvm_heap_used_value"));
+    }
+    for n in 0..NODES {
+        // The paper's mini-cluster nodes are numbered 5..8.
+        names.push(format!("node{}_CPU_ALL_Idle%", n + 5));
+    }
+    debug_assert_eq!(names.len(), BASE_METRICS);
+    names
+}
+
+/// The 19 feature names of the curated set, in the exact index order of
+/// Appendix D.1 (used by the explanation examples in Figure 6).
+pub fn custom_feature_names() -> Vec<String> {
+    vec![
+        "driver_Streaming_lastCompletedBatch_processingDelay_value".into(),
+        "driver_Streaming_lastCompletedBatch_schedulingDelay_value".into(),
+        "driver_Streaming_lastCompletedBatch_totalDelay_value".into(),
+        "1_diff_driver_Streaming_totalCompletedBatches_value".into(),
+        "1_diff_driver_Streaming_totalProcessedRecords_value".into(),
+        "1_diff_driver_Streaming_totalReceivedRecords_value".into(),
+        "1_diff_driver_Streaming_lastReceivedBatch_records_value".into(),
+        "1_diff_driver_BlockManager_memory_memUsed_MB_value".into(),
+        "1_diff_driver_jvm_heap_used_value".into(),
+        "1_diff_node5_CPU_ALL_Idle%".into(),
+        "1_diff_node6_CPU_ALL_Idle%".into(),
+        "1_diff_node7_CPU_ALL_Idle%".into(),
+        "1_diff_node8_CPU_ALL_Idle%".into(),
+        "1_diff_avg_executor_filesystem_hdfs_write_ops_value".into(),
+        "1_diff_avg_executor_cpuTime_count".into(),
+        "1_diff_avg_executor_runTime_count".into(),
+        "1_diff_avg_executor_shuffleRecordsRead_count".into(),
+        "1_diff_avg_executor_shuffleRecordsWritten_count".into(),
+        "1_diff_avg_jvm_heap_used_value".into(),
+    ]
+}
+
+/// Derive the 19-feature custom set (`FS_custom`, Appendix D.1) from a base
+/// series:
+///
+/// 1. average each executor metric across active executor slots
+///    (NaN slots excluded),
+/// 2. first-order difference the cumulative/gauge features,
+/// 3. project onto the 19 features in appendix order.
+///
+/// The output has `base.len() - 1` records (differencing consumes one).
+pub fn custom_feature_set(base_series: &TimeSeries) -> TimeSeries {
+    assert_eq!(base_series.dims(), BASE_METRICS, "expected a base-metric series");
+    // Step 1: averaged executor columns.
+    let mut ts = base_series.clone();
+    let exec_metric_names = [
+        "avg_executor_filesystem_hdfs_write_ops_value",
+        "avg_executor_cpuTime_count",
+        "avg_executor_runTime_count",
+        "avg_executor_shuffleRecordsRead_count",
+        "avg_executor_shuffleRecordsWritten_count",
+        "avg_jvm_heap_used_value",
+    ];
+    for (offset, name) in exec_metric_names.iter().enumerate() {
+        let indices: Vec<usize> =
+            (0..EXECUTOR_SLOTS).map(|e| base::executor_block(e) + offset).collect();
+        ts = average_features(&ts, &indices, name);
+    }
+
+    // Step 2: difference everything except the three delay gauges.
+    let delay_indices = [base::PROCESSING_DELAY, base::SCHEDULING_DELAY, base::TOTAL_DELAY];
+    let diff_indices: Vec<usize> =
+        (0..ts.dims()).filter(|j| !delay_indices.contains(j)).collect();
+    let diffed = difference_features(&ts, &diff_indices);
+
+    // Step 3: select the 19 features by name, in appendix order.
+    let wanted = custom_feature_names();
+    let indices: Vec<usize> = wanted
+        .iter()
+        .map(|name| {
+            diffed
+                .feature_index(name)
+                .unwrap_or_else(|| panic!("derived series is missing feature {name}"))
+        })
+        .collect();
+    diffed.select_features(&indices)
+}
+
+/// Deterministic full-layout expansion: lift a base series to the paper's
+/// 2,283-metric layout (or any smaller `target_dims >= BASE_METRICS`).
+///
+/// Metric `k` beyond the base block is a fixed 2-term linear mixture of base
+/// signals plus deterministic pseudo-noise, with mixing chosen by hashing
+/// `k` — so the same metric means the same thing across all traces, like a
+/// real monitoring schema. Executor-derived synthetic metrics inherit the
+/// NaN of their source slot (inactive executors report null, §3.1).
+pub fn expand_to_full(base_series: &TimeSeries, target_dims: usize) -> TimeSeries {
+    assert!(target_dims >= BASE_METRICS, "target_dims must be at least BASE_METRICS");
+    assert_eq!(base_series.dims(), BASE_METRICS, "expected a base-metric series");
+    let n = base_series.len();
+    let extra = target_dims - BASE_METRICS;
+
+    // Precompute per-synthetic-metric mixing parameters.
+    enum Mix {
+        /// A sparse linear mixture of two base signals plus noise.
+        Derived { src_a: usize, src_b: usize, w_a: f64, w_b: f64, noise_scale: f64, phase: f64 },
+        /// An *ambient* metric: high-variance activity unrelated to this
+        /// application (other tenants, OS churn, rotating log volumes).
+        /// Real monitoring layouts are full of these; they are what makes
+        /// variance-driven feature selection (PCA) lose the low-variance
+        /// anomaly signals (Table 8).
+        Ambient { amplitude: f64, f1: f64, f2: f64, phase: f64 },
+    }
+    let mixes: Vec<Mix> = (0..extra)
+        .map(|k| {
+            let h = splitmix64(k as u64 + 1);
+            if h.is_multiple_of(2) {
+                Mix::Derived {
+                    src_a: ((h >> 2) % BASE_METRICS as u64) as usize,
+                    src_b: ((h >> 16) % BASE_METRICS as u64) as usize,
+                    w_a: 0.2 + 1.6 * unit(h >> 8),
+                    w_b: 0.8 * unit(h >> 24) - 0.4,
+                    noise_scale: 0.02 + 0.08 * unit(h >> 32),
+                    phase: unit(h >> 40) * std::f64::consts::TAU,
+                }
+            } else {
+                // Log-uniform amplitude across 1e2..1e6 so ambient
+                // variance rivals the cumulative counters'.
+                Mix::Ambient {
+                    amplitude: 10f64.powf(2.0 + 4.0 * unit(h >> 8)),
+                    f1: 0.002 + 0.05 * unit(h >> 20),
+                    f2: 0.01 + 0.2 * unit(h >> 32),
+                    phase: unit(h >> 44) * std::f64::consts::TAU,
+                }
+            }
+        })
+        .collect();
+
+    let mut names = base_metric_names();
+    names.reserve(extra);
+    for (k, mix) in mixes.iter().enumerate() {
+        names.push(match mix {
+            Mix::Derived { src_a, src_b, .. } => format!("synthetic_{k}_of_{src_a}_{src_b}"),
+            Mix::Ambient { .. } => format!("ambient_{k}"),
+        });
+    }
+
+    let mut values = Vec::with_capacity(n * target_dims);
+    for (i, rec) in base_series.records().enumerate() {
+        values.extend_from_slice(rec);
+        let t = i as f64;
+        for mix in &mixes {
+            match *mix {
+                Mix::Derived { src_a, src_b, w_a, w_b, noise_scale, phase } => {
+                    let a = rec[src_a];
+                    let b = rec[src_b];
+                    if a.is_nan() || b.is_nan() {
+                        values.push(f64::NAN);
+                        continue;
+                    }
+                    let noise = (t * 0.37 + phase).sin() * noise_scale * (1.0 + a.abs());
+                    values.push(w_a * a + w_b * b + noise);
+                }
+                Mix::Ambient { amplitude, f1, f2, phase } => {
+                    values.push(
+                        amplitude * ((t * f1 + phase).sin() + 0.5 * (t * f2 + 2.0 * phase).sin()),
+                    );
+                }
+            }
+        }
+    }
+    TimeSeries::from_flat(names, base_series.start_tick(), values)
+}
+
+/// SplitMix64: tiny deterministic hash for the expansion parameters.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map the low 32 bits of a hash into `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h & 0xFFFF_FFFF) as f64 / (u32::MAX as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::TimeSeries;
+
+    fn synthetic_base(n: usize) -> TimeSeries {
+        let names = base_metric_names();
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rec = vec![0.0; BASE_METRICS];
+            rec[base::PROCESSING_DELAY] = 1.0 + (i % 3) as f64;
+            rec[base::TOTAL_COMPLETED_BATCHES] = i as f64;
+            rec[base::TOTAL_PROCESSED_RECORDS] = (i * 100) as f64;
+            rec[base::TOTAL_RECEIVED_RECORDS] = (i * 100) as f64;
+            for e in 0..EXECUTOR_SLOTS {
+                let block = base::executor_block(e);
+                if e < 3 {
+                    rec[block + base::EXEC_CPU_TIME] = (i * (e + 1)) as f64;
+                    rec[block + base::EXEC_JVM_HEAP] = 100.0 + e as f64;
+                } else {
+                    for off in 0..EXEC_BASE_METRICS {
+                        rec[block + off] = f64::NAN;
+                    }
+                }
+            }
+            for node in 0..NODES {
+                rec[base::node_cpu_idle(node)] = 90.0 - i as f64;
+            }
+            records.push(rec);
+        }
+        TimeSeries::from_records(names, 0, &records)
+    }
+
+    #[test]
+    fn layout_constants_match_paper() {
+        assert_eq!(FULL_METRICS, 2283);
+        assert_eq!(FULL_DRIVER_METRICS, 243);
+        assert_eq!(FULL_EXECUTOR_METRICS, 700);
+        assert_eq!(FULL_OS_METRICS, 1340);
+        assert_eq!(base_metric_names().len(), BASE_METRICS);
+    }
+
+    #[test]
+    fn custom_set_has_19_features_in_appendix_order() {
+        let base = synthetic_base(10);
+        let fs = custom_feature_set(&base);
+        assert_eq!(fs.dims(), 19);
+        assert_eq!(fs.len(), 9);
+        let names = custom_feature_names();
+        assert_eq!(fs.names(), &names[..]);
+    }
+
+    #[test]
+    fn custom_set_differences_counters() {
+        let base = synthetic_base(10);
+        let fs = custom_feature_set(&base);
+        // totalProcessedRecords grows by 100/tick -> diff is constant 100.
+        let j = fs
+            .feature_index("1_diff_driver_Streaming_totalProcessedRecords_value")
+            .unwrap();
+        assert!(fs.feature_column(j).iter().all(|&x| (x - 100.0).abs() < 1e-9));
+        // Delays are passed through un-differenced.
+        let d = fs.feature_index("driver_Streaming_lastCompletedBatch_processingDelay_value");
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn custom_set_averages_only_active_executors() {
+        let base = synthetic_base(10);
+        let fs = custom_feature_set(&base);
+        // Active executors have heap 100, 101, 102 (constant in time), so
+        // diff(avg heap) = 0 and no NaN leaks from backup slots.
+        let j = fs.feature_index("1_diff_avg_jvm_heap_used_value").unwrap();
+        for x in fs.feature_column(j) {
+            assert!(x.abs() < 1e-9, "expected 0 diff, got {x}");
+        }
+    }
+
+    #[test]
+    fn expansion_reaches_full_dims_and_is_deterministic() {
+        let base = synthetic_base(5);
+        let full_a = expand_to_full(&base, 100);
+        let full_b = expand_to_full(&base, 100);
+        assert_eq!(full_a.dims(), 100);
+        assert!(full_a.same_data(&full_b));
+        // Base metrics are preserved verbatim as a prefix (bitwise, to
+        // treat the NaN backup-slot metrics as equal).
+        for i in 0..base.len() {
+            for (a, b) in full_a.record(i)[..BASE_METRICS].iter().zip(base.record(i)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_propagates_nan_for_inactive_executors() {
+        let base = synthetic_base(5);
+        let full = expand_to_full(&base, FULL_METRICS);
+        assert_eq!(full.dims(), 2283);
+        // At least one synthetic metric must derive from a NaN (backup) slot.
+        let nan_count = full.record(0).iter().filter(|x| x.is_nan()).count();
+        assert!(nan_count > EXECUTOR_SLOTS, "expected NaN propagation, got {nan_count}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn expansion_below_base_panics() {
+        let base = synthetic_base(3);
+        let _ = expand_to_full(&base, 10);
+    }
+}

@@ -1,0 +1,176 @@
+//! Dataset persistence: export traces and the ground-truth table to JSON
+//! so the generated benchmark dataset can be consumed outside this crate
+//! (or re-loaded without re-simulating) — the "curated anomaly dataset"
+//! artifact of the paper's contribution (i).
+
+use crate::dataset::Dataset;
+use crate::deg::DegSchedule;
+use crate::ground_truth::GroundTruthEntry;
+use crate::trace::{Trace, WorkloadContext};
+use exathlon_tsdata::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serializable form of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Trace id.
+    pub trace_id: usize,
+    /// Workload context (A, R, C).
+    pub context: WorkloadContext,
+    /// Metric names.
+    pub names: Vec<String>,
+    /// Tick of the first record.
+    pub start_tick: u64,
+    /// Row-major values (`len x names.len()`); NaN encoded as `null` by
+    /// serde_json.
+    pub values: Vec<Option<f64>>,
+    /// The injection schedule that produced the trace.
+    pub schedule: DegSchedule,
+    /// Crash tick, if the run crashed.
+    pub crashed_at: Option<u64>,
+}
+
+/// Serializable form of the whole dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetRecord {
+    /// Undisturbed traces.
+    pub undisturbed: Vec<TraceRecord>,
+    /// Disturbed traces.
+    pub disturbed: Vec<TraceRecord>,
+    /// The ground-truth table.
+    pub ground_truth: Vec<GroundTruthEntry>,
+}
+
+fn to_record(trace: &Trace) -> TraceRecord {
+    let (_, _, flat) = trace.base.to_flat();
+    TraceRecord {
+        trace_id: trace.trace_id,
+        context: trace.context,
+        names: trace.base.names().to_vec(),
+        start_tick: trace.base.start_tick(),
+        values: flat.iter().map(|&v| if v.is_nan() { None } else { Some(v) }).collect(),
+        schedule: trace.schedule.clone(),
+        crashed_at: trace.crashed_at,
+    }
+}
+
+fn from_record(r: TraceRecord) -> Trace {
+    let values: Vec<f64> = r.values.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+    Trace {
+        trace_id: r.trace_id,
+        context: r.context,
+        base: TimeSeries::from_flat(r.names, r.start_tick, values),
+        schedule: r.schedule,
+        crashed_at: r.crashed_at,
+    }
+}
+
+/// Convert a dataset into its serializable form.
+pub fn to_dataset_record(ds: &Dataset) -> DatasetRecord {
+    DatasetRecord {
+        undisturbed: ds.undisturbed.iter().map(to_record).collect(),
+        disturbed: ds.disturbed.iter().map(to_record).collect(),
+        ground_truth: ds.ground_truth.clone(),
+    }
+}
+
+/// Rebuild a dataset from its serializable form.
+pub fn from_dataset_record(record: DatasetRecord) -> Dataset {
+    Dataset {
+        undisturbed: record.undisturbed.into_iter().map(from_record).collect(),
+        disturbed: record.disturbed.into_iter().map(from_record).collect(),
+        ground_truth: record.ground_truth,
+    }
+}
+
+/// Write a dataset to a JSON file.
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn save_dataset(ds: &Dataset, path: &Path) -> std::io::Result<()> {
+    let record = to_dataset_record(ds);
+    let json = serde_json::to_vec(&record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&json)
+}
+
+/// Load a dataset from a JSON file written by [`save_dataset`].
+///
+/// # Errors
+/// Propagates I/O and deserialization errors.
+pub fn load_dataset(path: &Path) -> std::io::Result<Dataset> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    let record: DatasetRecord = serde_json::from_slice(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(from_dataset_record(record))
+}
+
+/// Write just the ground-truth table (the paper's Table 1(b) label file).
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn save_ground_truth(entries: &[GroundTruthEntry], path: &Path) -> std::io::Result<()> {
+    let json = serde_json::to_vec_pretty(entries)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = DatasetBuilder::tiny(13).build();
+        let record = to_dataset_record(&ds);
+        let json = serde_json::to_string(&record).expect("serializes");
+        let back: DatasetRecord = serde_json::from_str(&json).expect("deserializes");
+        let restored = from_dataset_record(back);
+
+        assert_eq!(restored.undisturbed.len(), ds.undisturbed.len());
+        assert_eq!(restored.disturbed.len(), ds.disturbed.len());
+        assert_eq!(restored.ground_truth, ds.ground_truth);
+        for (a, b) in restored.undisturbed.iter().zip(&ds.undisturbed) {
+            assert!(a.base.same_data(&b.base), "trace {} data changed", b.trace_id);
+            assert_eq!(a.context, b.context);
+        }
+        for (a, b) in restored.disturbed.iter().zip(&ds.disturbed) {
+            assert!(a.base.same_data(&b.base));
+            assert_eq!(a.crashed_at, b.crashed_at);
+            assert_eq!(a.schedule.len(), b.schedule.len());
+        }
+    }
+
+    #[test]
+    fn nan_survives_json() {
+        let ds = DatasetBuilder::tiny(14).build();
+        // Backup executor slots are NaN in every trace.
+        let record = to_dataset_record(&ds);
+        assert!(record.undisturbed[0].values.iter().any(|v| v.is_none()));
+        let restored = from_dataset_record(record);
+        let (_, _, flat) = restored.undisturbed[0].base.to_flat();
+        assert!(flat.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("exathlon_persist_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("tiny.json");
+        let ds = DatasetBuilder::tiny(15).build();
+        save_dataset(&ds, &path).expect("save");
+        let back = load_dataset(&path).expect("load");
+        assert_eq!(back.ground_truth, ds.ground_truth);
+        assert!(back.disturbed[0].base.same_data(&ds.disturbed[0].base));
+        let gt_path = dir.join("gt.json");
+        save_ground_truth(&ds.ground_truth, &gt_path).expect("save gt");
+        assert!(gt_path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

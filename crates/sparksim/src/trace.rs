@@ -1,0 +1,122 @@
+//! A recorded trace and its workload context.
+//!
+//! "The data collected from each run of a Spark streaming application is
+//! called a *Trace*" (§3.1). A trace carries the recorded base-metric time
+//! series plus the (A, R, C) workload characteristics — application, input
+//! rate, concurrency — that the learning settings LS1–LS4 generalize over.
+
+use crate::deg::DegSchedule;
+use crate::metrics::{custom_feature_set, expand_to_full};
+use exathlon_tsdata::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Workload context of a trace: the paper's (A, R, C) characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadContext {
+    /// Application id (A), `0..10`.
+    pub app_id: usize,
+    /// Input-rate factor (R) relative to the application's sized-for rate.
+    pub rate_factor: f64,
+    /// Concurrency (C): how many applications share the cluster (the paper
+    /// runs 5 of 10 at a time; we allow variation for the generalization
+    /// study).
+    pub concurrency: usize,
+}
+
+/// One recorded run of one application.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Unique trace id within the dataset.
+    pub trace_id: usize,
+    /// Workload context.
+    pub context: WorkloadContext,
+    /// Recorded base metrics, 1 record per tick.
+    pub base: TimeSeries,
+    /// The DEG schedule that produced this trace (empty if undisturbed).
+    pub schedule: DegSchedule,
+    /// Tick at which the application crashed (T2 / severe contention), if
+    /// it did. The trace ends at the crash.
+    pub crashed_at: Option<u64>,
+}
+
+impl Trace {
+    /// True when no anomalies were injected.
+    pub fn is_undisturbed(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Trace length in ticks.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when the trace recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The curated 19-feature view (`FS_custom`). One record shorter than
+    /// the base series because of differencing.
+    pub fn custom_features(&self) -> TimeSeries {
+        custom_feature_set(&self.base)
+    }
+
+    /// The full high-dimensional view with `dims` metrics (up to the
+    /// paper's 2,283).
+    pub fn full_features(&self, dims: usize) -> TimeSeries {
+        expand_to_full(&self.base, dims)
+    }
+
+    /// Human-readable name, e.g. `app3_trace17`.
+    pub fn name(&self) -> String {
+        format!("app{}_trace{}", self.context.app_id, self.trace_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{base_metric_names, BASE_METRICS};
+
+    fn tiny_trace(n: usize) -> Trace {
+        let records: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut r = vec![0.0; BASE_METRICS];
+                r[3] = i as f64;
+                r
+            })
+            .collect();
+        Trace {
+            trace_id: 7,
+            context: WorkloadContext { app_id: 3, rate_factor: 1.0, concurrency: 5 },
+            base: TimeSeries::from_records(base_metric_names(), 0, &records),
+            schedule: DegSchedule::undisturbed(),
+            crashed_at: None,
+        }
+    }
+
+    #[test]
+    fn naming_and_flags() {
+        let t = tiny_trace(5);
+        assert_eq!(t.name(), "app3_trace7");
+        assert!(t.is_undisturbed());
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn custom_features_shape() {
+        let t = tiny_trace(10);
+        let fs = t.custom_features();
+        assert_eq!(fs.dims(), 19);
+        assert_eq!(fs.len(), 9);
+    }
+
+    #[test]
+    fn full_features_shape() {
+        let t = tiny_trace(4);
+        let f = t.full_features(200);
+        assert_eq!(f.dims(), 200);
+        assert_eq!(f.len(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the cluster simulator: physical invariants
+//! that must hold for arbitrary run specifications.
+
+use exathlon_sparksim::deg::{AnomalyType, DegSchedule, InjectedEvent};
+use exathlon_sparksim::engine::{simulate, SimSpec};
+use exathlon_sparksim::metrics::{base, BASE_METRICS};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SimSpec> {
+    (
+        0usize..10,   // app
+        0.6f64..1.3,  // rate factor
+        2usize..8,    // concurrency
+        200u64..500,  // duration
+        any::<u64>(), // seed
+    )
+        .prop_map(|(app_id, rate_factor, concurrency, duration, seed)| {
+            SimSpec::undisturbed(app_id, 0, rate_factor, concurrency, duration, seed)
+        })
+}
+
+fn arb_event(duration: u64) -> impl Strategy<Value = InjectedEvent> {
+    (
+        prop_oneof![
+            Just(AnomalyType::BurstyInput),
+            Just(AnomalyType::StalledInput),
+            Just(AnomalyType::CpuContention),
+            Just(AnomalyType::DriverFailure),
+            Just(AnomalyType::ExecutorFailure),
+        ],
+        duration / 4..duration / 2,
+        20u64..60,
+        0usize..4,
+    )
+        .prop_map(|(atype, start, dur, node)| InjectedEvent {
+            atype,
+            start,
+            duration: dur,
+            intensity: match atype {
+                AnomalyType::BurstyInput => 4.5,
+                AnomalyType::CpuContention => 0.9,
+                _ => 0.0,
+            },
+            node,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Undisturbed runs: full length, no crash, finite-or-NaN metrics,
+    /// cumulative counters monotone up to reporting jitter.
+    #[test]
+    fn undisturbed_invariants(spec in arb_spec()) {
+        let (trace, gt) = simulate(&spec);
+        prop_assert!(gt.is_empty());
+        prop_assert_eq!(trace.len() as u64, spec.duration);
+        prop_assert!(trace.crashed_at.is_none());
+        prop_assert_eq!(trace.base.dims(), BASE_METRICS);
+
+        let batches = trace.base.feature_column(base::TOTAL_COMPLETED_BATCHES);
+        for w in batches.windows(2) {
+            prop_assert!(w[1] >= w[0], "completed batches decreased");
+        }
+        let processed = trace.base.feature_column(base::TOTAL_PROCESSED_RECORDS);
+        let slack = processed.last().copied().unwrap_or(0.0).abs() * 0.01 + 1.0;
+        for w in processed.windows(2) {
+            prop_assert!(w[1] >= w[0] - slack, "processed counter fell beyond jitter");
+        }
+        // Delays are non-negative; idle% within [0, 100].
+        for i in 0..trace.len() {
+            prop_assert!(trace.base.value(i, base::PROCESSING_DELAY) >= 0.0);
+            prop_assert!(trace.base.value(i, base::SCHEDULING_DELAY) >= 0.0);
+            for n in 0..4 {
+                let idle = trace.base.value(i, base::node_cpu_idle(n));
+                prop_assert!((0.0..=100.0).contains(&idle));
+            }
+        }
+    }
+
+    /// Disturbed runs: exactly one ground-truth entry per surviving
+    /// injected event, with RCI matching the schedule and intervals inside
+    /// the trace.
+    #[test]
+    fn disturbed_ground_truth_matches_schedule(
+        spec in arb_spec(),
+        event in arb_event(400),
+    ) {
+        let spec = SimSpec {
+            duration: 400.max(event.end() + 50),
+            schedule: DegSchedule::new(vec![event.clone()]),
+            ..spec
+        };
+        let (trace, gt) = simulate(&spec);
+        if (event.start as usize) < trace.len() {
+            prop_assert_eq!(gt.len(), 1);
+            let e = &gt[0];
+            prop_assert_eq!(e.anomaly_type, event.atype);
+            prop_assert_eq!(e.root_cause_start, event.start);
+            let (_, a_end) = e.anomaly_interval();
+            prop_assert!(a_end <= trace.len() as u64);
+        }
+    }
+
+    /// Determinism: the same spec yields bit-identical traces.
+    #[test]
+    fn simulation_is_deterministic(spec in arb_spec()) {
+        let (a, _) = simulate(&spec);
+        let (b, _) = simulate(&spec);
+        prop_assert!(a.base.same_data(&b.base));
+    }
+}

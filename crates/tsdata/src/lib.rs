@@ -1,0 +1,28 @@
+//! # exathlon-tsdata
+//!
+//! Multivariate time-series substrate for the Exathlon benchmark.
+//!
+//! The Exathlon dataset is a collection of *traces*: multivariate time
+//! series sampled at 1 Hz with thousands of features (2,283 metrics in the
+//! paper). This crate provides the data structures and transformations the
+//! pipeline's **Data Transformation** phase (§5 step 2) needs:
+//!
+//! * [`series::TimeSeries`] — the core frame: `n` records x `m` features,
+//!   row-major `f64` with named features and a start tick,
+//! * [`window`] — sliding-window extraction for window-based models
+//!   (autoencoder, BiGAN) and sequence models (LSTM),
+//! * [`resample`] — cardinality-factor resampling (`α = 1/l`: average every
+//!   `l`-second interval, §4.3),
+//! * [`transform`] — first-order differencing (the `1_diff_*` features of
+//!   Appendix D.1) and missing-value cleaning,
+//! * [`scale`] — min-max and standard scalers fitted on training data, plus
+//!   the paper's *dynamic* scaler that adapts to the new context of each
+//!   test trace as the AD model runs over it.
+
+pub mod resample;
+pub mod scale;
+pub mod series;
+pub mod transform;
+pub mod window;
+
+pub use series::TimeSeries;

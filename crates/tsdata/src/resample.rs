@@ -1,0 +1,121 @@
+//! Cardinality-factor resampling.
+//!
+//! The benchmark's scalability knob `α = 1/l` (§4.3) reduces data size by
+//! averaging the records of every `l`-second interval. The experimental
+//! study uses `α = 1/15` so the deep models could finish training; the same
+//! knob drives the P1/P2 performance experiments.
+
+use crate::series::TimeSeries;
+
+/// Average every `l` consecutive records into one. A trailing partial
+/// interval is averaged over the records it contains. NaN values are
+/// skipped in the average; an interval whose values for a feature are all
+/// NaN yields NaN.
+///
+/// The result's `start_tick` is preserved; one output record stands for `l`
+/// input ticks.
+///
+/// # Panics
+/// Panics if `l == 0`.
+pub fn resample_mean(ts: &TimeSeries, l: usize) -> TimeSeries {
+    assert!(l > 0, "resample interval must be positive");
+    if l == 1 {
+        return ts.clone();
+    }
+    let m = ts.dims();
+    let n_out = ts.len().div_ceil(l);
+    let mut values = Vec::with_capacity(n_out * m);
+    let mut sums = vec![0.0; m];
+    let mut counts = vec![0u32; m];
+    for (i, record) in ts.records().enumerate() {
+        for (j, &x) in record.iter().enumerate() {
+            if !x.is_nan() {
+                sums[j] += x;
+                counts[j] += 1;
+            }
+        }
+        let end_of_interval = (i + 1) % l == 0 || i + 1 == ts.len();
+        if end_of_interval {
+            for j in 0..m {
+                values.push(if counts[j] > 0 { sums[j] / counts[j] as f64 } else { f64::NAN });
+                sums[j] = 0.0;
+                counts[j] = 0;
+            }
+        }
+    }
+    TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+}
+
+/// The cardinality factor `α = 1/l` for an interval length `l`.
+pub fn cardinality_factor(l: usize) -> f64 {
+    assert!(l > 0, "resample interval must be positive");
+    1.0 / l as f64
+}
+
+/// Map a record index in the resampled series back to the tick range
+/// `[start, end)` it covers in the original series.
+pub fn resampled_index_to_ticks(ts_start: u64, idx: usize, l: usize, orig_len: usize) -> (u64, u64) {
+    let start = idx * l;
+    let end = (start + l).min(orig_len);
+    (ts_start + start as u64, ts_start + end as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::default_names;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let records: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        TimeSeries::from_records(default_names(1), 50, &records)
+    }
+
+    #[test]
+    fn resample_averages_intervals() {
+        let ts = series(&[1.0, 3.0, 5.0, 7.0, 9.0, 11.0]);
+        let r = resample_mean(&ts, 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.feature_column(0), vec![2.0, 6.0, 10.0]);
+        assert_eq!(r.start_tick(), 50);
+    }
+
+    #[test]
+    fn resample_partial_tail() {
+        let ts = series(&[2.0, 4.0, 6.0, 8.0, 10.0]);
+        let r = resample_mean(&ts, 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.feature_column(0), vec![3.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn resample_l1_is_identity() {
+        let ts = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(resample_mean(&ts, 1), ts);
+    }
+
+    #[test]
+    fn resample_skips_nan() {
+        let ts = series(&[1.0, f64::NAN, f64::NAN, f64::NAN]);
+        let r = resample_mean(&ts, 2);
+        assert_eq!(r.value(0, 0), 1.0);
+        assert!(r.value(1, 0).is_nan());
+    }
+
+    #[test]
+    fn cardinality_factor_values() {
+        assert!((cardinality_factor(15) - 1.0 / 15.0).abs() < 1e-15);
+        assert_eq!(cardinality_factor(1), 1.0);
+    }
+
+    #[test]
+    fn index_tick_mapping() {
+        assert_eq!(resampled_index_to_ticks(100, 0, 15, 100), (100, 115));
+        assert_eq!(resampled_index_to_ticks(100, 6, 15, 100), (190, 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = resample_mean(&series(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Feature rescaling.
+//!
+//! "Most ML algorithms require the features to be scaled into a range"
+//! (§5 step 2.iii). The pipeline provides:
+//!
+//! * [`MinMaxScaler`] — maps each feature into `[0, 1]` using the training
+//!   range,
+//! * [`StandardScaler`] — zero mean / unit variance using training moments,
+//! * [`DynamicScaler`] — the paper's customized method that "rescales test
+//!   data dynamically as we run an AD model over the data", because each
+//!   test trace may represent an unseen (input-rate, concurrency) context.
+//!   It keeps exponentially-weighted running estimates of per-feature center
+//!   and spread, seeded from the training statistics.
+
+use crate::series::TimeSeries;
+
+/// Spread values below this are treated as constant features and mapped
+/// to zero deviation instead of exploding.
+const MIN_SPREAD: f64 = 1e-12;
+
+/// A fitted per-feature affine scaler `x -> (x - center) / spread`.
+trait AffineScale {
+    fn center(&self) -> &[f64];
+    fn spread(&self) -> &[f64];
+
+    fn transform_record_into(&self, record: &[f64], out: &mut Vec<f64>) {
+        for ((&x, &c), &s) in record.iter().zip(self.center()).zip(self.spread()) {
+            if x.is_nan() {
+                out.push(0.0);
+            } else if s > MIN_SPREAD {
+                out.push((x - c) / s);
+            } else {
+                out.push(0.0);
+            }
+        }
+    }
+}
+
+fn transform_series<S: AffineScale>(scaler: &S, ts: &TimeSeries) -> TimeSeries {
+    let mut values = Vec::with_capacity(ts.len() * ts.dims());
+    for r in ts.records() {
+        scaler.transform_record_into(r, &mut values);
+    }
+    TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+}
+
+/// Min-max scaler: `(x - min) / (max - min)`, clamping is left to callers.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit on training data: per-feature min and range over finite values.
+    pub fn fit(train: &TimeSeries) -> Self {
+        let m = train.dims();
+        let mut mins = vec![f64::INFINITY; m];
+        let mut maxs = vec![f64::NEG_INFINITY; m];
+        for r in train.records() {
+            for j in 0..m {
+                let x = r[j];
+                if !x.is_nan() {
+                    mins[j] = mins[j].min(x);
+                    maxs[j] = maxs[j].max(x);
+                }
+            }
+        }
+        for j in 0..m {
+            if !mins[j].is_finite() {
+                mins[j] = 0.0;
+                maxs[j] = 0.0;
+            }
+        }
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Self { mins, ranges }
+    }
+
+    /// Transform a series feature-by-feature into (roughly) `[0, 1]`.
+    pub fn transform(&self, ts: &TimeSeries) -> TimeSeries {
+        transform_series(self, ts)
+    }
+
+    /// Transform a single record.
+    pub fn transform_record(&self, record: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(record.len());
+        self.transform_record_into(record, &mut out);
+        out
+    }
+}
+
+impl AffineScale for MinMaxScaler {
+    fn center(&self) -> &[f64] {
+        &self.mins
+    }
+    fn spread(&self) -> &[f64] {
+        &self.ranges
+    }
+}
+
+/// Standard scaler: `(x - mean) / std`.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit per-feature mean and population standard deviation.
+    pub fn fit(train: &TimeSeries) -> Self {
+        let m = train.dims();
+        let mut means = Vec::with_capacity(m);
+        let mut stds = Vec::with_capacity(m);
+        for j in 0..m {
+            let col = train.feature_column(j);
+            means.push(exathlon_linalg_mean(&col));
+            stds.push(exathlon_linalg_std(&col));
+        }
+        Self { means, stds }
+    }
+
+    /// Transform a series to zero mean / unit variance per feature.
+    pub fn transform(&self, ts: &TimeSeries) -> TimeSeries {
+        transform_series(self, ts)
+    }
+
+    /// Transform a single record.
+    pub fn transform_record(&self, record: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(record.len());
+        self.transform_record_into(record, &mut out);
+        out
+    }
+
+    /// Per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+impl AffineScale for StandardScaler {
+    fn center(&self) -> &[f64] {
+        &self.means
+    }
+    fn spread(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+// Local copies of mean/std so this crate stays dependency-free. They match
+// exathlon-linalg's NaN-skipping semantics (verified in tests).
+fn exathlon_linalg_mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if !x.is_nan() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn exathlon_linalg_std(xs: &[f64]) -> f64 {
+    let m = exathlon_linalg_mean(xs);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if !x.is_nan() {
+            sum += (x - m) * (x - m);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// The paper's dynamic test-time scaler.
+///
+/// Seeded with training statistics, it updates exponentially-weighted
+/// estimates of per-feature mean and deviation from the test records it has
+/// already seen, so that a test trace generated in an unseen context (e.g.
+/// a new input rate) is normalized relative to *its own* recent history
+/// rather than the training distribution alone.
+#[derive(Debug, Clone)]
+pub struct DynamicScaler {
+    means: Vec<f64>,
+    vars: Vec<f64>,
+    /// EW update weight for each new record, in `(0, 1)`. Smaller = slower
+    /// adaptation.
+    alpha: f64,
+}
+
+impl DynamicScaler {
+    /// Seed from training data with adaptation rate `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn fit(train: &TimeSeries, alpha: f64) -> Self {
+        Self::from_standard(StandardScaler::fit(train), alpha)
+    }
+
+    /// Seed from an already-fitted [`StandardScaler`] (e.g. one fitted on
+    /// pooled training traces) with adaptation rate `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn from_standard(base: StandardScaler, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        let vars = base.stds.iter().map(|s| s * s).collect();
+        Self { means: base.means, vars, alpha }
+    }
+
+    /// Normalize one record with the *current* statistics, then fold the
+    /// record into the running estimates.
+    pub fn transform_and_update(&mut self, record: &[f64]) -> Vec<f64> {
+        assert_eq!(record.len(), self.means.len(), "record dimension mismatch");
+        let mut out = Vec::with_capacity(record.len());
+        for (j, &x) in record.iter().enumerate() {
+            let std = self.vars[j].sqrt();
+            if x.is_nan() {
+                out.push(0.0);
+                continue;
+            }
+            if std > MIN_SPREAD {
+                out.push((x - self.means[j]) / std);
+            } else {
+                out.push(0.0);
+            }
+            // EW update after using the old statistics.
+            let delta = x - self.means[j];
+            self.means[j] += self.alpha * delta;
+            self.vars[j] = (1.0 - self.alpha) * (self.vars[j] + self.alpha * delta * delta);
+        }
+        out
+    }
+
+    /// Transform a whole series sequentially (statistics evolve as we go),
+    /// resetting nothing — callers should clone the scaler per trace.
+    pub fn transform_series(&mut self, ts: &TimeSeries) -> TimeSeries {
+        let mut values = Vec::with_capacity(ts.len() * ts.dims());
+        for r in ts.records() {
+            values.extend(self.transform_and_update(r));
+        }
+        TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::default_names;
+
+    fn train() -> TimeSeries {
+        TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]],
+        )
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let sc = MinMaxScaler::fit(&train());
+        let t = sc.transform(&train());
+        assert_eq!(t.feature_column(0), vec![0.0, 0.5, 1.0]);
+        assert_eq!(t.feature_column(1), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn minmax_out_of_range_extends() {
+        let sc = MinMaxScaler::fit(&train());
+        let out = sc.transform_record(&[20.0, 10.0]);
+        assert_eq!(out, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_constant_feature_is_zero() {
+        let ts = TimeSeries::from_records(default_names(1), 0, &[vec![4.0], vec![4.0]]);
+        let sc = MinMaxScaler::fit(&ts);
+        assert_eq!(sc.transform(&ts).feature_column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn standard_zero_mean_unit_var() {
+        let sc = StandardScaler::fit(&train());
+        let t = sc.transform(&train());
+        let col = t.feature_column(0);
+        let m = exathlon_linalg_mean(&col);
+        let s = exathlon_linalg_std(&col);
+        assert!(m.abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_nan_maps_to_zero() {
+        let sc = StandardScaler::fit(&train());
+        let out = sc.transform_record(&[f64::NAN, 20.0]);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn dynamic_matches_standard_initially() {
+        let tr = train();
+        let std_sc = StandardScaler::fit(&tr);
+        let mut dyn_sc = DynamicScaler::fit(&tr, 0.01);
+        let rec = [5.0, 20.0];
+        let a = std_sc.transform_record(&rec);
+        let b = dyn_sc.transform_and_update(&rec);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dynamic_adapts_to_level_shift() {
+        let tr = train();
+        let mut dyn_sc = DynamicScaler::fit(&tr, 0.2);
+        // Feed a sustained shift to mean 100: normalized values must shrink
+        // over time as the scaler adapts.
+        let first = dyn_sc.transform_and_update(&[100.0, 100.0])[0];
+        let mut last = first;
+        for _ in 0..50 {
+            last = dyn_sc.transform_and_update(&[100.0, 100.0])[0];
+        }
+        assert!(last.abs() < first.abs() / 2.0, "no adaptation: {first} -> {last}");
+    }
+
+    #[test]
+    fn dynamic_series_transform_evolves() {
+        let tr = train();
+        let mut dyn_sc = DynamicScaler::fit(&tr, 0.3);
+        let test = TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![50.0, 50.0], vec![50.0, 50.0], vec![50.0, 50.0]],
+        );
+        let t = dyn_sc.transform_series(&test);
+        let col = t.feature_column(0);
+        assert!(col[2].abs() < col[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn dynamic_bad_alpha_panics() {
+        let _ = DynamicScaler::fit(&train(), 1.5);
+    }
+}

@@ -1,0 +1,306 @@
+//! The core multivariate time-series frame.
+//!
+//! A [`TimeSeries`] models one *trace* of the Exathlon dataset: a sequence
+//! of records sampled at 1 Hz, each record being a vector of named metric
+//! values. Records are stored row-major (`record * n_features + feature`)
+//! because every consumer — windowing, scaling, the neural networks —
+//! iterates record-by-record.
+
+use std::sync::Arc;
+
+/// A multivariate time series: `len()` records of `dims()` features each.
+///
+/// Feature names are shared via `Arc` so that slicing a trace into windows
+/// or sub-ranges never clones the (potentially 2,283-entry) name table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    names: Arc<Vec<String>>,
+    /// Tick of the first record (1 tick = 1 simulated second).
+    start_tick: u64,
+    /// Row-major values, `len * names.len()`.
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create an empty series with the given feature names.
+    pub fn empty(names: Vec<String>) -> Self {
+        Self { names: Arc::new(names), start_tick: 0, values: Vec::new() }
+    }
+
+    /// Build a series from records. Every record must have the same length
+    /// as `names`.
+    ///
+    /// # Panics
+    /// Panics on ragged records.
+    pub fn from_records(names: Vec<String>, start_tick: u64, records: &[Vec<f64>]) -> Self {
+        let m = names.len();
+        let mut values = Vec::with_capacity(records.len() * m);
+        for r in records {
+            assert_eq!(r.len(), m, "record length {} != feature count {}", r.len(), m);
+            values.extend_from_slice(r);
+        }
+        Self { names: Arc::new(names), start_tick, values }
+    }
+
+    /// Build directly from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of `names.len()`.
+    pub fn from_flat(names: Vec<String>, start_tick: u64, values: Vec<f64>) -> Self {
+        let m = names.len();
+        assert!(m > 0, "need at least one feature");
+        assert_eq!(values.len() % m, 0, "flat buffer not a multiple of feature count");
+        Self { names: Arc::new(names), start_tick, values }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        if self.names.is_empty() {
+            0
+        } else {
+            self.values.len() / self.names.len()
+        }
+    }
+
+    /// True if the series has no records.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of features per record.
+    pub fn dims(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Feature names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Shared handle to the feature-name table.
+    pub fn names_arc(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.names)
+    }
+
+    /// Tick of the first record.
+    pub fn start_tick(&self) -> u64 {
+        self.start_tick
+    }
+
+    /// Tick of record `i`.
+    pub fn tick_of(&self, i: usize) -> u64 {
+        self.start_tick + i as u64
+    }
+
+    /// Record `i` as a slice.
+    #[inline]
+    pub fn record(&self, i: usize) -> &[f64] {
+        let m = self.dims();
+        &self.values[i * m..(i + 1) * m]
+    }
+
+    /// Mutable record `i`.
+    #[inline]
+    pub fn record_mut(&mut self, i: usize) -> &mut [f64] {
+        let m = self.dims();
+        &mut self.values[i * m..(i + 1) * m]
+    }
+
+    /// Iterate over records.
+    pub fn records(&self) -> impl Iterator<Item = &[f64]> {
+        self.values.chunks_exact(self.dims().max(1))
+    }
+
+    /// Append one record.
+    ///
+    /// # Panics
+    /// Panics if the record length does not match the feature count.
+    pub fn push(&mut self, record: &[f64]) {
+        assert_eq!(record.len(), self.dims(), "push record length mismatch");
+        self.values.extend_from_slice(record);
+    }
+
+    /// Value of feature `j` at record `i`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.dims() + j]
+    }
+
+    /// Copy the full column for feature `j`.
+    pub fn feature_column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.dims(), "feature index {j} out of bounds");
+        self.records().map(|r| r[j]).collect()
+    }
+
+    /// Index of the feature with the given name, if present.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// A copy of records `[start, end)` keeping the same feature table.
+    /// The slice's `start_tick` is adjusted accordingly.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len()`.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        assert!(start <= end && end <= self.len(), "slice [{start}, {end}) out of bounds");
+        let m = self.dims();
+        TimeSeries {
+            names: Arc::clone(&self.names),
+            start_tick: self.start_tick + start as u64,
+            values: self.values[start * m..end * m].to_vec(),
+        }
+    }
+
+    /// Project onto a subset of features (by index), producing a new series.
+    pub fn select_features(&self, indices: &[usize]) -> TimeSeries {
+        let names: Vec<String> = indices.iter().map(|&j| self.names[j].clone()).collect();
+        let mut values = Vec::with_capacity(self.len() * indices.len());
+        for r in self.records() {
+            for &j in indices {
+                values.push(r[j]);
+            }
+        }
+        TimeSeries { names: Arc::new(names), start_tick: self.start_tick, values }
+    }
+
+    /// Concatenate another series with the same feature table after this
+    /// one. The other series' ticks are ignored; records are appended
+    /// contiguously.
+    ///
+    /// # Panics
+    /// Panics if the feature counts differ.
+    pub fn append(&mut self, other: &TimeSeries) {
+        assert_eq!(self.dims(), other.dims(), "append feature mismatch");
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Bit-level equality that treats NaN as equal to NaN — the natural
+    /// notion of "same data" for traces whose inactive-executor slots are
+    /// recorded as NaN. Derived `PartialEq` follows IEEE semantics
+    /// (`NaN != NaN`) and so reports two identical traces as different.
+    pub fn same_data(&self, other: &TimeSeries) -> bool {
+        self.names == other.names
+            && self.start_tick == other.start_tick
+            && self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Convert to an `exathlon_linalg::Matrix`-compatible row-major buffer
+    /// (records x features). Exposed as a plain tuple to keep this crate
+    /// dependency-free.
+    pub fn to_flat(&self) -> (usize, usize, &[f64]) {
+        (self.len(), self.dims(), &self.values)
+    }
+}
+
+/// Default feature names `f0..f{m-1}` for synthetic series in tests.
+pub fn default_names(m: usize) -> Vec<String> {
+    (0..m).map(|j| format!("f{j}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        TimeSeries::from_records(
+            default_names(3),
+            100,
+            &[
+                vec![1.0, 2.0, 3.0],
+                vec![4.0, 5.0, 6.0],
+                vec![7.0, 8.0, 9.0],
+                vec![10.0, 11.0, 12.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ts = sample();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.dims(), 3);
+        assert_eq!(ts.record(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ts.value(2, 1), 8.0);
+        assert_eq!(ts.tick_of(2), 102);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn feature_lookup() {
+        let ts = sample();
+        assert_eq!(ts.feature_index("f1"), Some(1));
+        assert_eq!(ts.feature_index("nope"), None);
+        assert_eq!(ts.feature_column(2), vec![3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn slice_adjusts_ticks() {
+        let ts = sample();
+        let s = ts.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.start_tick(), 101);
+        assert_eq!(s.record(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_shares_names() {
+        let ts = sample();
+        let s = ts.slice(0, 2);
+        assert!(Arc::ptr_eq(&ts.names_arc(), &s.names_arc()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = sample().slice(2, 5);
+    }
+
+    #[test]
+    fn select_features_projects() {
+        let ts = sample();
+        let p = ts.select_features(&[2, 0]);
+        assert_eq!(p.dims(), 2);
+        assert_eq!(p.names(), &["f2".to_string(), "f0".to_string()]);
+        assert_eq!(p.record(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn push_and_append() {
+        let mut ts = sample();
+        ts.push(&[13.0, 14.0, 15.0]);
+        assert_eq!(ts.len(), 5);
+        let other = ts.slice(0, 2);
+        ts.append(&other);
+        assert_eq!(ts.len(), 7);
+        assert_eq!(ts.record(5), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "record length")]
+    fn ragged_push_panics() {
+        sample().push(&[1.0]);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let ts = sample();
+        let (n, m, flat) = ts.to_flat();
+        let back = TimeSeries::from_flat(default_names(m), ts.start_tick(), flat.to_vec());
+        assert_eq!(back.len(), n);
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::empty(default_names(4));
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.dims(), 4);
+    }
+}

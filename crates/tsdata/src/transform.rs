@@ -1,0 +1,175 @@
+//! Record-level transformations: missing-value cleaning and first-order
+//! differencing.
+//!
+//! The paper's Data Partitioning phase performs "simple data cleaning, e.g.,
+//! replacing missing data with a default value" (§5 step 1); its curated
+//! 19-feature set uses first-order differences (`f_t := f_{t+1} - f_t`) of
+//! cumulative counters such as total processed records (Appendix D.1).
+
+use crate::series::TimeSeries;
+
+/// Replace NaN values with `default` (the paper's "replace missing data
+/// with a default value" cleaning step).
+pub fn fill_missing(ts: &TimeSeries, default: f64) -> TimeSeries {
+    let (_, _, flat) = ts.to_flat();
+    let values = flat.iter().map(|&x| if x.is_nan() { default } else { x }).collect();
+    TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+}
+
+/// Replace NaN values in-place by carrying the last finite observation
+/// forward (records before the first finite observation get `0.0`). Applied
+/// per feature.
+pub fn fill_forward(ts: &TimeSeries) -> TimeSeries {
+    let m = ts.dims();
+    let mut out = ts.clone();
+    let mut last = vec![0.0; m];
+    for i in 0..out.len() {
+        let rec = out.record_mut(i);
+        for (x, l) in rec.iter_mut().zip(last.iter_mut()) {
+            if x.is_nan() {
+                *x = *l;
+            } else {
+                *l = *x;
+            }
+        }
+    }
+    out
+}
+
+/// First-order difference of selected features: output record `i` holds
+/// `x[i+1][j] - x[i][j]` for differenced features `j` and `x[i+1][j]`
+/// unchanged for the others. The output has `len - 1` records; names of
+/// differenced features gain the paper's `1_diff_` prefix.
+///
+/// # Panics
+/// Panics if the series has fewer than 2 records or an index is out of
+/// bounds.
+pub fn difference_features(ts: &TimeSeries, diff_indices: &[usize]) -> TimeSeries {
+    assert!(ts.len() >= 2, "differencing needs at least two records");
+    let m = ts.dims();
+    for &j in diff_indices {
+        assert!(j < m, "feature index {j} out of bounds");
+    }
+    let is_diff: Vec<bool> = {
+        let mut v = vec![false; m];
+        for &j in diff_indices {
+            v[j] = true;
+        }
+        v
+    };
+    let names: Vec<String> = ts
+        .names()
+        .iter()
+        .enumerate()
+        .map(|(j, n)| if is_diff[j] { format!("1_diff_{n}") } else { n.clone() })
+        .collect();
+    let mut values = Vec::with_capacity((ts.len() - 1) * m);
+    for i in 0..ts.len() - 1 {
+        let cur = ts.record(i);
+        let next = ts.record(i + 1);
+        for j in 0..m {
+            values.push(if is_diff[j] { next[j] - cur[j] } else { next[j] });
+        }
+    }
+    TimeSeries::from_flat(names, ts.start_tick() + 1, values)
+}
+
+/// Average a group of feature columns into one new column, appended to the
+/// series under `name`. This is how the custom feature set averages metrics
+/// "across active Spark executors" (Appendix D.1): NaN values (inactive
+/// executor slots) are excluded from the average.
+pub fn average_features(ts: &TimeSeries, indices: &[usize], name: &str) -> TimeSeries {
+    assert!(!indices.is_empty(), "cannot average an empty feature group");
+    let mut names = ts.names().to_vec();
+    names.push(name.to_string());
+    let m = ts.dims();
+    let mut values = Vec::with_capacity(ts.len() * (m + 1));
+    for r in ts.records() {
+        values.extend_from_slice(r);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &j in indices {
+            let x = r[j];
+            if !x.is_nan() {
+                sum += x;
+                n += 1;
+            }
+        }
+        values.push(if n > 0 { sum / n as f64 } else { f64::NAN });
+    }
+    TimeSeries::from_flat(names, ts.start_tick(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::default_names;
+
+    #[test]
+    fn fill_missing_replaces_nan() {
+        let ts = TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![1.0, f64::NAN], vec![f64::NAN, 2.0]],
+        );
+        let f = fill_missing(&ts, 0.0);
+        assert_eq!(f.record(0), &[1.0, 0.0]);
+        assert_eq!(f.record(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_forward_carries_last() {
+        let ts = TimeSeries::from_records(
+            default_names(1),
+            0,
+            &[vec![f64::NAN], vec![5.0], vec![f64::NAN], vec![7.0]],
+        );
+        let f = fill_forward(&ts);
+        assert_eq!(f.feature_column(0), vec![0.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn difference_selected_only() {
+        let ts = TimeSeries::from_records(
+            default_names(2),
+            10,
+            &[vec![1.0, 100.0], vec![3.0, 120.0], vec![6.0, 110.0]],
+        );
+        let d = difference_features(&ts, &[0]);
+        assert_eq!(d.len(), 2);
+        // f0 differenced, f1 passthrough of the *next* record.
+        assert_eq!(d.record(0), &[2.0, 120.0]);
+        assert_eq!(d.record(1), &[3.0, 110.0]);
+        assert_eq!(d.names()[0], "1_diff_f0");
+        assert_eq!(d.names()[1], "f1");
+        assert_eq!(d.start_tick(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn difference_too_short_panics() {
+        let ts = TimeSeries::from_records(default_names(1), 0, &[vec![1.0]]);
+        let _ = difference_features(&ts, &[0]);
+    }
+
+    #[test]
+    fn average_features_skips_nan() {
+        let ts = TimeSeries::from_records(
+            default_names(3),
+            0,
+            &[vec![1.0, 3.0, f64::NAN], vec![2.0, f64::NAN, f64::NAN]],
+        );
+        let a = average_features(&ts, &[0, 1, 2], "avg");
+        assert_eq!(a.dims(), 4);
+        assert_eq!(a.value(0, 3), 2.0);
+        assert_eq!(a.value(1, 3), 2.0);
+        assert_eq!(a.names()[3], "avg");
+    }
+
+    #[test]
+    fn average_all_nan_yields_nan() {
+        let ts = TimeSeries::from_records(default_names(2), 0, &[vec![f64::NAN, f64::NAN]]);
+        let a = average_features(&ts, &[0, 1], "avg");
+        assert!(a.value(0, 2).is_nan());
+    }
+}

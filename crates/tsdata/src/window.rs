@@ -1,0 +1,188 @@
+//! Sliding-window extraction.
+//!
+//! Window-based AD models (the autoencoder and BiGAN) consume fixed-size
+//! windows of consecutive records, flattened to a single vector; the LSTM
+//! forecaster consumes a window of inputs plus the next record as the
+//! forecast target. The paper's outlier-score derivation (§5 step 3.ii)
+//! averages window scores back onto the records the window encloses —
+//! [`record_scores_from_windows`] implements exactly that.
+
+use crate::series::TimeSeries;
+
+/// Iterator-free enumeration of the `[start, start + size)` record windows
+/// of a series with the given stride. Returns the start indices.
+pub fn window_starts(len: usize, size: usize, stride: usize) -> Vec<usize> {
+    assert!(size > 0 && stride > 0, "window size and stride must be positive");
+    if len < size {
+        return Vec::new();
+    }
+    (0..=(len - size)).step_by(stride).collect()
+}
+
+/// Flatten the window starting at `start` into a single vector
+/// (record-major: all features of record `start`, then `start+1`, ...).
+pub fn flatten_window(ts: &TimeSeries, start: usize, size: usize) -> Vec<f64> {
+    let m = ts.dims();
+    let mut out = Vec::with_capacity(size * m);
+    for i in start..start + size {
+        out.extend_from_slice(ts.record(i));
+    }
+    out
+}
+
+/// Extract all flattened windows of `size` records with the given stride.
+pub fn flattened_windows(ts: &TimeSeries, size: usize, stride: usize) -> Vec<Vec<f64>> {
+    window_starts(ts.len(), size, stride)
+        .into_iter()
+        .map(|s| flatten_window(ts, s, size))
+        .collect()
+}
+
+/// Extract `(input_window, target_record)` pairs for a one-step forecaster:
+/// the input is the flattened window `[i, i + size)` and the target is
+/// record `i + size`.
+pub fn forecast_pairs(ts: &TimeSeries, size: usize, stride: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+    assert!(size > 0 && stride > 0, "window size and stride must be positive");
+    if ts.len() <= size {
+        return Vec::new();
+    }
+    (0..ts.len() - size)
+        .step_by(stride)
+        .map(|i| (flatten_window(ts, i, size), ts.record(i + size).to_vec()))
+        .collect()
+}
+
+/// Convert per-window scores back to per-record scores by averaging the
+/// scores of every window that encloses the record (§5 step 3.ii: "derive
+/// the v score of each data point by averaging the scores of its enclosed
+/// sliding windows").
+///
+/// `window_starts` and `scores` must be parallel. Records enclosed by no
+/// window (possible with stride > 1 near the end) inherit the score of the
+/// nearest scored record.
+pub fn record_scores_from_windows(
+    len: usize,
+    size: usize,
+    window_starts: &[usize],
+    scores: &[f64],
+) -> Vec<f64> {
+    assert_eq!(window_starts.len(), scores.len(), "starts/scores length mismatch");
+    let mut sums = vec![0.0; len];
+    let mut counts = vec![0u32; len];
+    for (&start, &score) in window_starts.iter().zip(scores) {
+        for i in start..(start + size).min(len) {
+            sums[i] += score;
+            counts[i] += 1;
+        }
+    }
+    let mut out = vec![f64::NAN; len];
+    for ((o, &sum), &count) in out.iter_mut().zip(&sums).zip(&counts) {
+        if count > 0 {
+            *o = sum / count as f64;
+        }
+    }
+    // Fill any uncovered records from the nearest covered neighbour.
+    let mut last = None;
+    for o in out.iter_mut() {
+        if o.is_nan() {
+            if let Some(v) = last {
+                *o = v;
+            }
+        } else {
+            last = Some(*o);
+        }
+    }
+    let mut next = None;
+    for o in out.iter_mut().rev() {
+        if o.is_nan() {
+            *o = next.unwrap_or(0.0);
+        } else {
+            next = Some(*o);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::default_names;
+
+    fn counting_series(n: usize, m: usize) -> TimeSeries {
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..m).map(|j| (i * m + j) as f64).collect()).collect();
+        TimeSeries::from_records(default_names(m), 0, &records)
+    }
+
+    #[test]
+    fn window_starts_basic() {
+        assert_eq!(window_starts(10, 4, 1), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(window_starts(10, 4, 3), vec![0, 3, 6]);
+        assert_eq!(window_starts(3, 4, 1), Vec::<usize>::new());
+        assert_eq!(window_starts(4, 4, 1), vec![0]);
+    }
+
+    #[test]
+    fn flatten_window_order() {
+        let ts = counting_series(5, 2);
+        assert_eq!(flatten_window(&ts, 1, 2), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn flattened_windows_count() {
+        let ts = counting_series(6, 2);
+        let ws = flattened_windows(&ts, 3, 1);
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].len(), 6);
+    }
+
+    #[test]
+    fn forecast_pairs_target_is_next_record() {
+        let ts = counting_series(5, 2);
+        let pairs = forecast_pairs(&ts, 2, 1);
+        assert_eq!(pairs.len(), 3);
+        let (input, target) = &pairs[0];
+        assert_eq!(input, &vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(target, &vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn forecast_pairs_too_short() {
+        let ts = counting_series(3, 1);
+        assert!(forecast_pairs(&ts, 3, 1).is_empty());
+    }
+
+    #[test]
+    fn record_scores_average_overlaps() {
+        // len 4, size 2, windows at 0,1,2 with scores 1, 3, 5.
+        // record 0: [1] -> 1; record 1: [1,3] -> 2; record 2: [3,5] -> 4;
+        // record 3: [5] -> 5.
+        let out = record_scores_from_windows(4, 2, &[0, 1, 2], &[1.0, 3.0, 5.0]);
+        assert_eq!(out, vec![1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn record_scores_fill_uncovered_tail() {
+        // len 5, size 2, stride 2 windows at 0, 2 -> record 4 uncovered.
+        let out = record_scores_from_windows(5, 2, &[0, 2], &[1.0, 2.0]);
+        assert_eq!(out[4], 2.0);
+    }
+
+    #[test]
+    fn record_scores_fill_uncovered_head() {
+        let out = record_scores_from_windows(3, 1, &[2], &[7.0]);
+        assert_eq!(out, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn record_scores_empty_windows() {
+        let out = record_scores_from_windows(3, 2, &[], &[]);
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_panics() {
+        let _ = window_starts(10, 2, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests on the time-series transformations.
+
+use exathlon_tsdata::resample::resample_mean;
+use exathlon_tsdata::scale::{MinMaxScaler, StandardScaler};
+use exathlon_tsdata::series::{default_names, TimeSeries};
+use exathlon_tsdata::transform::{difference_features, fill_missing};
+use exathlon_tsdata::window::{record_scores_from_windows, window_starts};
+use proptest::prelude::*;
+
+fn series(values: Vec<f64>) -> TimeSeries {
+    let records: Vec<Vec<f64>> = values.into_iter().map(|v| vec![v]).collect();
+    TimeSeries::from_records(default_names(1), 0, &records)
+}
+
+proptest! {
+    /// Resampling preserves the overall mean of a series whose length is a
+    /// multiple of the interval (each interval contributes equally).
+    #[test]
+    fn resample_preserves_mean_on_exact_multiples(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..20),
+        l in 1usize..5,
+    ) {
+        let mut values = values;
+        // Pad to a multiple of l by repeating the last value.
+        while values.len() % l != 0 {
+            values.push(*values.last().expect("non-empty"));
+        }
+        let ts = series(values.clone());
+        let r = resample_mean(&ts, l);
+        let orig_mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let res_col = r.feature_column(0);
+        let res_mean: f64 = res_col.iter().sum::<f64>() / res_col.len() as f64;
+        prop_assert!((orig_mean - res_mean).abs() < 1e-6 * (1.0 + orig_mean.abs()));
+        prop_assert_eq!(r.len(), ts.len() / l);
+    }
+
+    /// Differencing then cumulative-summing recovers the original series
+    /// (up to the first record).
+    #[test]
+    fn difference_is_inverse_of_cumsum(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..40),
+    ) {
+        let ts = series(values.clone());
+        let d = difference_features(&ts, &[0]);
+        let mut recovered = vec![values[0]];
+        for i in 0..d.len() {
+            recovered.push(recovered[i] + d.value(i, 0));
+        }
+        for (a, b) in recovered.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Min-max scaling maps the training data into [0, 1].
+    #[test]
+    fn minmax_bounds_training_data(
+        values in proptest::collection::vec(-1e6f64..1e6, 2..50),
+    ) {
+        let ts = series(values);
+        let sc = MinMaxScaler::fit(&ts);
+        for v in sc.transform(&ts).feature_column(0) {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
+        }
+    }
+
+    /// Standard scaling is idempotent up to numerics: re-fitting on scaled
+    /// data and scaling again changes nothing materially.
+    #[test]
+    fn standard_scaling_idempotent(
+        values in proptest::collection::vec(-1e3f64..1e3, 3..50),
+    ) {
+        let ts = series(values);
+        let sc1 = StandardScaler::fit(&ts);
+        let once = sc1.transform(&ts);
+        let sc2 = StandardScaler::fit(&once);
+        let twice = sc2.transform(&once);
+        for (a, b) in once.feature_column(0).iter().zip(twice.feature_column(0)) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// fill_missing leaves finite values untouched and removes every NaN.
+    #[test]
+    fn fill_missing_total(
+        values in proptest::collection::vec(
+            prop_oneof![Just(f64::NAN), -1e3f64..1e3], 1..40),
+    ) {
+        let ts = series(values.clone());
+        let filled = fill_missing(&ts, -7.0);
+        for (i, v) in values.iter().enumerate() {
+            let f = filled.value(i, 0);
+            if v.is_nan() {
+                prop_assert_eq!(f, -7.0);
+            } else {
+                prop_assert_eq!(f, *v);
+            }
+        }
+    }
+
+    /// Window starts are in range, sorted, and stride-spaced.
+    #[test]
+    fn window_starts_invariants(len in 0usize..200, size in 1usize..20, stride in 1usize..10) {
+        let starts = window_starts(len, size, stride);
+        for w in starts.windows(2) {
+            prop_assert_eq!(w[1] - w[0], stride);
+        }
+        if let Some(&last) = starts.last() {
+            prop_assert!(last + size <= len);
+        }
+        if len >= size {
+            prop_assert!(!starts.is_empty());
+        }
+    }
+
+    /// Record scores from constant window scores are that constant
+    /// everywhere covered.
+    #[test]
+    fn constant_window_scores_stay_constant(
+        len in 2usize..60, size in 1usize..10, c in -1e3f64..1e3,
+    ) {
+        let size = size.min(len);
+        let starts = window_starts(len, size, 1);
+        let scores = vec![c; starts.len()];
+        let out = record_scores_from_windows(len, size, &starts, &scores);
+        for v in out {
+            prop_assert!((v - c).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Precision-recall curves over outlier scores and the area under them.
+//!
+//! The paper assesses a model's *separation ability* — how well the outlier
+//! score `g: x -> R` separates anomalous from normal records before any
+//! threshold is chosen — as the AUPRC of the scores against the point-wise
+//! ground truth (§5 step 5; Tables 3, 7, 8). Trace- and application-level
+//! separation average the per-trace / per-application AUPRCs.
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold generating this point (predict positive when
+    /// `score >= threshold`).
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Compute the PR curve of `scores` against binary `labels`, sweeping the
+/// threshold over every distinct score (descending). NaN scores are
+/// treated as `-inf` (never flagged first).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "empty input");
+    let total_pos = labels.iter().filter(|&&l| l).count();
+
+    // Sanitize NaN to -inf up front: NaN would break both the sort and the
+    // tie-grouping below (NaN never equals itself).
+    let scores: Vec<f64> =
+        scores.iter().map(|&s| if s.is_nan() { f64::NEG_INFINITY } else { s }).collect();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("NaN sanitized"));
+
+    let mut curve = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume every record tied at this threshold before emitting.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = if total_pos == 0 { 1.0 } else { tp as f64 / total_pos as f64 };
+        curve.push(PrPoint { threshold, precision, recall });
+    }
+    curve
+}
+
+/// Area under the PR curve via the step-wise (average-precision style)
+/// integration: each recall increment contributes the precision at that
+/// threshold. Returns the positive-class base rate when every score ties
+/// (no ranking information) and 0 when there are no positive labels.
+pub fn auprc(scores: &[f64], labels: &[bool]) -> f64 {
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let curve = pr_curve(scores, labels);
+    let mut area = 0.0;
+    let mut prev_recall = 0.0;
+    for pt in &curve {
+        area += (pt.recall - prev_recall) * pt.precision;
+        prev_recall = pt.recall;
+    }
+    area
+}
+
+/// Average of per-group AUPRCs (the paper's application-level and
+/// trace-level separation). Groups with no positive labels are skipped, as
+/// their AUPRC is undefined. Returns `None` if every group is skipped.
+pub fn mean_grouped_auprc(groups: &[(&[f64], &[bool])]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (scores, labels) in groups {
+        if labels.iter().any(|&l| l) {
+            sum += auprc(scores, labels);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_auprc_one() {
+        let scores = vec![0.1, 0.2, 0.9, 0.8];
+        let labels = vec![false, false, true, true];
+        assert!((auprc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_low_auprc() {
+        let scores = vec![0.9, 0.8, 0.1, 0.2];
+        let labels = vec![false, false, true, true];
+        assert!(auprc(&scores, &labels) < 0.5);
+    }
+
+    #[test]
+    fn random_tie_scores_give_base_rate() {
+        // All scores identical: one curve point at recall 1 with precision
+        // = base rate.
+        let scores = vec![0.5; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 3).collect();
+        assert!((auprc(&scores, &labels) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positives_zero() {
+        assert_eq!(auprc(&[0.1, 0.2], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn curve_is_recall_monotone() {
+        let scores = vec![0.9, 0.1, 0.8, 0.3, 0.7, 0.2];
+        let labels = vec![true, false, false, true, true, false];
+        let curve = pr_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_rank_last() {
+        let scores = vec![f64::NAN, 0.9, 0.8];
+        let labels = vec![false, true, true];
+        assert!((auprc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_mean_skips_empty_groups() {
+        let s1 = vec![0.9, 0.1];
+        let l1 = vec![true, false];
+        let s2 = vec![0.5, 0.5];
+        let l2 = vec![false, false]; // no positives: skipped
+        let m = mean_grouped_auprc(&[(&s1, &l1), (&s2, &l2)]).unwrap();
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_mean_none_when_all_empty() {
+        let s = vec![0.5];
+        let l = vec![false];
+        assert!(mean_grouped_auprc(&[(&s, &l)]).is_none());
+    }
+
+    #[test]
+    fn better_separation_higher_auprc() {
+        // Partial overlap between classes vs. clean split.
+        let clean_scores = vec![0.1, 0.2, 0.3, 0.7, 0.8, 0.9];
+        let messy_scores = vec![0.1, 0.7, 0.3, 0.2, 0.8, 0.9];
+        let labels = vec![false, false, false, true, true, true];
+        assert!(auprc(&clean_scores, &labels) > auprc(&messy_scores, &labels));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        let _ = pr_curve(&[0.1], &[true, false]);
+    }
+}

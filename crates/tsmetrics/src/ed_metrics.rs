@@ -1,0 +1,119 @@
+//! Explanation-quality metrics (§4.2): conciseness, the entropy-based
+//! consistency measures, and explanation accuracy.
+//!
+//! Exathlon takes an abstract view of explanations: all it needs from an
+//! ED method is the *feature set* `G_A(F)` each explanation uses. The
+//! metrics below therefore operate on plain `Vec<usize>` feature-index
+//! sets, independent of the explanation's concrete form.
+
+use exathlon_linalg::stats::entropy;
+
+/// Conciseness of a set of explanations: the average number of features
+/// used per explanation (§4.2 metric 1). Returns 0 for an empty set.
+pub fn conciseness(feature_sets: &[Vec<usize>]) -> f64 {
+    if feature_sets.is_empty() {
+        return 0.0;
+    }
+    feature_sets.iter().map(|s| s.len() as f64).sum::<f64>() / feature_sets.len() as f64
+}
+
+/// The entropy-based consistency measure shared by stability (ED1) and
+/// concordance (ED2).
+///
+/// The duplicate-preserving union of the feature sets is formed, each
+/// feature's frequency is normalized by the union's total size, and the
+/// Shannon entropy of that distribution is returned. Identical
+/// explanations of size `k` give `log2(k)` (the paper's reference points
+/// `H_1 = 0`, `H_2 = 1`, `H_3 = 1.58`); disagreeing explanations spread
+/// the mass over more features and score higher.
+pub fn consistency_entropy(feature_sets: &[Vec<usize>]) -> f64 {
+    let mut counts: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+    for set in feature_sets {
+        for &f in set {
+            *counts.entry(f).or_insert(0.0) += 1.0;
+        }
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let weights: Vec<f64> = counts.values().copied().collect();
+    entropy(&weights)
+}
+
+/// The paper's "good consistency" reference bound: `H_3 = log2(3) ≈ 1.58`.
+pub fn good_consistency_bound() -> f64 {
+    3f64.log2()
+}
+
+/// Stability (ED1): consistency over explanations of subsamples of *one*
+/// anomaly. Alias of [`consistency_entropy`] with intent-revealing naming.
+pub fn stability(subsample_feature_sets: &[Vec<usize>]) -> f64 {
+    consistency_entropy(subsample_feature_sets)
+}
+
+/// Concordance (ED2): consistency over explanations of *different*
+/// anomalies of the same type. Alias of [`consistency_entropy`].
+pub fn concordance(anomaly_feature_sets: &[Vec<usize>]) -> f64 {
+    consistency_entropy(anomaly_feature_sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conciseness_averages_sizes() {
+        let sets = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        assert!((conciseness(&sets) - 2.0).abs() < 1e-12);
+        assert_eq!(conciseness(&[]), 0.0);
+    }
+
+    #[test]
+    fn identical_singleton_explanations_have_zero_entropy() {
+        let sets = vec![vec![5], vec![5], vec![5]];
+        assert_eq!(consistency_entropy(&sets), 0.0);
+    }
+
+    #[test]
+    fn identical_pair_explanations_have_entropy_one() {
+        let sets = vec![vec![1, 2], vec![1, 2], vec![1, 2]];
+        assert!((consistency_entropy(&sets) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_triple_explanations_hit_h3() {
+        let sets = vec![vec![1, 2, 3], vec![1, 2, 3]];
+        assert!((consistency_entropy(&sets) - good_consistency_bound()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_raises_entropy() {
+        let agree = vec![vec![1, 2], vec![1, 2]];
+        let disagree = vec![vec![1, 2], vec![3, 4]];
+        assert!(consistency_entropy(&disagree) > consistency_entropy(&agree));
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let agree = vec![vec![1, 2], vec![1, 2]];
+        let partial = vec![vec![1, 2], vec![1, 3]];
+        let disjoint = vec![vec![1, 2], vec![3, 4]];
+        let ha = consistency_entropy(&agree);
+        let hp = consistency_entropy(&partial);
+        let hd = consistency_entropy(&disjoint);
+        assert!(ha < hp && hp < hd, "{ha} < {hp} < {hd} violated");
+    }
+
+    #[test]
+    fn stability_and_concordance_are_consistency() {
+        let sets = vec![vec![1], vec![2]];
+        assert_eq!(stability(&sets), consistency_entropy(&sets));
+        assert_eq!(concordance(&sets), consistency_entropy(&sets));
+    }
+
+    #[test]
+    fn empty_sets_zero() {
+        assert_eq!(consistency_entropy(&[]), 0.0);
+        assert_eq!(consistency_entropy(&[vec![], vec![]]), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # exathlon-tsmetrics
+//!
+//! The Exathlon evaluation methodology (§4, Appendix B):
+//!
+//! * [`ranges`] — anomaly ranges (half-open tick intervals) and conversion
+//!   from binary prediction streams,
+//! * [`range_pr`] — the customizable range-based precision/recall framework
+//!   of Tatbul et al. (NeurIPS'18): existence reward `α`, positional bias
+//!   `δ`, fragmentation/cardinality penalty `γ`, additive overlap reward
+//!   `ω`,
+//! * [`presets`] — the AD1–AD4 parameter settings of Table 6, with the
+//!   monotonicity adjustment that guarantees
+//!   `score(AD1) >= score(AD2) >= score(AD3) >= score(AD4)`,
+//! * [`point`] — classical point-based precision/recall/F-score,
+//! * [`auprc`] — precision-recall curves and area under them, computed on
+//!   outlier scores (the separation metric of Tables 3, 7, 8),
+//! * [`ed_metrics`] — explanation-quality metrics: conciseness, the
+//!   entropy-based consistency measures (stability for ED1, concordance
+//!   for ED2), and prediction accuracy of explanations (§4.2).
+
+pub mod auprc;
+pub mod ed_metrics;
+pub mod point;
+pub mod presets;
+pub mod range_pr;
+pub mod ranges;
+
+pub use presets::AdLevel;
+pub use ranges::Range;

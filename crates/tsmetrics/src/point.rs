@@ -1,0 +1,117 @@
+//! Classical point-based precision, recall, and F-score.
+//!
+//! Used by the ED accuracy metric ("Exathlon evaluates the accuracy of
+//! such explanations using point-based precision recall", §4.2) and as a
+//! building block of the PR curves in [`crate::auprc`].
+
+/// Confusion counts for binary predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Convenience: `(precision, recall, f1)` of binary predictions.
+pub fn point_prf(predicted: &[bool], actual: &[bool]) -> (f64, f64, f64) {
+    let c = Confusion::from_predictions(predicted, actual);
+    (c.precision(), c.recall(), c.f1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let labels = vec![true, false, true, false];
+        let (p, r, f) = point_prf(&labels, &labels);
+        assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let pred = vec![true, true, false, false];
+        let act = vec![true, false, true, false];
+        let c = Confusion::from_predictions(&pred, &act);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn empty_prediction_perfect_precision() {
+        let c = Confusion::from_predictions(&[false, false], &[true, false]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn no_positives_at_all() {
+        let c = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = point_prf(&[true], &[true, false]);
+    }
+}

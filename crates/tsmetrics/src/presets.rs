@@ -1,0 +1,205 @@
+//! The AD1–AD4 functionality levels and their Table 6 parameter settings.
+
+use crate::range_pr::{
+    f_score, range_precision, range_recall, Bias, Cardinality, RangeParams,
+};
+use crate::ranges::Range;
+
+/// Exathlon's four AD functionality levels (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AdLevel {
+    /// AD1: flag the existence of an anomaly somewhere in its interval.
+    Existence,
+    /// AD2: report the precise time range.
+    Range,
+    /// AD3: additionally minimize detection latency.
+    Early,
+    /// AD4: additionally report each anomaly exactly once.
+    ExactlyOnce,
+}
+
+impl AdLevel {
+    /// All four levels, basic to advanced.
+    pub const ALL: [AdLevel; 4] =
+        [AdLevel::Existence, AdLevel::Range, AdLevel::Early, AdLevel::ExactlyOnce];
+
+    /// 1-based index (AD1..AD4).
+    pub fn index(self) -> usize {
+        match self {
+            AdLevel::Existence => 1,
+            AdLevel::Range => 2,
+            AdLevel::Early => 3,
+            AdLevel::ExactlyOnce => 4,
+        }
+    }
+
+    /// Short label (`"AD1"`..`"AD4"`).
+    pub fn label(self) -> String {
+        format!("AD{}", self.index())
+    }
+
+    /// Precision-side parameters (Table 6): `α = 0`, flat bias; `γ = 0`
+    /// only for exactly-once detection.
+    pub fn precision_params(self) -> RangeParams {
+        RangeParams {
+            alpha: 0.0,
+            bias: Bias::Flat,
+            cardinality: match self {
+                AdLevel::ExactlyOnce => Cardinality::Zero,
+                _ => Cardinality::None,
+            },
+        }
+    }
+
+    /// Recall-side parameters (Table 6): existence reward only for AD1,
+    /// front bias from AD3, fragmentation penalty for AD4.
+    pub fn recall_params(self) -> RangeParams {
+        match self {
+            AdLevel::Existence => {
+                RangeParams { alpha: 1.0, bias: Bias::Flat, cardinality: Cardinality::None }
+            }
+            AdLevel::Range => {
+                RangeParams { alpha: 0.0, bias: Bias::Flat, cardinality: Cardinality::None }
+            }
+            AdLevel::Early => {
+                RangeParams { alpha: 0.0, bias: Bias::Front, cardinality: Cardinality::None }
+            }
+            AdLevel::ExactlyOnce => {
+                RangeParams { alpha: 0.0, bias: Bias::Front, cardinality: Cardinality::Zero }
+            }
+        }
+    }
+}
+
+/// Precision, recall, and F1 of a prediction at one AD level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Range-based precision.
+    pub precision: f64,
+    /// Range-based recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+}
+
+/// Evaluate predicted ranges against real ranges at the given AD level.
+pub fn evaluate_at_level(real: &[Range], predicted: &[Range], level: AdLevel) -> PrF1 {
+    let precision = range_precision(real, predicted, &level.precision_params());
+    let recall = range_recall(real, predicted, &level.recall_params());
+    PrF1 { precision, recall, f1: f_score(precision, recall, 1.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> Range {
+        Range::new(s, e)
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AdLevel::Existence.label(), "AD1");
+        assert_eq!(AdLevel::ExactlyOnce.label(), "AD4");
+        for (i, l) in AdLevel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i + 1);
+        }
+    }
+
+    /// The core design property: for any prediction, scores never increase
+    /// with the AD level (§4.1's monotonic design).
+    #[test]
+    fn scores_monotone_across_levels() {
+        let scenarios: Vec<(Vec<Range>, Vec<Range>)> = vec![
+            // Perfect detection.
+            (vec![r(10, 20)], vec![r(10, 20)]),
+            // Late partial detection.
+            (vec![r(10, 20)], vec![r(16, 22)]),
+            // Early partial detection.
+            (vec![r(10, 20)], vec![r(8, 14)]),
+            // Fragmented detection.
+            (vec![r(10, 30)], vec![r(10, 14), r(18, 22), r(26, 30)]),
+            // Multiple anomalies, mixed quality.
+            (vec![r(0, 10), r(50, 70)], vec![r(5, 8), r(48, 55), r(60, 75)]),
+            // Pure false positive.
+            (vec![r(10, 20)], vec![r(40, 50)]),
+            // Tiny overlap at the very end.
+            (vec![r(0, 100)], vec![r(99, 120)]),
+        ];
+        for (real, pred) in &scenarios {
+            let scores: Vec<PrF1> = AdLevel::ALL
+                .iter()
+                .map(|&l| evaluate_at_level(real, pred, l))
+                .collect();
+            for w in scores.windows(2) {
+                assert!(
+                    w[0].recall >= w[1].recall - 1e-12,
+                    "recall not monotone for {real:?} vs {pred:?}: {scores:?}"
+                );
+                assert!(
+                    w[0].precision >= w[1].precision - 1e-12,
+                    "precision not monotone for {real:?} vs {pred:?}: {scores:?}"
+                );
+                assert!(
+                    w[0].f1 >= w[1].f1 - 1e-12,
+                    "F1 not monotone for {real:?} vs {pred:?}: {scores:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ad1_rewards_any_overlap_fully() {
+        let real = vec![r(0, 100)];
+        let pred = vec![r(90, 95)];
+        let s = evaluate_at_level(&real, &pred, AdLevel::Existence);
+        assert_eq!(s.recall, 1.0);
+        // Precision at AD1 still measures prediction quality.
+        assert_eq!(s.precision, 1.0);
+    }
+
+    #[test]
+    fn ad2_proportional_recall() {
+        let real = vec![r(0, 10)];
+        let pred = vec![r(0, 4)];
+        let s = evaluate_at_level(&real, &pred, AdLevel::Range);
+        assert!((s.recall - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ad3_discounts_late_detection() {
+        let real = vec![r(0, 10)];
+        let late = vec![r(6, 10)];
+        let ad2 = evaluate_at_level(&real, &late, AdLevel::Range);
+        let ad3 = evaluate_at_level(&real, &late, AdLevel::Early);
+        assert!(ad3.recall < ad2.recall);
+    }
+
+    #[test]
+    fn ad4_zeroes_duplicate_detection() {
+        let real = vec![r(0, 10)];
+        let dup = vec![r(0, 3), r(5, 8)];
+        let ad4 = evaluate_at_level(&real, &dup, AdLevel::ExactlyOnce);
+        assert_eq!(ad4.recall, 0.0);
+        let once = vec![r(0, 10)];
+        let ad4_once = evaluate_at_level(&real, &once, AdLevel::ExactlyOnce);
+        assert_eq!(ad4_once.recall, 1.0);
+    }
+
+    /// Reproduces the spirit of the paper's Figure 2: the example ranges
+    /// keep their relative ordering across levels.
+    #[test]
+    fn figure2_style_example() {
+        // R1 fully covered once; R2 covered late; R3 fragmented; R4 missed.
+        let real = vec![r(0, 10), r(20, 30), r(40, 50), r(60, 70)];
+        let pred = vec![r(0, 10), r(27, 33), r(40, 43), r(45, 48)];
+        let ad1 = evaluate_at_level(&real, &pred, AdLevel::Existence);
+        let ad2 = evaluate_at_level(&real, &pred, AdLevel::Range);
+        let ad4 = evaluate_at_level(&real, &pred, AdLevel::ExactlyOnce);
+        assert!((ad1.recall - 0.75).abs() < 1e-12, "3 of 4 flagged");
+        assert!(ad2.recall < ad1.recall);
+        // Under AD4 only R1 counts (R2 covered once: also counts).
+        assert!(ad4.recall <= ad2.recall);
+        assert!(ad4.recall > 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The customizable range-based precision/recall framework of Tatbul et
+//! al. (NeurIPS 2018), as instantiated by Exathlon (Appendix B).
+//!
+//! For real anomaly ranges `R1..Rn` and predicted ranges `P1..Pm`:
+//!
+//! ```text
+//! Recall(Ri)    = α · Existence(Ri) + (1 − α) · Cardinality(Ri) · Overlap(Ri)
+//! Precision(Pi) =                     Cardinality(Pi) · Overlap(Pi)
+//! ```
+//!
+//! where `Overlap` is the additive positional reward `ω` under a bias `δ`,
+//! and `Cardinality` applies the fragmentation penalty `γ` when a range is
+//! covered by more than one counterpart. Overall recall/precision average
+//! the per-range values.
+//!
+//! **Monotonicity adjustment.** Exathlon's AD levels must satisfy
+//! `score(AD1) ≥ score(AD2) ≥ score(AD3) ≥ score(AD4)` (§4.1). A raw
+//! front-biased `ω` can exceed the flat `ω` when the detected portion sits
+//! at the front of the range, which would let AD3 beat AD2. Following the
+//! paper's "minor normalization adjustment to ensure monotonicity", the
+//! positional reward is capped at its flat (unbiased) value: early
+//! detection retains the full flat reward while late detection is
+//! discounted.
+
+use crate::ranges::Range;
+
+/// Positional bias `δ` of the overlap reward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bias {
+    /// Every position of the range worth the same.
+    Flat,
+    /// Earlier positions worth more (early detection, AD3/AD4 recall).
+    Front,
+    /// Later positions worth more.
+    Back,
+}
+
+impl Bias {
+    /// Weight of position `i` (0-based) in a range of `len` positions.
+    fn weight(self, i: u64, len: u64) -> f64 {
+        match self {
+            Bias::Flat => 1.0,
+            Bias::Front => (len - i) as f64,
+            Bias::Back => (i + 1) as f64,
+        }
+    }
+}
+
+/// Fragmentation (cardinality) penalty `γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cardinality {
+    /// No penalty (`γ = 1` in Table 6).
+    None,
+    /// Reciprocal penalty `1/x` for `x` overlapping counterparts.
+    Reciprocal,
+    /// Hard penalty: any fragmentation zeroes the score (`γ = 0`,
+    /// exactly-once detection).
+    Zero,
+}
+
+impl Cardinality {
+    fn factor(self, overlapping: usize) -> f64 {
+        if overlapping <= 1 {
+            1.0
+        } else {
+            match self {
+                Cardinality::None => 1.0,
+                Cardinality::Reciprocal => 1.0 / overlapping as f64,
+                Cardinality::Zero => 0.0,
+            }
+        }
+    }
+}
+
+/// Parameters of one side (precision or recall) of the framework.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeParams {
+    /// Existence reward weight `α ∈ [0, 1]` (recall only; precision uses 0).
+    pub alpha: f64,
+    /// Positional bias `δ`.
+    pub bias: Bias,
+    /// Fragmentation penalty `γ`.
+    pub cardinality: Cardinality,
+}
+
+impl RangeParams {
+    /// The classical configuration: `α = 0`, flat bias, no penalty.
+    pub fn classical() -> Self {
+        Self { alpha: 0.0, bias: Bias::Flat, cardinality: Cardinality::None }
+    }
+}
+
+/// Additive overlap reward `ω`: positional-weighted fraction of `range`
+/// covered by `overlap`, capped at the flat fraction for monotonicity (see
+/// module docs).
+fn omega(range: &Range, overlap: &Range, bias: Bias) -> f64 {
+    let len = range.len();
+    let mut total = 0.0;
+    let mut covered = 0.0;
+    for i in 0..len {
+        let w = bias.weight(i, len);
+        total += w;
+        let tick = range.start + i;
+        if overlap.contains(tick) {
+            covered += w;
+        }
+    }
+    let biased = if total > 0.0 { covered / total } else { 0.0 };
+    if bias == Bias::Flat {
+        biased
+    } else {
+        let flat = overlap.len() as f64 / len as f64;
+        biased.min(flat)
+    }
+}
+
+/// Score of a single range against a set of counterpart ranges.
+fn single_range_score(range: &Range, others: &[Range], p: &RangeParams) -> f64 {
+    let overlaps: Vec<Range> = others.iter().filter_map(|o| range.intersect(o)).collect();
+    let existence = if overlaps.is_empty() { 0.0 } else { 1.0 };
+    if p.alpha >= 1.0 {
+        return existence;
+    }
+    let cardinality = p.cardinality.factor(overlaps.len());
+    let overlap_reward: f64 = overlaps.iter().map(|o| omega(range, o, p.bias)).sum();
+    // The additive overlap sum over disjoint intersections of one range
+    // cannot exceed 1 because the weights partition the range.
+    let overlap_reward = overlap_reward.min(1.0);
+    p.alpha * existence + (1.0 - p.alpha) * cardinality * overlap_reward
+}
+
+/// Range-based recall: average per-real-range score.
+/// Returns 1.0 when there are no real ranges (nothing to recall).
+pub fn range_recall(real: &[Range], predicted: &[Range], p: &RangeParams) -> f64 {
+    if real.is_empty() {
+        return 1.0;
+    }
+    real.iter().map(|r| single_range_score(r, predicted, p)).sum::<f64>() / real.len() as f64
+}
+
+/// Range-based precision: average per-predicted-range score. `α` is forced
+/// to 0 (existence is meaningless for precision, Appendix B). Returns 1.0
+/// when there are no predictions (no false alarms).
+pub fn range_precision(real: &[Range], predicted: &[Range], p: &RangeParams) -> f64 {
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let p = RangeParams { alpha: 0.0, ..*p };
+    predicted.iter().map(|pr| single_range_score(pr, real, &p)).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// The F-beta score of a precision/recall pair (`beta = 1` for F1).
+pub fn f_score(precision: f64, recall: f64, beta: f64) -> f64 {
+    let b2 = beta * beta;
+    if precision <= 0.0 && recall <= 0.0 {
+        0.0
+    } else {
+        (1.0 + b2) * precision * recall / (b2 * precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> Range {
+        Range::new(s, e)
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let real = vec![r(10, 20), r(30, 40)];
+        let p = RangeParams::classical();
+        assert_eq!(range_recall(&real, &real, &p), 1.0);
+        assert_eq!(range_precision(&real, &real, &p), 1.0);
+    }
+
+    #[test]
+    fn no_prediction_zero_recall_full_precision() {
+        let real = vec![r(10, 20)];
+        let p = RangeParams::classical();
+        assert_eq!(range_recall(&real, &[], &p), 0.0);
+        assert_eq!(range_precision(&real, &[], &p), 1.0);
+    }
+
+    #[test]
+    fn half_coverage_flat_recall() {
+        let real = vec![r(0, 10)];
+        let pred = vec![r(0, 5)];
+        let p = RangeParams::classical();
+        assert!((range_recall(&real, &pred, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn existence_alpha_one_rewards_any_overlap() {
+        let real = vec![r(0, 100)];
+        let pred = vec![r(99, 100)]; // tiny overlap
+        let p = RangeParams { alpha: 1.0, bias: Bias::Flat, cardinality: Cardinality::None };
+        assert_eq!(range_recall(&real, &pred, &p), 1.0);
+    }
+
+    #[test]
+    fn front_bias_caps_at_flat() {
+        // Early detection covering the front half: flat gives 0.5; raw
+        // front bias would give more, the adjustment caps it at 0.5.
+        let real = vec![r(0, 10)];
+        let front = RangeParams { alpha: 0.0, bias: Bias::Front, cardinality: Cardinality::None };
+        let flat = RangeParams::classical();
+        let early = vec![r(0, 5)];
+        assert!(
+            (range_recall(&real, &early, &front) - range_recall(&real, &early, &flat)).abs()
+                < 1e-12
+        );
+        // Late detection covering the back half: front bias discounts it.
+        let late = vec![r(5, 10)];
+        assert!(range_recall(&real, &late, &front) < range_recall(&real, &late, &flat));
+    }
+
+    #[test]
+    fn back_bias_rewards_late() {
+        let real = vec![r(0, 10)];
+        let late = vec![r(5, 10)];
+        let back = RangeParams { alpha: 0.0, bias: Bias::Back, cardinality: Cardinality::None };
+        let flat = RangeParams::classical();
+        // Back bias is also capped at flat by the monotonicity adjustment,
+        // so late detection equals flat while early detection is discounted.
+        assert!(
+            (range_recall(&real, &late, &back) - range_recall(&real, &late, &flat)).abs() < 1e-12
+        );
+        let early = vec![r(0, 5)];
+        assert!(range_recall(&real, &early, &back) < range_recall(&real, &early, &flat));
+    }
+
+    #[test]
+    fn fragmentation_zero_kills_score() {
+        let real = vec![r(0, 10)];
+        let fragmented = vec![r(0, 3), r(6, 9)];
+        let p = RangeParams { alpha: 0.0, bias: Bias::Flat, cardinality: Cardinality::Zero };
+        assert_eq!(range_recall(&real, &fragmented, &p), 0.0);
+        // A single covering prediction keeps its score.
+        let single = vec![r(0, 10)];
+        assert_eq!(range_recall(&real, &single, &p), 1.0);
+    }
+
+    #[test]
+    fn fragmentation_reciprocal_halves() {
+        let real = vec![r(0, 10)];
+        let fragmented = vec![r(0, 5), r(5, 10)];
+        let p = RangeParams { alpha: 0.0, bias: Bias::Flat, cardinality: Cardinality::Reciprocal };
+        // Full coverage but 2 fragments: 1.0 * 1/2.
+        assert!((range_recall(&real, &fragmented, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_penalizes_false_positives() {
+        let real = vec![r(10, 20)];
+        let pred = vec![r(10, 20), r(50, 60)];
+        let p = RangeParams::classical();
+        assert!((range_precision(&real, &pred, &p) - 0.5).abs() < 1e-12);
+        assert_eq!(range_recall(&real, &pred, &p), 1.0);
+    }
+
+    #[test]
+    fn recall_averages_over_real_ranges() {
+        let real = vec![r(0, 10), r(20, 30)];
+        let pred = vec![r(0, 10)];
+        let p = RangeParams::classical();
+        assert!((range_recall(&real, &pred, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_score_known_values() {
+        assert!((f_score(0.5, 0.5, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(f_score(0.0, 0.0, 1.0), 0.0);
+        assert!((f_score(1.0, 0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_real_ranges_recall_one() {
+        assert_eq!(range_recall(&[], &[r(0, 5)], &RangeParams::classical()), 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Anomaly ranges: half-open `[start, end)` tick intervals.
+
+/// A half-open interval of ticks `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Range {
+    /// Inclusive start tick.
+    pub start: u64,
+    /// Exclusive end tick.
+    pub end: u64,
+}
+
+impl Range {
+    /// Create a range.
+    ///
+    /// # Panics
+    /// Panics if `start >= end` (ranges are non-empty by construction).
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty range [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// Length in ticks.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Ranges are non-empty by construction; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `tick` falls inside.
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.end
+    }
+
+    /// Whether the two ranges share any tick.
+    pub fn overlaps(&self, other: &Range) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The intersection, if non-empty.
+    pub fn intersect(&self, other: &Range) -> Option<Range> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        if s < e {
+            Some(Range { start: s, end: e })
+        } else {
+            None
+        }
+    }
+}
+
+/// Convert a binary prediction stream into maximal ranges of consecutive
+/// `true` flags. `start_tick` is the tick of `flags[0]`.
+///
+/// This is the paper's definition of predicted anomalies: "sequences of
+/// positive predictions within that trace" (§5 step 4).
+pub fn ranges_from_flags(flags: &[bool], start_tick: u64) -> Vec<Range> {
+    let mut out = Vec::new();
+    let mut open: Option<u64> = None;
+    for (i, &f) in flags.iter().enumerate() {
+        let tick = start_tick + i as u64;
+        match (f, open) {
+            (true, None) => open = Some(tick),
+            (false, Some(s)) => {
+                out.push(Range { start: s, end: tick });
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        out.push(Range { start: s, end: start_tick + flags.len() as u64 });
+    }
+    out
+}
+
+/// Binary flags for ticks `[start_tick, start_tick + len)` given a set of
+/// ranges (the inverse of [`ranges_from_flags`]).
+pub fn flags_from_ranges(ranges: &[Range], start_tick: u64, len: usize) -> Vec<bool> {
+    let mut flags = vec![false; len];
+    for r in ranges {
+        let lo = r.start.saturating_sub(start_tick) as usize;
+        let hi = (r.end.saturating_sub(start_tick) as usize).min(len);
+        for f in flags.iter_mut().take(hi).skip(lo.min(len)) {
+            *f = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r = Range::new(5, 10);
+        assert_eq!(r.len(), 5);
+        assert!(r.contains(5));
+        assert!(r.contains(9));
+        assert!(!r.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Range::new(5, 5);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Range::new(0, 10);
+        let b = Range::new(5, 15);
+        let c = Range::new(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "half-open ranges touching at 10 do not overlap");
+        assert_eq!(a.intersect(&b), Some(Range::new(5, 10)));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let flags = vec![false, true, true, false, true, false, false, true];
+        let ranges = ranges_from_flags(&flags, 100);
+        assert_eq!(
+            ranges,
+            vec![Range::new(101, 103), Range::new(104, 105), Range::new(107, 108)]
+        );
+        assert_eq!(flags_from_ranges(&ranges, 100, flags.len()), flags);
+    }
+
+    #[test]
+    fn all_true_single_range() {
+        let ranges = ranges_from_flags(&[true, true, true], 0);
+        assert_eq!(ranges, vec![Range::new(0, 3)]);
+    }
+
+    #[test]
+    fn all_false_no_ranges() {
+        assert!(ranges_from_flags(&[false; 5], 0).is_empty());
+    }
+
+    #[test]
+    fn flags_from_ranges_clips() {
+        let flags = flags_from_ranges(&[Range::new(3, 100)], 0, 5);
+        assert_eq!(flags, vec![false, false, false, true, true]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Explanation discovery: detect anomalies, then ask EXstream, MacroBase,
+//! and LIME *why* each detected period is anomalous, printing the
+//! explanations with human-readable feature names.
+//!
+//! ```sh
+//! cargo run --release --example explain_anomalies
+//! ```
+
+use exathlon::ad::ae_ad::{AeConfig, AutoencoderDetector};
+use exathlon::ad::AnomalyScorer;
+use exathlon::core::config::ExperimentConfig;
+use exathlon::core::edrun::collect_cases;
+use exathlon::core::partition::partition;
+use exathlon::core::transform::FittedTransform;
+use exathlon::core::LearningSetting;
+use exathlon::ed::explanation::Explanation;
+use exathlon::ed::{ExstreamExplainer, LimeExplainer, MacroBaseExplainer};
+use exathlon::sparksim::dataset::DatasetBuilder;
+use exathlon::sparksim::metrics::custom_feature_names;
+
+/// Replace `v_<i>` feature indices with their Appendix D.1 names.
+fn with_names(text: &str) -> String {
+    let names = custom_feature_names();
+    let mut out = text.to_string();
+    // Substitute longest indices first so v_12 is not clobbered by v_1.
+    for j in (0..names.len()).rev() {
+        out = out.replace(&format!("v_{j}"), &names[j]);
+    }
+    out
+}
+
+fn main() {
+    let dataset = DatasetBuilder::tiny(9).build();
+    let config = ExperimentConfig::default();
+    let parts = partition(&dataset, LearningSetting::ls4(), config.peek_fraction);
+    let (transform, train) = FittedTransform::fit(&parts.train, &config);
+    let tests: Vec<_> = parts.test.iter().map(|s| transform.apply_test(s)).collect();
+
+    // The AD model LIME will interrogate.
+    let mut ae = AutoencoderDetector::new(AeConfig {
+        window: 6,
+        hidden: vec![24],
+        code: 4,
+        epochs: 15,
+        ..AeConfig::default()
+    });
+    ae.fit(&train.iter().collect::<Vec<_>>());
+
+    let cases = collect_cases(&tests, 10);
+    println!("explaining {} anomalies\n", cases.len());
+
+    for case in &cases {
+        println!(
+            "=== {} anomaly on trace {} ({} anomalous records) ===",
+            case.atype.label(),
+            case.trace_id,
+            case.anomaly.len()
+        );
+
+        let ex = ExstreamExplainer::default().explain(&case.anomaly, &case.reference);
+        println!("EXstream : {}", with_names(&format!("{ex}")));
+
+        let mb = MacroBaseExplainer::default().explain(&case.anomaly, &case.reference);
+        println!("MacroBase: {}", with_names(&format!("{mb}")));
+
+        let w = ae.window_len().min(case.anomaly.len());
+        let window = case.anomaly.slice(0, w);
+        let lime = LimeExplainer::default()
+            .explain(&window, &|flat: &[f64]| {
+                // Pad short windows to the model's input size.
+                let mut padded = flat.to_vec();
+                let dims = case.anomaly.dims();
+                while padded.len() < ae.window_len() * dims {
+                    let start = padded.len() - dims;
+                    let last: Vec<f64> = padded[start..].to_vec();
+                    padded.extend(last);
+                }
+                ae.window_score(&padded)
+            });
+        match &lime {
+            Explanation::Importance(terms) if !terms.is_empty() => {
+                println!("LIME     :");
+                for t in terms {
+                    println!("  {}", with_names(&format!("{}: {:+.3}", t.condition, t.weight)));
+                }
+            }
+            _ => println!("LIME     : (no salient features)"),
+        }
+        println!();
+    }
+}

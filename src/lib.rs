@@ -1,0 +1,37 @@
+//! # exathlon
+//!
+//! Umbrella crate for the Rust reproduction of **Exathlon: A Benchmark for
+//! Explainable Anomaly Detection over Time Series** (VLDB 2021).
+//!
+//! This crate re-exports every workspace member under a stable set of module
+//! names so that downstream users — and the `examples/` and `tests/`
+//! directories of this repository — can depend on a single crate:
+//!
+//! ```
+//! use exathlon::sparksim::dataset::DatasetBuilder;
+//! use exathlon::metrics::ranges::Range;
+//!
+//! let r = Range::new(10, 20);
+//! assert_eq!(r.len(), 10);
+//! let _ = DatasetBuilder::tiny(7);
+//! ```
+//!
+//! See the crate-level documentation of each member for details:
+//!
+//! * [`linalg`] — matrices, eigensolver, PCA, descriptive statistics
+//! * [`tsdata`] — multivariate time series, windowing, scaling, resampling
+//! * [`sparksim`] — the Spark-cluster trace simulator + anomaly injection
+//! * [`nn`] — from-scratch neural networks (dense, LSTM, GAN)
+//! * [`ad`] — anomaly-detection methods and threshold selection
+//! * [`metrics`] — range-based precision/recall, AUPRC, ED metrics
+//! * [`ed`] — explanation-discovery methods (EXstream, MacroBase, LIME)
+//! * [`core`] — the end-to-end benchmark pipeline
+
+pub use exathlon_ad as ad;
+pub use exathlon_core as core;
+pub use exathlon_ed as ed;
+pub use exathlon_linalg as linalg;
+pub use exathlon_nn as nn;
+pub use exathlon_sparksim as sparksim;
+pub use exathlon_tsdata as tsdata;
+pub use exathlon_tsmetrics as metrics;

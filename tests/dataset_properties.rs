@@ -1,0 +1,93 @@
+//! Integration checks on the generated dataset: ground-truth hygiene and
+//! the documented Table 1(b) composition, across seeds.
+
+use exathlon::sparksim::dataset::DatasetBuilder;
+use exathlon::sparksim::AnomalyType;
+
+#[test]
+fn ground_truth_is_well_formed_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let ds = DatasetBuilder::tiny(seed).build();
+        for e in &ds.ground_truth {
+            assert!(e.root_cause_start < e.root_cause_end, "empty RCI: {e:?}");
+            if let Some((s, end)) = e.extended_effect {
+                assert_eq!(s, e.root_cause_end, "EEI must start right after the RCI: {e:?}");
+                assert!(end > s, "empty EEI: {e:?}");
+            }
+            let trace = ds
+                .disturbed
+                .iter()
+                .find(|t| t.trace_id == e.trace_id)
+                .expect("ground truth references an existing trace");
+            let (_, a_end) = e.anomaly_interval();
+            assert!(
+                a_end <= trace.len() as u64,
+                "anomaly interval exceeds the trace: {e:?} vs len {}",
+                trace.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn anomaly_intervals_within_a_trace_do_not_overlap() {
+    let ds = DatasetBuilder::standard(5).with_durations(400, 1000).build();
+    for trace in &ds.disturbed {
+        let mut intervals: Vec<(u64, u64)> = ds
+            .ground_truth_for(trace.trace_id)
+            .iter()
+            .map(|e| e.anomaly_interval())
+            .collect();
+        intervals.sort();
+        for w in intervals.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlapping ground-truth intervals in trace {}: {:?}",
+                trace.trace_id,
+                w
+            );
+        }
+    }
+}
+
+#[test]
+fn standard_composition_is_stable_across_seeds() {
+    for seed in [11u64, 12] {
+        let ds = DatasetBuilder::standard(seed).with_durations(400, 1000).build();
+        assert_eq!(ds.undisturbed.len(), 59);
+        assert_eq!(ds.disturbed.len(), 34);
+        assert_eq!(ds.instances_per_type().iter().sum::<usize>(), 97);
+    }
+}
+
+#[test]
+fn every_anomaly_type_present_in_standard_dataset() {
+    let ds = DatasetBuilder::standard(6).with_durations(400, 1000).build();
+    let per_type = ds.instances_per_type();
+    for (i, t) in AnomalyType::ALL.iter().enumerate() {
+        assert!(per_type[i] > 0, "no instances of {t:?}");
+    }
+}
+
+#[test]
+fn undisturbed_traces_have_no_ground_truth() {
+    let ds = DatasetBuilder::tiny(7).build();
+    for t in &ds.undisturbed {
+        assert!(ds.ground_truth_for(t.trace_id).is_empty());
+        assert!(t.is_undisturbed());
+        assert!(t.crashed_at.is_none(), "undisturbed trace crashed");
+    }
+}
+
+#[test]
+fn custom_features_finite_after_cleaning() {
+    let ds = DatasetBuilder::tiny(8).build();
+    for t in ds.undisturbed.iter().chain(&ds.disturbed) {
+        let fs = t.custom_features();
+        assert_eq!(fs.dims(), 19);
+        // The executor averages exclude NaN slots, so the 19 features are
+        // fully finite even though the base series contains NaN.
+        let nan = fs.records().flatten().filter(|x| x.is_nan()).count();
+        assert_eq!(nan, 0, "NaN leaked into the custom feature set of {}", t.name());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) on the evaluation metrics: the
+//! invariants the benchmark's scoring rests on must hold for *arbitrary*
+//! inputs, not just the curated unit-test cases.
+
+use exathlon::metrics::auprc::auprc;
+use exathlon::metrics::ed_metrics::consistency_entropy;
+use exathlon::metrics::presets::{evaluate_at_level, AdLevel};
+use exathlon::metrics::range_pr::{f_score, range_precision, range_recall, RangeParams};
+use exathlon::metrics::ranges::{flags_from_ranges, ranges_from_flags};
+use exathlon::metrics::Range;
+use proptest::prelude::*;
+
+/// Strategy: a set of up to 6 disjoint ranges within [0, 200).
+fn disjoint_ranges() -> impl Strategy<Value = Vec<Range>> {
+    proptest::collection::vec((0u64..190, 1u64..20), 0..6).prop_map(|pairs| {
+        let mut ranges = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, len) in pairs {
+            let start = cursor + gap % 40;
+            let end = start + len;
+            ranges.push(Range::new(start, end));
+            cursor = end + 1;
+        }
+        ranges
+    })
+}
+
+proptest! {
+    /// Range precision and recall are always in [0, 1].
+    #[test]
+    fn range_pr_bounded(real in disjoint_ranges(), pred in disjoint_ranges()) {
+        let p = RangeParams::classical();
+        let precision = range_precision(&real, &pred, &p);
+        let recall = range_recall(&real, &pred, &p);
+        prop_assert!((0.0..=1.0).contains(&precision), "precision {precision}");
+        prop_assert!((0.0..=1.0).contains(&recall), "recall {recall}");
+        prop_assert!((0.0..=1.0).contains(&f_score(precision, recall, 1.0)));
+    }
+
+    /// The benchmark's core design invariant: scores never increase from
+    /// AD1 to AD4, for ANY prediction (§4.1).
+    #[test]
+    fn ad_levels_monotone(real in disjoint_ranges(), pred in disjoint_ranges()) {
+        let scores: Vec<_> = AdLevel::ALL
+            .iter()
+            .map(|&l| evaluate_at_level(&real, &pred, l))
+            .collect();
+        for w in scores.windows(2) {
+            prop_assert!(w[0].recall >= w[1].recall - 1e-9);
+            prop_assert!(w[0].precision >= w[1].precision - 1e-9);
+        }
+    }
+
+    /// Predicting exactly the real ranges is always a perfect score at
+    /// every level.
+    #[test]
+    fn perfect_prediction_perfect_score(real in disjoint_ranges()) {
+        for level in AdLevel::ALL {
+            let s = evaluate_at_level(&real, &real, level);
+            prop_assert!((s.precision - 1.0).abs() < 1e-12);
+            prop_assert!((s.recall - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Adding a pure false-positive range can lower but never raise
+    /// precision, and never changes recall.
+    #[test]
+    fn false_positive_only_hurts_precision(real in disjoint_ranges(), pred in disjoint_ranges()) {
+        let p = RangeParams::classical();
+        let base_precision = range_precision(&real, &pred, &p);
+        let base_recall = range_recall(&real, &pred, &p);
+        // A range far beyond every real/predicted range.
+        let mut worse = pred.clone();
+        worse.push(Range::new(10_000, 10_010));
+        prop_assert!(range_precision(&real, &worse, &p) <= base_precision + 1e-12);
+        prop_assert!((range_recall(&real, &worse, &p) - base_recall).abs() < 1e-12);
+    }
+
+    /// Flags -> ranges -> flags round-trips.
+    #[test]
+    fn flags_ranges_roundtrip(flags in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let ranges = ranges_from_flags(&flags, 0);
+        let back = flags_from_ranges(&ranges, 0, flags.len());
+        prop_assert_eq!(back, flags);
+    }
+
+    /// AUPRC is within [0, 1], and equals 1 when scores perfectly rank the
+    /// labels.
+    #[test]
+    fn auprc_bounded_and_perfect(labels in proptest::collection::vec(any::<bool>(), 1..80)) {
+        let perfect: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let a = auprc(&perfect, &labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+        if labels.iter().any(|&l| l) {
+            prop_assert!((a - 1.0).abs() < 1e-12, "perfect ranking must give AUPRC 1, got {a}");
+        }
+    }
+
+    /// Consistency entropy is non-negative and zero only for identical
+    /// singleton explanations.
+    #[test]
+    fn consistency_entropy_nonnegative(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0usize..10, 0..5), 0..6)
+    ) {
+        let h = consistency_entropy(&sets);
+        prop_assert!(h >= 0.0);
+        // Upper bound: log2 of the number of distinct features.
+        let distinct: std::collections::BTreeSet<usize> =
+            sets.iter().flatten().copied().collect();
+        if !distinct.is_empty() {
+            prop_assert!(h <= (distinct.len() as f64).log2() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration: dataset -> partition -> transform -> model ->
+//! inference -> evaluation, across all workspace crates.
+
+use exathlon::core::config::{AdMethod, ExperimentConfig, FeatureSpace};
+use exathlon::core::experiment::run_pipeline;
+use exathlon::core::model::TrainingBudget;
+use exathlon::metrics::presets::AdLevel;
+use exathlon::sparksim::dataset::DatasetBuilder;
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() }
+}
+
+#[test]
+fn autoencoder_pipeline_detects_injected_anomalies() {
+    let ds = DatasetBuilder::tiny(21).build();
+    let run = run_pipeline(&ds, &tiny_config(), &[AdMethod::Ae], TrainingBudget::Quick);
+    let sep = &run.method_run(AdMethod::Ae).separation;
+    // The injected anomalies carry strong signal in the tiny dataset; the
+    // AE must separate them clearly at the trace level.
+    assert!(
+        sep.trace.average > 0.5,
+        "AE trace-level separation too weak: {}",
+        sep.trace.average
+    );
+    // And detection with the best threshold must beat the trivial
+    // flag-nothing detector at AD1.
+    let (best, _) = run.detection_best_median(AdMethod::Ae, AdLevel::Existence);
+    assert!(best.f1 > 0.5, "AE best AD1 F1 too low: {}", best.f1);
+}
+
+#[test]
+fn ad_levels_are_monotone_for_every_method_and_rule() {
+    let ds = DatasetBuilder::tiny(22).build();
+    let run = run_pipeline(
+        &ds,
+        &tiny_config(),
+        &[AdMethod::Knn, AdMethod::Mad],
+        TrainingBudget::Quick,
+    );
+    for method in [AdMethod::Knn, AdMethod::Mad] {
+        let per_level: Vec<Vec<f64>> = AdLevel::ALL
+            .iter()
+            .map(|&l| run.detection(method, l).iter().map(|o| o.f1).collect())
+            .collect();
+        // Rule-by-rule monotonicity: the same threshold can never score
+        // better at a stricter level.
+        #[allow(clippy::needless_range_loop)] // rule_idx spans parallel vectors
+        for rule_idx in 0..per_level[0].len() {
+            for w in 0..AdLevel::ALL.len() - 1 {
+                assert!(
+                    per_level[w][rule_idx] >= per_level[w + 1][rule_idx] - 1e-9,
+                    "{method:?} rule {rule_idx}: AD{} F1 {} < AD{} F1 {}",
+                    w + 2,
+                    per_level[w + 1][rule_idx],
+                    w + 1,
+                    per_level[w][rule_idx],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pca_feature_space_runs_end_to_end() {
+    let ds = DatasetBuilder::tiny(23).build();
+    let config = ExperimentConfig {
+        feature_space: FeatureSpace::Pca(8),
+        resample_interval: 2,
+        ..ExperimentConfig::default()
+    };
+    let run = run_pipeline(&ds, &config, &[AdMethod::Knn], TrainingBudget::Quick);
+    assert_eq!(run.transform.output_dims(), 8);
+    assert!(run.tests.iter().all(|t| t.series.dims() == 8));
+    let sep = &run.method_run(AdMethod::Knn).separation;
+    assert!(sep.global.average.is_finite());
+}
+
+#[test]
+fn scores_align_with_labels_lengthwise() {
+    let ds = DatasetBuilder::tiny(24).build();
+    let run = run_pipeline(&ds, &tiny_config(), &[AdMethod::Mad], TrainingBudget::Quick);
+    for t in &run.method_run(AdMethod::Mad).scored {
+        assert_eq!(t.scores.len(), t.labels.len());
+        assert!(t.scores.iter().all(|s| s.is_finite()));
+        // Every typed range is inside the trace.
+        for (_, r) in &t.typed_ranges {
+            assert!((r.end as usize) <= t.labels.len());
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_config_seed() {
+    let ds = DatasetBuilder::tiny(25).build();
+    let run_once = || {
+        let run = run_pipeline(&ds, &tiny_config(), &[AdMethod::Knn], TrainingBudget::Quick);
+        run.method_run(AdMethod::Knn).scored[0].scores.clone()
+    };
+    assert_eq!(run_once(), run_once());
+}
