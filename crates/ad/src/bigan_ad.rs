@@ -91,8 +91,7 @@ impl AnomalyScorer for BiGanDetector {
             return vec![0.0; ts.len()];
         }
         let starts = window_starts(ts.len(), w, 1);
-        let windows: Vec<Vec<f64>> =
-            starts.iter().map(|&s| flatten_window(ts, s, w)).collect();
+        let windows: Vec<Vec<f64>> = starts.iter().map(|&s| flatten_window(ts, s, w)).collect();
         let scores = model.outlier_scores(&Matrix::from_rows(&windows));
         record_scores_from_windows(ts.len(), w, &starts, &scores)
     }

@@ -34,10 +34,7 @@ pub struct EwmaDetector {
 impl EwmaDetector {
     /// Create an (unfitted) detector.
     pub fn new(config: EwmaConfig) -> Self {
-        assert!(
-            config.alpha > 0.0 && config.alpha < 1.0,
-            "alpha must be in (0, 1)"
-        );
+        assert!(config.alpha > 0.0 && config.alpha < 1.0, "alpha must be in (0, 1)");
         Self { config, error_scale: Vec::new() }
     }
 
@@ -87,10 +84,8 @@ impl AnomalyScorer for EwmaDetector {
                 }
             }
         }
-        self.error_scale = per_feature
-            .iter()
-            .map(|es| exathlon_linalg::stats::std_dev(es).max(1e-6))
-            .collect();
+        self.error_scale =
+            per_feature.iter().map(|es| exathlon_linalg::stats::std_dev(es).max(1e-6)).collect();
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
@@ -100,10 +95,7 @@ impl AnomalyScorer for EwmaDetector {
             .iter()
             .map(|errs| {
                 // Max absolute z-scored error across features.
-                errs.iter()
-                    .zip(&self.error_scale)
-                    .map(|(e, s)| (e / s).abs())
-                    .fold(0.0, f64::max)
+                errs.iter().zip(&self.error_scale).map(|(e, s)| (e / s).abs()).fold(0.0, f64::max)
             })
             .collect()
     }
@@ -115,8 +107,7 @@ mod tests {
     use exathlon_tsdata::series::default_names;
 
     fn smooth(n: usize) -> TimeSeries {
-        let records: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
+        let records: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
         TimeSeries::from_records(default_names(1), 0, &records)
     }
 
@@ -125,8 +116,7 @@ mod tests {
         let train = smooth(300);
         let mut det = EwmaDetector::new(EwmaConfig::default());
         det.fit(&[&train]);
-        let mut records: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
+        let mut records: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64 * 0.1).sin()]).collect();
         for r in records.iter_mut().skip(50) {
             r[0] += 5.0;
         }

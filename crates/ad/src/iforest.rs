@@ -194,17 +194,14 @@ impl AnomalyScorer for IsolationForestDetector {
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
         assert!(!self.trees.is_empty(), "detector not fitted");
-        ts.records()
-            .map(|r| {
-                let mean_path: f64 = self
-                    .trees
-                    .iter()
-                    .map(|t| t.path_length(r))
-                    .sum::<f64>()
-                    / self.trees.len() as f64;
-                2f64.powf(-mean_path / self.c_n)
-            })
-            .collect()
+        // Per-record tree traversal is independent given the fitted
+        // forest; scored on the shared worker pool, order-preserving.
+        let records: Vec<&[f64]> = ts.records().collect();
+        exathlon_linalg::par::par_map(&records, |r| {
+            let mean_path: f64 =
+                self.trees.iter().map(|t| t.path_length(r)).sum::<f64>() / self.trees.len() as f64;
+            2f64.powf(-mean_path / self.c_n)
+        })
     }
 }
 
@@ -217,9 +214,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
-        let records: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)])
-            .collect();
+        let records: Vec<Vec<f64>> =
+            (0..400).map(|_| vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]).collect();
         TimeSeries::from_records(default_names(2), 0, &records)
     }
 
@@ -228,11 +224,8 @@ mod tests {
         let train = cluster_train();
         let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
         det.fit(&[&train]);
-        let test = TimeSeries::from_records(
-            default_names(2),
-            0,
-            &[vec![0.1, 0.2], vec![8.0, -9.0]],
-        );
+        let test =
+            TimeSeries::from_records(default_names(2), 0, &[vec![0.1, 0.2], vec![8.0, -9.0]]);
         let scores = det.score_series(&test);
         assert!(
             scores[1] > scores[0] + 0.1,
@@ -278,8 +271,7 @@ mod tests {
         let train = cluster_train();
         let mut det = IsolationForestDetector::new(IsolationForestConfig::default());
         det.fit(&[&train]);
-        let test =
-            TimeSeries::from_records(default_names(2), 0, &[vec![f64::NAN, f64::NAN]]);
+        let test = TimeSeries::from_records(default_names(2), 0, &[vec![f64::NAN, f64::NAN]]);
         assert!(det.score_series(&test)[0].is_finite());
     }
 

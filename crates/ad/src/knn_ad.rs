@@ -42,8 +42,11 @@ impl KnnDetector {
         a.iter()
             .zip(b)
             .map(|(x, y)| {
-                let x = if x.is_nan() { 0.0 } else { *x };
-                let y = if y.is_nan() { 0.0 } else { *y };
+                // Sanitize all non-finite features, not just NaN: an ∞
+                // feature on both sides yields ∞ − ∞ = NaN, which used to
+                // poison the selection comparator below.
+                let x = if x.is_finite() { *x } else { 0.0 };
+                let y = if y.is_finite() { *y } else { 0.0 };
                 (x - y) * (x - y)
             })
             .sum()
@@ -74,18 +77,21 @@ impl AnomalyScorer for KnnDetector {
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
         assert!(!self.references.is_empty(), "detector not fitted");
         let k = self.config.k.min(self.references.len());
-        ts.records()
-            .map(|r| {
-                // Partial selection of the k smallest distances.
-                let mut dists: Vec<f64> =
-                    self.references.iter().map(|q| Self::distance2(r, q)).collect();
-                dists.select_nth_unstable_by(k - 1, |a, b| {
-                    a.partial_cmp(b).expect("finite distances")
-                });
-                let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
-                mean.sqrt()
-            })
-            .collect()
+        // Records are scored independently on the shared worker pool
+        // (contiguous chunks, order-preserving — identical output to the
+        // sequential map). This is the O(records × references) hot loop
+        // of the P2 inference bench.
+        let records: Vec<&[f64]> = ts.records().collect();
+        exathlon_linalg::par::par_map(&records, |r| {
+            // Partial selection of the k smallest distances.
+            let mut dists: Vec<f64> =
+                self.references.iter().map(|q| Self::distance2(r, q)).collect();
+            // total_cmp: squared distances of finite features can
+            // still overflow to ∞; ordering must never panic.
+            dists.select_nth_unstable_by(k - 1, f64::total_cmp);
+            let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
+            mean.sqrt()
+        })
     }
 }
 
@@ -132,6 +138,22 @@ mod tests {
         det.fit(&[&train]);
         let scores = det.score_series(&ts(&[vec![f64::NAN]]));
         assert!(scores[0].is_finite());
+    }
+
+    /// Regression test: ∞ features used to survive sanitization (only
+    /// NaN was zeroed), so an ∞ in both a reference and a query produced
+    /// ∞ − ∞ = NaN distances and the selection comparator panicked.
+    #[test]
+    fn infinite_values_do_not_panic() {
+        let train = ts(&[vec![f64::INFINITY, 1.0], vec![f64::NEG_INFINITY, 2.0], vec![0.0, 3.0]]);
+        let mut det = KnnDetector::new(KnnConfig { k: 2, max_references: 1000 });
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[
+            vec![f64::INFINITY, 1.0],
+            vec![f64::NEG_INFINITY, 2.5],
+            vec![f64::NAN, 3.0],
+        ]));
+        assert!(scores.iter().all(|s| s.is_finite()), "{scores:?}");
     }
 
     #[test]

@@ -41,8 +41,11 @@ fn distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b)
         .map(|(x, y)| {
-            let x = if x.is_nan() { 0.0 } else { *x };
-            let y = if y.is_nan() { 0.0 } else { *y };
+            // Sanitize all non-finite features, not just NaN: an ∞
+            // feature on both sides yields ∞ − ∞ = NaN, which used to
+            // poison the sort comparator in `knn`.
+            let x = if x.is_finite() { *x } else { 0.0 };
+            let y = if y.is_finite() { *y } else { 0.0 };
             (x - y) * (x - y)
         })
         .sum::<f64>()
@@ -72,7 +75,9 @@ impl LofDetector {
             .filter(|(i, _)| Some(*i) != exclude)
             .map(|(i, q)| (i, distance(x, q)))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        // total_cmp: squared distances of finite features can still
+        // overflow to ∞; ordering must never panic.
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         dists.truncate(self.config.k);
         dists
     }
@@ -83,10 +88,7 @@ impl LofDetector {
         if knn.is_empty() {
             return 0.0;
         }
-        let sum_reach: f64 = knn
-            .iter()
-            .map(|&(j, d)| d.max(self.k_distance[j]))
-            .sum();
+        let sum_reach: f64 = knn.iter().map(|&(j, d)| d.max(self.k_distance[j])).sum();
         if sum_reach <= 0.0 {
             // The query coincides with its neighbours: maximal density.
             f64::INFINITY
@@ -142,22 +144,22 @@ impl AnomalyScorer for LofDetector {
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
         assert!(!self.references.is_empty(), "detector not fitted");
-        ts.records()
-            .map(|x| {
-                let knn = self.knn(x, None);
-                let own_lrd = self.lrd_of(&knn);
-                if !own_lrd.is_finite() {
-                    return 1.0; // sits exactly on training data
-                }
-                if own_lrd <= 0.0 {
-                    return f64::MAX.sqrt();
-                }
-                let neighbour_lrd: f64 =
-                    knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>()
-                        / knn.len().max(1) as f64;
-                (neighbour_lrd / own_lrd).max(0.0)
-            })
-            .collect()
+        // Per-record LOF is independent given the fitted reference state;
+        // scored on the shared worker pool, order-preserving.
+        let records: Vec<&[f64]> = ts.records().collect();
+        exathlon_linalg::par::par_map(&records, |x| {
+            let knn = self.knn(x, None);
+            let own_lrd = self.lrd_of(&knn);
+            if !own_lrd.is_finite() {
+                return 1.0; // sits exactly on training data
+            }
+            if own_lrd <= 0.0 {
+                return f64::MAX.sqrt();
+            }
+            let neighbour_lrd: f64 = knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>()
+                / knn.len().max(1) as f64;
+            (neighbour_lrd / own_lrd).max(0.0)
+        })
     }
 }
 
@@ -170,9 +172,8 @@ mod tests {
 
     fn cluster(n: usize, seed: u64) -> TimeSeries {
         let mut rng = StdRng::seed_from_u64(seed);
-        let records: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
-            .collect();
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         TimeSeries::from_records(default_names(2), 0, &records)
     }
 
@@ -181,11 +182,8 @@ mod tests {
         let train = cluster(300, 1);
         let mut det = LofDetector::new(LofConfig::default());
         det.fit(&[&train]);
-        let test = TimeSeries::from_records(
-            default_names(2),
-            0,
-            &[vec![0.0, 0.0], vec![15.0, 15.0]],
-        );
+        let test =
+            TimeSeries::from_records(default_names(2), 0, &[vec![0.0, 0.0], vec![15.0, 15.0]]);
         let scores = det.score_series(&test);
         assert!(
             scores[1] > 2.0 * scores[0],
@@ -218,11 +216,27 @@ mod tests {
         let train = cluster(100, 5);
         let mut det = LofDetector::new(LofConfig { k: 3, max_references: 1000 });
         det.fit(&[&train]);
-        let dup =
-            TimeSeries::from_records(default_names(2), 0, &[train.record(0).to_vec()]);
+        let dup = TimeSeries::from_records(default_names(2), 0, &[train.record(0).to_vec()]);
         let s = det.score_series(&dup)[0];
         assert!(s.is_finite());
         assert!(s < 3.0, "duplicate scored as outlier: {s}");
+    }
+
+    /// Regression test: as in kNN, ∞ features used to yield NaN
+    /// distances (∞ − ∞) and panic the neighbour sort.
+    #[test]
+    fn infinite_values_do_not_panic() {
+        let mut records: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 0.0]).collect();
+        records.push(vec![f64::INFINITY, 0.0]);
+        let train = TimeSeries::from_records(default_names(2), 0, &records);
+        let mut det = LofDetector::new(LofConfig { k: 3, max_references: 1000 });
+        det.fit(&[&train]);
+        let scores = det.score_series(&TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![f64::INFINITY, 0.0], vec![f64::NEG_INFINITY, 0.0], vec![f64::NAN, 1.0]],
+        ));
+        assert!(scores.iter().all(|s| s.is_finite()), "{scores:?}");
     }
 
     #[test]

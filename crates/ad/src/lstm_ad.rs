@@ -121,14 +121,9 @@ impl AnomalyScorer for LstmDetector {
             // Relative forecast error: squared error normalized by the
             // magnitude of the actual record (plus 1 to stabilize the
             // near-zero records of scaled data).
-            let err: f64 = forecast
-                .iter()
-                .zip(actual)
-                .map(|(f, a)| (f - a) * (f - a))
-                .sum::<f64>()
+            let err: f64 = forecast.iter().zip(actual).map(|(f, a)| (f - a) * (f - a)).sum::<f64>()
                 / actual.len() as f64;
-            let mag: f64 =
-                actual.iter().map(|a| a * a).sum::<f64>() / actual.len() as f64;
+            let mag: f64 = actual.iter().map(|a| a * a).sum::<f64>() / actual.len() as f64;
             scores[t] = err / (1.0 + mag);
         }
         // Warm-up records inherit the first computed score so every record

@@ -80,7 +80,8 @@ mod tests {
 
     #[test]
     fn point_outlier_scores_high() {
-        let train = ts(&(0..100).map(|i| vec![(i % 7) as f64, 5.0 + (i % 3) as f64]).collect::<Vec<_>>());
+        let train =
+            ts(&(0..100).map(|i| vec![(i % 7) as f64, 5.0 + (i % 3) as f64]).collect::<Vec<_>>());
         let mut det = MadDetector::new();
         det.fit(&[&train]);
         let scores = det.score_series(&ts(&[vec![3.0, 6.0], vec![100.0, 6.0]]));

@@ -26,11 +26,7 @@ pub trait AnomalyScorer {
 /// Collect windows from several traces into one training pool, capped at
 /// `max_windows` by uniform striding (the cardinality-reduction lever the
 /// benchmark grants user algorithms, §4.3).
-pub fn pooled_windows(
-    train: &[&TimeSeries],
-    window: usize,
-    max_windows: usize,
-) -> Vec<Vec<f64>> {
+pub fn pooled_windows(train: &[&TimeSeries], window: usize, max_windows: usize) -> Vec<Vec<f64>> {
     assert!(!train.is_empty(), "no training traces");
     let mut all = Vec::new();
     for ts in train {

@@ -164,10 +164,7 @@ mod tests {
         scores.extend([50.0, 60.0, 70.0]); // contamination
         let one = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: false };
         let two = ThresholdRule { stat: ThresholdStat::Std, factor: 2.0, two_pass: true };
-        assert!(
-            two.fit(&scores) < one.fit(&scores),
-            "second pass should shed the contamination"
-        );
+        assert!(two.fit(&scores) < one.fit(&scores), "second pass should shed the contamination");
     }
 
     #[test]

@@ -34,8 +34,7 @@ fn bench_pca(c: &mut Criterion) {
 
 fn bench_range_pr(c: &mut Criterion) {
     let real: Vec<Range> = (0..50).map(|i| Range::new(i * 100, i * 100 + 40)).collect();
-    let predicted: Vec<Range> =
-        (0..80).map(|i| Range::new(i * 70 + 5, i * 70 + 30)).collect();
+    let predicted: Vec<Range> = (0..80).map(|i| Range::new(i * 70 + 5, i * 70 + 30)).collect();
     c.bench_function("range_pr_ad2", |b| {
         b.iter(|| black_box(evaluate_at_level(&real, &predicted, AdLevel::Range)))
     });

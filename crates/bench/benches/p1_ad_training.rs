@@ -38,21 +38,9 @@ fn bench_training_vs_dimensionality(c: &mut Criterion) {
     for dims in [4usize, 19, 43] {
         let traces = vec![train_trace(600, dims, 1), train_trace(600, dims, 2)];
         for method in [AdMethod::Ae, AdMethod::Lstm, AdMethod::BiGan] {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), dims),
-                &dims,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(train_model(
-                            method,
-                            &traces,
-                            0.25,
-                            TrainingBudget::Quick,
-                            7,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), dims), &dims, |b, _| {
+                b.iter(|| black_box(train_model(method, &traces, 0.25, TrainingBudget::Quick, 7)))
+            });
         }
     }
     group.finish();
@@ -64,21 +52,9 @@ fn bench_training_vs_cardinality(c: &mut Criterion) {
     let base = [train_trace(1800, 19, 1)];
     for l in [1usize, 5, 15] {
         let traces: Vec<TimeSeries> = base.iter().map(|t| resample_mean(t, l)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("AE_alpha", format!("1/{l}")),
-            &l,
-            |b, _| {
-                b.iter(|| {
-                    black_box(train_model(
-                        AdMethod::Ae,
-                        &traces,
-                        0.25,
-                        TrainingBudget::Quick,
-                        7,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("AE_alpha", format!("1/{l}")), &l, |b, _| {
+            b.iter(|| black_box(train_model(AdMethod::Ae, &traces, 0.25, TrainingBudget::Quick, 7)))
+        });
     }
     group.finish();
 }

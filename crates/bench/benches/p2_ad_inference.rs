@@ -31,23 +31,41 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(10);
     for dims in [4usize, 19] {
         let test = trace(600, dims, 9);
-        for method in [
-            AdMethod::Ae,
-            AdMethod::Lstm,
-            AdMethod::BiGan,
-            AdMethod::Knn,
-            AdMethod::Mad,
-        ] {
+        for method in [AdMethod::Ae, AdMethod::Lstm, AdMethod::BiGan, AdMethod::Knn, AdMethod::Mad]
+        {
             let model = fitted(method, dims);
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), dims),
-                &dims,
-                |b, _| b.iter(|| black_box(model.scorer.score_series(&test))),
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), dims), &dims, |b, _| {
+                b.iter(|| black_box(model.scorer.score_series(&test)))
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Serial vs parallel scoring of the record-parallel detectors
+/// (kNN / LOF / iForest), pinned via `EXATHLON_THREADS`. On a multi-core
+/// machine the parallel kNN variant should beat serial by ~the worker
+/// count; on one core both pin to the same sequential path.
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_inference_serial_vs_parallel");
+    group.sample_size(10);
+    let dims = 19;
+    let test = trace(2000, dims, 9);
+    let threads = exathlon_core::par::max_threads();
+    for method in [AdMethod::Knn, AdMethod::Lof, AdMethod::IForest] {
+        let model = fitted(method, dims);
+        for (variant, setting) in [("serial", "1".to_string()), ("parallel", threads.to_string())] {
+            std::env::set_var(exathlon_core::par::THREADS_ENV, &setting);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{variant}", method.label()), &setting),
+                &dims,
+                |b, _| b.iter(|| black_box(model.scorer.score_series(&test))),
+            );
+        }
+        std::env::remove_var(exathlon_core::par::THREADS_ENV);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_serial_vs_parallel);
 criterion_main!(benches);

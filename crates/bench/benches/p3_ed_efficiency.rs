@@ -71,9 +71,7 @@ fn bench_lime(c: &mut Criterion) {
         let window = anomaly.slice(0, 4);
         let lime = LimeExplainer::new(LimeConfig { n_samples: 200, ..LimeConfig::default() });
         group.bench_with_input(BenchmarkId::new("LIME", dims), &dims, |b, _| {
-            b.iter(|| {
-                black_box(lime.explain(&window, &|flat: &[f64]| ae.window_score(flat)))
-            })
+            b.iter(|| black_box(lime.explain(&window, &|flat: &[f64]| ae.window_score(flat))))
         });
     }
     group.finish();

@@ -10,17 +10,17 @@ fn main() {
     // R3 detected as two fragments; R4 missed entirely. P4 is a pure
     // false positive.
     let real = vec![
-        Range::new(0, 10),   // R1
-        Range::new(20, 30),  // R2
-        Range::new(40, 50),  // R3
-        Range::new(60, 70),  // R4
+        Range::new(0, 10),  // R1
+        Range::new(20, 30), // R2
+        Range::new(40, 50), // R3
+        Range::new(60, 70), // R4
     ];
     let predicted = vec![
-        Range::new(0, 10),   // P1: exact
-        Range::new(27, 33),  // P2: late + spill-over
-        Range::new(40, 43),  // P3a: fragment
-        Range::new(45, 48),  // P3b: fragment
-        Range::new(80, 85),  // P4: false positive
+        Range::new(0, 10),  // P1: exact
+        Range::new(27, 33), // P2: late + spill-over
+        Range::new(40, 43), // P3a: fragment
+        Range::new(45, 48), // P3b: fragment
+        Range::new(80, 85), // P4: false positive
     ];
 
     println!("Real ranges:      {real:?}");
@@ -39,10 +39,11 @@ fn main() {
     }
     println!();
     println!("Monotonicity check: score(AD1) >= score(AD2) >= score(AD3) >= score(AD4)");
-    let scores: Vec<f64> = AdLevel::ALL
-        .iter()
-        .map(|&l| evaluate_at_level(&real, &predicted, l).f1)
-        .collect();
+    let scores: Vec<f64> =
+        AdLevel::ALL.iter().map(|&l| evaluate_at_level(&real, &predicted, l).f1).collect();
     let ok = scores.windows(2).all(|w| w[0] >= w[1] - 1e-12);
-    println!("F1 sequence {scores:?} -> {}", if ok { "monotone (as designed)" } else { "VIOLATED" });
+    println!(
+        "F1 sequence {scores:?} -> {}",
+        if ok { "monotone (as designed)" } else { "VIOLATED" }
+    );
 }

@@ -35,9 +35,7 @@ fn main() {
     let t2 = mr
         .scored
         .iter()
-        .find(|t| {
-            t.dominant_type == Some(exathlon_sparksim::AnomalyType::BurstyInputUntilCrash)
-        })
+        .find(|t| t.dominant_type == Some(exathlon_sparksim::AnomalyType::BurstyInputUntilCrash))
         .expect("a T2 trace exists");
     let (n, a) = split(&[t2]);
     println!("--- Figure 4(a): trace level ({}, T2) ---", t2.trace_id);

@@ -37,12 +37,7 @@ fn main() {
     let scale = Scale::from_args();
     let ds = build_dataset(scale);
     let config = default_config(scale);
-    let run = run_pipeline(
-        &ds,
-        &config,
-        &[AdMethod::Ae, AdMethod::Lstm],
-        scale.budget(),
-    );
+    let run = run_pipeline(&ds, &config, &[AdMethod::Ae, AdMethod::Lstm], scale.budget());
 
     for (figure, wanted) in [
         ("Figure 5: T1 (bursty input) trace", AnomalyType::BurstyInput),

@@ -28,13 +28,7 @@ fn main() {
         "{:<34} {:>6} {:>9} {:>22}",
         "Trace type", "Traces", "Instances", "Anomaly len min/avg/max"
     );
-    println!(
-        "{:<34} {:>6} {:>9} {:>22}",
-        "Undisturbed",
-        ds.undisturbed.len(),
-        "-",
-        "-"
-    );
+    println!("{:<34} {:>6} {:>9} {:>22}", "Undisturbed", ds.undisturbed.len(), "-", "-");
     let traces = ds.traces_per_type();
     for (i, t) in AnomalyType::ALL.iter().enumerate() {
         let lens: Vec<u64> = ds
@@ -43,15 +37,10 @@ fn main() {
             .filter(|e| e.anomaly_type == *t)
             .map(|e| e.anomaly_len())
             .collect();
-        let (min, max) = (
-            lens.iter().min().copied().unwrap_or(0),
-            lens.iter().max().copied().unwrap_or(0),
-        );
-        let avg = if lens.is_empty() {
-            0.0
-        } else {
-            lens.iter().sum::<u64>() as f64 / lens.len() as f64
-        };
+        let (min, max) =
+            (lens.iter().min().copied().unwrap_or(0), lens.iter().max().copied().unwrap_or(0));
+        let avg =
+            if lens.is_empty() { 0.0 } else { lens.iter().sum::<u64>() as f64 / lens.len() as f64 };
         println!(
             "{:<34} {:>6} {:>9} {:>9}s {:>5.0}s {:>5}s",
             format!("{}: {:?}", t.label(), t),

@@ -29,8 +29,8 @@ fn main() {
     println!("\nShape checks vs the paper:");
     for (method, mr) in &run.methods {
         let s = &mr.separation;
-        let monotone = s.trace.average >= s.app.average - 0.05
-            && s.app.average >= s.global.average - 0.05;
+        let monotone =
+            s.trace.average >= s.app.average - 0.05 && s.app.average >= s.global.average - 0.05;
         println!(
             "  {:<6} trace {:.2} >= app {:.2} >= global {:.2} : {}",
             method.label(),

@@ -2,14 +2,14 @@
 //! conciseness, stability (ED1), concordance (ED2), accuracy, and running
 //! time of MacroBase, EXstream, and LIME, plus example explanations.
 
+use exathlon_ad::ae_ad::AutoencoderDetector;
+use exathlon_ad::AnomalyScorer;
 use exathlon_bench::{build_dataset, default_config, Scale};
 use exathlon_core::config::AdMethod;
 use exathlon_core::edrun::{collect_cases, evaluate_ed, EdMethodKind, EdRunner};
 use exathlon_core::experiment::run_pipeline;
 use exathlon_core::model::ae_config_for;
 use exathlon_core::report::EdTable;
-use exathlon_ad::ae_ad::AutoencoderDetector;
-use exathlon_ad::AnomalyScorer;
 
 fn main() {
     let scale = Scale::from_args();
@@ -46,9 +46,8 @@ fn main() {
 
     println!("\n=== Figure 6(a): example explanations of a stalled-input (T3) anomaly ===");
     for (method, ex) in &examples {
-        if let Some((_, text)) = ex
-            .iter()
-            .find(|(t, _)| *t == exathlon_sparksim::AnomalyType::StalledInput)
+        if let Some((_, text)) =
+            ex.iter().find(|(t, _)| *t == exathlon_sparksim::AnomalyType::StalledInput)
         {
             println!("--- {} ---\n{text}\n", method.label());
         }
@@ -56,17 +55,10 @@ fn main() {
 
     println!("Shape checks vs the paper:");
     let get = |m: EdMethodKind| {
-        table
-            .evaluations
-            .iter()
-            .find(|e| e.method == m)
-            .expect("method evaluated")
+        table.evaluations.iter().find(|e| e.method == m).expect("method evaluated")
     };
-    let (mb, ex, li) = (
-        get(EdMethodKind::MacroBase),
-        get(EdMethodKind::Exstream),
-        get(EdMethodKind::Lime),
-    );
+    let (mb, ex, li) =
+        (get(EdMethodKind::MacroBase), get(EdMethodKind::Exstream), get(EdMethodKind::Lime));
     println!(
         "  EXstream most concise: EXstream {:.2} vs MacroBase {:.2} vs LIME {:.2} -> {}",
         ex.average.conciseness,

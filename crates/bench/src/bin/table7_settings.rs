@@ -38,8 +38,7 @@ fn one_app_row(
     let rows: Vec<TypedAuprc> = apps
         .iter()
         .map(|&a| {
-            let setting =
-                if many { LearningSetting::ls1(a) } else { LearningSetting::ls3(a) };
+            let setting = if many { LearningSetting::ls1(a) } else { LearningSetting::ls3(a) };
             let config = ExperimentConfig { setting, ..base.clone() };
             let run = run_pipeline(ds, &config, &[method], budget);
             run.method_run(method).separation.app.clone()
@@ -74,12 +73,9 @@ fn main() {
         "\n{:<5} {:<7} {:>5}  {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
         "LS", "Method", "Ave", "T1", "T2", "T3", "T4", "T5", "T6"
     );
-    for (label, many, n_app) in [
-        ("LS1", true, false),
-        ("LS2", true, true),
-        ("LS3", false, false),
-        ("LS4", false, true),
-    ] {
+    for (label, many, n_app) in
+        [("LS1", true, false), ("LS2", true, true), ("LS3", false, false), ("LS4", false, true)]
+    {
         for method in AdMethod::PAPER_METHODS {
             let row = if n_app {
                 let setting = if many { LearningSetting::ls2() } else { LearningSetting::ls4() };

@@ -20,8 +20,7 @@ fn main() {
     let ds = build_dataset(scale);
     let base = default_config(scale);
 
-    let pca_config =
-        ExperimentConfig { feature_space: FeatureSpace::Pca(19), ..base.clone() };
+    let pca_config = ExperimentConfig { feature_space: FeatureSpace::Pca(19), ..base.clone() };
     let custom_run = run_pipeline(&ds, &base, &AdMethod::PAPER_METHODS, scale.budget());
     let pca_run = run_pipeline(&ds, &pca_config, &AdMethod::PAPER_METHODS, scale.budget());
 

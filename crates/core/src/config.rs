@@ -62,7 +62,9 @@ impl LearningSetting {
     /// Label like `"LS4"` (app-qualified for 1-App settings).
     pub fn label(&self) -> String {
         match (self.subject, self.constraint) {
-            (ModelingSubject::OneApp(a), TrainingConstraint::ManyExamples) => format!("LS1(app{a})"),
+            (ModelingSubject::OneApp(a), TrainingConstraint::ManyExamples) => {
+                format!("LS1(app{a})")
+            }
             (ModelingSubject::NApp, TrainingConstraint::ManyExamples) => "LS2".into(),
             (ModelingSubject::OneApp(a), TrainingConstraint::FewExamples) => format!("LS3(app{a})"),
             (ModelingSubject::NApp, TrainingConstraint::FewExamples) => "LS4".into(),
@@ -118,6 +120,18 @@ impl AdMethod {
     /// The classical baselines for the ablation/extension study.
     pub const BASELINES: [AdMethod; 5] =
         [AdMethod::Knn, AdMethod::Lof, AdMethod::IForest, AdMethod::Ewma, AdMethod::Mad];
+
+    /// Every method, deep and baseline.
+    pub const ALL: [AdMethod; 8] = [
+        AdMethod::Lstm,
+        AdMethod::Ae,
+        AdMethod::BiGan,
+        AdMethod::Knn,
+        AdMethod::Lof,
+        AdMethod::IForest,
+        AdMethod::Ewma,
+        AdMethod::Mad,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn label(&self) -> &'static str {

@@ -28,7 +28,7 @@ use exathlon_ed::macrobase::MacroBaseExplainer;
 use exathlon_ed::Explanation;
 use exathlon_sparksim::deg::AnomalyType;
 use exathlon_tsdata::TimeSeries;
-use exathlon_tsmetrics::ed_metrics::{concordance, conciseness, stability};
+use exathlon_tsmetrics::ed_metrics::{conciseness, concordance, stability};
 use exathlon_tsmetrics::point::Confusion;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -173,9 +173,7 @@ impl EdRunner<'_> {
             EdMethodKind::MacroBase => MacroBaseExplainer::default().explain(anomaly, reference),
             EdMethodKind::Exstream => ExstreamExplainer::default().explain(anomaly, reference),
             EdMethodKind::Lime => {
-                let model = self
-                    .ae_model
-                    .expect("LIME requires the AE model (model-dependent ED)");
+                let model = self.ae_model.expect("LIME requires the AE model (model-dependent ED)");
                 let window = padded_window(anomaly, 0, model.window_len());
                 let score_fn = |flat: &[f64]| model.window_score(flat);
                 LimeExplainer::default().explain(&window, &score_fn)
@@ -201,11 +199,8 @@ impl EdRunner<'_> {
                 (0..N_SUBSAMPLES)
                     .map(|i| {
                         let max_start = n.saturating_sub(w);
-                        let start = if N_SUBSAMPLES > 1 {
-                            max_start * i / (N_SUBSAMPLES - 1)
-                        } else {
-                            0
-                        };
+                        let start =
+                            if N_SUBSAMPLES > 1 { max_start * i / (N_SUBSAMPLES - 1) } else { 0 };
                         let window = padded_window(&case.anomaly, start, w);
                         let e = LimeExplainer::default().explain(&window, &score_fn);
                         (e, Vec::new())
@@ -311,20 +306,12 @@ pub fn evaluate_ed(runner: &EdRunner<'_>, cases: &[EdCase]) -> EdEvaluation {
             }
         }
 
-        results.push(CaseResult {
-            atype: case.atype,
-            explanation,
-            sub_features,
-            accuracy,
-            secs,
-        });
+        results.push(CaseResult { atype: case.atype, explanation, sub_features, accuracy, secs });
     }
 
     let row_for = |atype: Option<AnomalyType>| -> EdTypeRow {
-        let subset: Vec<&CaseResult> = results
-            .iter()
-            .filter(|r| atype.is_none() || Some(r.atype) == atype)
-            .collect();
+        let subset: Vec<&CaseResult> =
+            results.iter().filter(|r| atype.is_none() || Some(r.atype) == atype).collect();
         let feature_sets: Vec<Vec<usize>> =
             subset.iter().map(|r| r.explanation.features()).collect();
         let stab = if subset.is_empty() {
@@ -383,17 +370,11 @@ mod tests {
             .map(|i| {
                 let anomalous = (a.start as usize..a.end as usize).contains(&i);
                 let base = (i as f64 * 0.37).sin() * 0.1;
-                vec![
-                    if anomalous { 5.0 + base } else { base },
-                    (i as f64 * 0.21).cos() * 0.1,
-                ]
+                vec![if anomalous { 5.0 + base } else { base }, (i as f64 * 0.21).cos() * 0.1]
             })
             .collect();
-        let series = TimeSeries::from_records(
-            exathlon_tsdata::series::default_names(2),
-            0,
-            &records,
-        );
+        let series =
+            TimeSeries::from_records(exathlon_tsdata::series::default_names(2), 0, &records);
         let labels = (0..n).map(|i| (80..110).contains(&i)).collect();
         TransformedTest {
             trace_id: 0,

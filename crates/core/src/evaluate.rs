@@ -35,18 +35,19 @@ pub struct ScoredTest {
 }
 
 /// Run AD inference: score every transformed test trace.
+///
+/// Traces are scored on the shared worker pool ([`crate::par`]); each
+/// trace is independent and results keep input order, so the output is
+/// identical to the sequential map for any `EXATHLON_THREADS`.
 pub fn score_tests(model: &TrainedModel, tests: &[TransformedTest]) -> Vec<ScoredTest> {
-    tests
-        .iter()
-        .map(|t| ScoredTest {
-            trace_id: t.trace_id,
-            app_id: t.app_id,
-            dominant_type: t.dominant_type,
-            scores: model.scorer.score_series(&t.series),
-            labels: t.labels.clone(),
-            typed_ranges: t.typed_ranges.clone(),
-        })
-        .collect()
+    crate::par::par_map(tests, |t| ScoredTest {
+        trace_id: t.trace_id,
+        app_id: t.app_id,
+        dominant_type: t.dominant_type,
+        scores: model.scorer.score_series(&t.series),
+        labels: t.labels.clone(),
+        typed_ranges: t.typed_ranges.clone(),
+    })
 }
 
 /// Separation (AUPRC) results at the three aggregation levels, overall
@@ -98,15 +99,11 @@ fn mean(xs: &[f64]) -> f64 {
 /// Compute the separation scores of a scored test set.
 pub fn separation(tests: &[ScoredTest]) -> SeparationScores {
     let by_type = |filter: Option<AnomalyType>| -> Vec<&ScoredTest> {
-        tests
-            .iter()
-            .filter(|t| filter.is_none() || t.dominant_type == filter)
-            .collect()
+        tests.iter().filter(|t| filter.is_none() || t.dominant_type == filter).collect()
     };
 
     let trace_level = |subset: &[&ScoredTest]| -> Option<f64> {
-        let per_trace: Vec<f64> =
-            subset.iter().filter_map(|t| pooled_auprc(&[t])).collect();
+        let per_trace: Vec<f64> = subset.iter().filter_map(|t| pooled_auprc(&[t])).collect();
         if per_trace.is_empty() {
             None
         } else {
@@ -193,18 +190,21 @@ fn pooled_ranges(
 
 /// Evaluate a model's detection ability at one AD level across all 24
 /// thresholding rules.
+///
+/// The rule grid fans out on the shared worker pool ([`crate::par`]);
+/// every rule evaluation is independent and output order matches
+/// `ThresholdRule::all_rules()`, so results are identical to the
+/// sequential sweep.
 pub fn evaluate_detection(
     model: &TrainedModel,
     tests: &[ScoredTest],
     level: AdLevel,
 ) -> Vec<DetectionOutcome> {
-    ThresholdRule::all_rules()
-        .into_iter()
-        .map(|rule| {
-            let threshold = rule.fit(&model.d2_scores);
-            detection_with_threshold(&rule.label(), threshold, tests, level)
-        })
-        .collect()
+    let rules = ThresholdRule::all_rules();
+    crate::par::par_map(&rules, |rule| {
+        let threshold = rule.fit(&model.d2_scores);
+        detection_with_threshold(&rule.label(), threshold, tests, level)
+    })
 }
 
 /// Evaluate detection at a fixed threshold (used both by the rule sweep
@@ -221,11 +221,9 @@ pub fn detection_with_threshold(
     let scores = evaluate_at_level(&real, &predicted, level);
     let mut per_type_recall = [None; 6];
     for (i, t) in AnomalyType::ALL.iter().enumerate() {
-        let subset: Vec<Range> =
-            typed.iter().filter(|(a, _)| a == t).map(|(_, r)| *r).collect();
+        let subset: Vec<Range> = typed.iter().filter(|(a, _)| a == t).map(|(_, r)| *r).collect();
         if !subset.is_empty() {
-            per_type_recall[i] =
-                Some(range_recall(&subset, &predicted, &level.recall_params()));
+            per_type_recall[i] = Some(range_recall(&subset, &predicted, &level.recall_params()));
         }
     }
     DetectionOutcome {

@@ -64,6 +64,24 @@ impl PipelineRun {
     }
 }
 
+/// Derive a method-specific training seed from the experiment seed.
+///
+/// The method's full label is folded in with FNV-1a. Hashing only the
+/// label *length* (as an earlier revision did) collides for every pair of
+/// same-length labels — kNN/LOF/MAD and LSTM/EWMA would train from
+/// identical RNG streams, silently correlating methods that the paper
+/// evaluates as independent.
+pub fn method_seed(experiment_seed: u64, method: AdMethod) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in method.label().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    experiment_seed ^ h
+}
+
 /// Run the pipeline end to end: partition, transform, then train and
 /// score every requested method.
 pub fn run_pipeline(
@@ -77,21 +95,21 @@ pub fn run_pipeline(
     let tests: Vec<TransformedTest> =
         partitioned.test.iter().map(|s| transform.apply_test(s)).collect();
 
-    let methods = methods
-        .iter()
-        .map(|&method| {
-            let model = train_model(
-                method,
-                &train,
-                config.threshold_holdout,
-                budget,
-                config.seed ^ method.label().len() as u64,
-            );
-            let scored = score_tests(&model, &tests);
-            let sep = separation(&scored);
-            (method, MethodRun { model, scored, separation: sep })
-        })
-        .collect();
+    // Methods train and score on the shared worker pool; each method is
+    // fully independent (own seed, own model), and `par_map` preserves
+    // request order, so the run is identical to the sequential loop.
+    let methods = crate::par::par_map(methods, |&method| {
+        let model = train_model(
+            method,
+            &train,
+            config.threshold_holdout,
+            budget,
+            method_seed(config.seed, method),
+        );
+        let scored = score_tests(&model, &tests);
+        let sep = separation(&scored);
+        (method, MethodRun { model, scored, separation: sep })
+    });
 
     PipelineRun { transform, train, tests, methods }
 }
@@ -107,19 +125,12 @@ mod tests {
     fn pipeline_runs_end_to_end_with_baselines() {
         let ds = DatasetBuilder::tiny(11).build();
         let config = ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() };
-        let run = run_pipeline(
-            &ds,
-            &config,
-            &[AdMethod::Knn, AdMethod::Mad],
-            TrainingBudget::Quick,
-        );
+        let run =
+            run_pipeline(&ds, &config, &[AdMethod::Knn, AdMethod::Mad], TrainingBudget::Quick);
         assert_eq!(run.tests.len(), 2);
         assert_eq!(run.methods.len(), 2);
         for (m, r) in &run.methods {
-            assert!(
-                r.separation.trace.average.is_finite(),
-                "{m:?} separation not finite"
-            );
+            assert!(r.separation.trace.average.is_finite(), "{m:?} separation not finite");
             assert_eq!(r.scored.len(), 2);
         }
         let outcomes = run.detection(AdMethod::Knn, AdLevel::Range);
@@ -136,10 +147,41 @@ mod tests {
         let config = ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() };
         let run = run_pipeline(&ds, &config, &[AdMethod::Knn], TrainingBudget::Quick);
         let sep = &run.method_run(AdMethod::Knn).separation;
-        assert!(
-            sep.trace.average > 0.3,
-            "kNN trace-level AUPRC too low: {}",
-            sep.trace.average
+        assert!(sep.trace.average > 0.3, "kNN trace-level AUPRC too low: {}", sep.trace.average);
+    }
+
+    /// Regression test: every method must train from a distinct RNG
+    /// stream for the same experiment seed. The old derivation
+    /// (`seed ^ label.len()`) collided for all same-length labels
+    /// (kNN/LOF/MAD, LSTM/EWMA), so this failed before the FNV-1a fix.
+    #[test]
+    fn method_seeds_are_pairwise_distinct() {
+        for experiment_seed in [0u64, 11, u64::MAX] {
+            let seeds: Vec<u64> =
+                AdMethod::ALL.iter().map(|&m| method_seed(experiment_seed, m)).collect();
+            for (i, a) in seeds.iter().enumerate() {
+                for (j, b) in seeds.iter().enumerate().skip(i + 1) {
+                    assert_ne!(
+                        a,
+                        b,
+                        "seed collision between {:?} and {:?} for experiment seed {}",
+                        AdMethod::ALL[i],
+                        AdMethod::ALL[j],
+                        experiment_seed
+                    );
+                }
+            }
+        }
+    }
+
+    /// The derived seed still depends on the experiment seed (the hash
+    /// perturbs, it must not replace).
+    #[test]
+    fn method_seed_tracks_experiment_seed() {
+        assert_ne!(
+            method_seed(1, AdMethod::Knn),
+            method_seed(2, AdMethod::Knn),
+            "experiment seed ignored"
         );
     }
 

@@ -30,9 +30,10 @@
 
 pub mod config;
 pub mod edrun;
-pub mod experiment;
 pub mod evaluate;
+pub mod experiment;
 pub mod model;
+pub mod par;
 pub mod partition;
 pub mod report;
 pub mod transform;

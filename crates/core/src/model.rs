@@ -124,10 +124,7 @@ pub fn ae_config_for(budget: TrainingBudget, seed: u64) -> AeConfig {
 /// Split the transformed training traces into `D¹_train` (model fitting)
 /// and `D²_train` (threshold fitting): the trailing `holdout` fraction of
 /// *each* trace goes to `D²`, so both sides see every workload context.
-pub fn split_train(
-    train: &[TimeSeries],
-    holdout: f64,
-) -> (Vec<TimeSeries>, Vec<TimeSeries>) {
+pub fn split_train(train: &[TimeSeries], holdout: f64) -> (Vec<TimeSeries>, Vec<TimeSeries>) {
     assert!((0.0..1.0).contains(&holdout), "holdout must be in [0, 1)");
     let mut d1 = Vec::with_capacity(train.len());
     let mut d2 = Vec::with_capacity(train.len());

@@ -1,0 +1,8 @@
+//! Re-export of the workspace's shared parallel-execution layer.
+//!
+//! The implementation lives in `exathlon_linalg::par` (the substrate
+//! crate every other crate already depends on, which lets `exathlon-ad`
+//! use the same worker budget without a dependency cycle); pipeline-level
+//! code conventionally imports it from here.
+
+pub use exathlon_linalg::par::{max_threads, par_map, par_map_indexed, THREADS_ENV};

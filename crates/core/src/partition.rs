@@ -55,34 +55,23 @@ pub fn partition(ds: &Dataset, setting: LearningSetting, peek_fraction: f64) -> 
         ModelingSubject::NApp => true,
     };
 
-    let mut train: Vec<TimeSeries> = ds
-        .undisturbed
-        .iter()
-        .filter(|t| keep(t.context.app_id))
-        .map(|t| t.base.clone())
-        .collect();
+    let mut train: Vec<TimeSeries> =
+        ds.undisturbed.iter().filter(|t| keep(t.context.app_id)).map(|t| t.base.clone()).collect();
 
     let mut test = Vec::new();
     for trace in ds.disturbed.iter().filter(|t| keep(t.context.app_id)) {
-        let entries: Vec<GroundTruthEntry> = ds
-            .ground_truth
-            .iter()
-            .filter(|e| e.trace_id == trace.trace_id)
-            .cloned()
-            .collect();
+        let entries: Vec<GroundTruthEntry> =
+            ds.ground_truth.iter().filter(|e| e.trace_id == trace.trace_id).cloned().collect();
         let dominant_type = trace.schedule.events().first().map(|e| e.atype);
 
         let mut segment = trace.base.clone();
         if setting.constraint == TrainingConstraint::ManyExamples {
-            let first_anomaly = entries
-                .iter()
-                .map(|e| e.root_cause_start)
-                .min()
-                .unwrap_or(trace.len() as u64);
+            let first_anomaly =
+                entries.iter().map(|e| e.root_cause_start).min().unwrap_or(trace.len() as u64);
             // Peek at the normal head: at most `peek_fraction` of the
             // trace, and never into the first anomaly (with a safety gap).
-            let cut = ((trace.len() as f64 * peek_fraction) as u64)
-                .min(first_anomaly.saturating_sub(30));
+            let cut =
+                ((trace.len() as f64 * peek_fraction) as u64).min(first_anomaly.saturating_sub(30));
             if cut >= 60 {
                 train.push(trace.base.slice(0, cut as usize));
                 segment = trace.base.slice(cut as usize, trace.len());

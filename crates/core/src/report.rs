@@ -144,7 +144,8 @@ mod tests {
     use crate::evaluate::TypedAuprc;
 
     fn scores() -> SeparationScores {
-        let t = TypedAuprc { average: 0.5, per_type: [Some(0.6), None, Some(0.4), None, None, None] };
+        let t =
+            TypedAuprc { average: 0.5, per_type: [Some(0.6), None, Some(0.4), None, None, None] };
         SeparationScores { trace: t.clone(), app: t.clone(), global: t }
     }
 
@@ -170,10 +171,8 @@ mod tests {
             recall: 0.4,
             per_type_recall: [Some(1.0), None, None, None, None, None],
         };
-        let table = DetectionTable {
-            level: "AD2".into(),
-            rows: vec![("AE".into(), "Best".into(), o)],
-        };
+        let table =
+            DetectionTable { level: "AD2".into(), rows: vec![("AE".into(), "Best".into(), o)] };
         let text = format!("{table}");
         assert!(text.contains("AD2"));
         assert!(text.contains("Best"));

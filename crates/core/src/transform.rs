@@ -89,8 +89,7 @@ impl FittedTransform {
                 // nulls), subsampled to keep the covariance fit tractable.
                 let mut rows: Vec<Vec<f64>> = Vec::new();
                 for ts in train {
-                    let expanded =
-                        exathlon_sparksim::metrics::expand_to_full(ts, PCA_INPUT_DIMS);
+                    let expanded = exathlon_sparksim::metrics::expand_to_full(ts, PCA_INPUT_DIMS);
                     let filled = fill_missing(&expanded, 0.0);
                     rows.extend(filled.records().map(|r| r.to_vec()));
                 }
@@ -145,8 +144,7 @@ impl FittedTransform {
             (FeatureSpace::Pca(k), Some(pca)) => {
                 let expanded = exathlon_sparksim::metrics::expand_to_full(base, PCA_INPUT_DIMS);
                 let filled = fill_missing(&expanded, 0.0);
-                let rows: Vec<Vec<f64>> =
-                    filled.records().map(|r| pca.transform_row(r)).collect();
+                let rows: Vec<Vec<f64>> = filled.records().map(|r| pca.transform_row(r)).collect();
                 let names = (0..*k).map(|i| format!("pc{i}")).collect();
                 TimeSeries::from_records(names, base.start_tick(), &rows)
             }
@@ -183,7 +181,6 @@ impl FittedTransform {
     /// Shared tail of the test transforms: ground-truth projection into
     /// record-index space.
     fn finish_test(&self, segment: &TestSegment, series: TimeSeries) -> TransformedTest {
-
         let n = series.len();
         let st = series.start_tick();
         let l = self.resample_l as u64;
@@ -224,7 +221,9 @@ mod tests {
     use crate::partition::partition;
     use exathlon_sparksim::dataset::DatasetBuilder;
 
-    fn setup(config: &ExperimentConfig) -> (FittedTransform, Vec<TimeSeries>, Vec<TransformedTest>) {
+    fn setup(
+        config: &ExperimentConfig,
+    ) -> (FittedTransform, Vec<TimeSeries>, Vec<TransformedTest>) {
         let ds = DatasetBuilder::tiny(5).build();
         let p = partition(&ds, LearningSetting::ls4(), 0.2);
         let (ft, train) = FittedTransform::fit(&p.train, config);
@@ -242,10 +241,8 @@ mod tests {
 
     #[test]
     fn pca_space_has_requested_dims() {
-        let config = ExperimentConfig {
-            feature_space: FeatureSpace::Pca(8),
-            ..ExperimentConfig::default()
-        };
+        let config =
+            ExperimentConfig { feature_space: FeatureSpace::Pca(8), ..ExperimentConfig::default() };
         let (ft, train, _) = setup(&config);
         assert_eq!(ft.output_dims(), 8);
         assert!(train.iter().all(|t| t.dims() == 8));
@@ -272,11 +269,7 @@ mod tests {
             assert_eq!(t.labels.len(), t.series.len());
             let flagged = t.labels.iter().filter(|&&b| b).count();
             assert!(flagged > 0, "test trace {} has no anomalous records", t.trace_id);
-            assert!(
-                flagged < t.labels.len(),
-                "test trace {} is entirely anomalous",
-                t.trace_id
-            );
+            assert!(flagged < t.labels.len(), "test trace {} is entirely anomalous", t.trace_id);
             // Ranges agree with labels.
             for (_, r) in &t.typed_ranges {
                 assert!(t.labels[r.start as usize]);

@@ -127,11 +127,8 @@ impl Explanation {
         match self {
             Explanation::Formula(c) => c.features(),
             Explanation::Importance(terms) => {
-                let mut f: Vec<usize> = terms
-                    .iter()
-                    .filter(|t| t.weight != 0.0)
-                    .map(|t| t.feature)
-                    .collect();
+                let mut f: Vec<usize> =
+                    terms.iter().filter(|t| t.weight != 0.0).map(|t| t.feature).collect();
                 f.sort_unstable();
                 f.dedup();
                 f
@@ -233,9 +230,7 @@ mod tests {
 
     #[test]
     fn formula_is_predictive() {
-        let e = Explanation::Formula(Conjunction {
-            predicates: vec![Predicate::at_most(0, 0.0)],
-        });
+        let e = Explanation::Formula(Conjunction { predicates: vec![Predicate::at_most(0, 0.0)] });
         assert!(e.as_predictive().is_some());
     }
 

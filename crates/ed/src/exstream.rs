@@ -102,11 +102,7 @@ impl ExstreamExplainer {
         let predicates: Vec<Predicate> = selected
             .iter()
             .map(|&(j, _)| {
-                threshold_predicate(
-                    j,
-                    &anomaly.feature_column(j),
-                    &reference.feature_column(j),
-                )
+                threshold_predicate(j, &anomaly.feature_column(j), &reference.feature_column(j))
             })
             .collect();
         Explanation::Formula(Conjunction { predicates })
@@ -151,8 +147,8 @@ pub fn single_feature_reward(anomalous: &[f64], reference: &[f64]) -> f64 {
         while j < merged.len() && merged[j].0 == merged[i].0 {
             j += 1;
         }
-        let tie_mixed = merged[i..j].iter().any(|(_, c)| *c)
-            && merged[i..j].iter().any(|(_, c)| !*c);
+        let tie_mixed =
+            merged[i..j].iter().any(|(_, c)| *c) && merged[i..j].iter().any(|(_, c)| !*c);
         if tie_mixed {
             for _ in i..j {
                 h_seg += (1.0 / n) * n.log2();
@@ -244,8 +240,7 @@ mod tests {
 
     fn ts(cols: Vec<Vec<f64>>) -> TimeSeries {
         let n = cols[0].len();
-        let records: Vec<Vec<f64>> =
-            (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        let records: Vec<Vec<f64>> = (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
         TimeSeries::from_records(default_names(cols.len()), 0, &records)
     }
 

@@ -19,18 +19,12 @@ pub struct LassoFit {
 impl LassoFit {
     /// Predict one sample.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.intercept
-            + x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
+        self.intercept + x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum::<f64>()
     }
 
     /// Indices of non-zero coefficients.
     pub fn support(&self) -> Vec<usize> {
-        self.coefficients
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0.0)
-            .map(|(i, _)| i)
-            .collect()
+        self.coefficients.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(i, _)| i).collect()
     }
 }
 
@@ -61,14 +55,10 @@ pub fn weighted_lasso(
     let mut means = vec![0.0; d];
     let mut stds = vec![0.0; d];
     for j in 0..d {
-        let mu: f64 =
-            x.iter().zip(weights).map(|(r, &w)| w * r[j]).sum::<f64>() / w_total;
-        let var: f64 = x
-            .iter()
-            .zip(weights)
-            .map(|(r, &w)| w * (r[j] - mu) * (r[j] - mu))
-            .sum::<f64>()
-            / w_total;
+        let mu: f64 = x.iter().zip(weights).map(|(r, &w)| w * r[j]).sum::<f64>() / w_total;
+        let var: f64 =
+            x.iter().zip(weights).map(|(r, &w)| w * (r[j] - mu) * (r[j] - mu)).sum::<f64>()
+                / w_total;
         means[j] = mu;
         stds[j] = var.sqrt().max(1e-12);
     }
@@ -122,8 +112,7 @@ pub fn weighted_lasso(
 
     // De-standardize.
     let coefficients: Vec<f64> = beta.iter().zip(&stds).map(|(b, s)| b / s).collect();
-    let intercept = y_mean
-        - coefficients.iter().zip(&means).map(|(c, m)| c * m).sum::<f64>();
+    let intercept = y_mean - coefficients.iter().zip(&means).map(|(c, m)| c * m).sum::<f64>();
     LassoFit { intercept, coefficients, iterations }
 }
 

@@ -34,14 +34,7 @@ pub struct LimeConfig {
 
 impl Default for LimeConfig {
     fn default() -> Self {
-        Self {
-            n_samples: 300,
-            k: 5,
-            noise_scale: 1.0,
-            kernel_width: 0.75,
-            lambda: 0.01,
-            seed: 41,
-        }
+        Self { n_samples: 300, k: 5, noise_scale: 1.0, kernel_width: 0.75, lambda: 0.01, seed: 41 }
     }
 }
 
@@ -63,11 +56,7 @@ impl LimeExplainer {
     ///
     /// # Panics
     /// Panics if the window is empty.
-    pub fn explain(
-        &self,
-        window: &TimeSeries,
-        score_fn: &dyn Fn(&[f64]) -> f64,
-    ) -> Explanation {
+    pub fn explain(&self, window: &TimeSeries, score_fn: &dyn Fn(&[f64]) -> f64) -> Explanation {
         assert!(!window.is_empty(), "empty LIME window");
         let cfg = &self.config;
         let t_len = window.len();
@@ -95,11 +84,8 @@ impl LimeExplainer {
         let mut samples: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_samples + 1);
         samples.push(x0.clone());
         for _ in 0..cfg.n_samples {
-            let s: Vec<f64> = x0
-                .iter()
-                .zip(&scales)
-                .map(|(&v, &sc)| v + rng.gen_range(-1.5..1.5) * sc)
-                .collect();
+            let s: Vec<f64> =
+                x0.iter().zip(&scales).map(|(&v, &sc)| v + rng.gen_range(-1.5..1.5) * sc).collect();
             samples.push(s);
         }
 

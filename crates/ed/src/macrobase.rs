@@ -94,10 +94,7 @@ impl MacroBaseExplainer {
         let n_ref = ref_items.len() as f64;
 
         let support_count = |records: &[Vec<Item>], set: &[Item]| -> f64 {
-            records
-                .iter()
-                .filter(|items| set.iter().all(|s| items.contains(s)))
-                .count() as f64
+            records.iter().filter(|items| set.iter().all(|s| items.contains(s))).count() as f64
         };
         // Risk ratio with the standard 0.5 smoothing against empty cells.
         let risk_ratio = |set: &[Item]| -> (f64, f64) {
@@ -190,21 +187,14 @@ mod tests {
 
     fn ts(cols: Vec<Vec<f64>>) -> TimeSeries {
         let n = cols[0].len();
-        let records: Vec<Vec<f64>> =
-            (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        let records: Vec<Vec<f64>> = (0..n).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
         TimeSeries::from_records(default_names(cols.len()), 0, &records)
     }
 
     #[test]
     fn finds_the_separating_feature() {
-        let anomaly = ts(vec![
-            vec![10.0, 10.5, 11.0, 10.2, 10.8],
-            vec![1.0, 1.5, 1.2, 1.3, 1.1],
-        ]);
-        let reference = ts(vec![
-            vec![1.0, 1.2, 0.8, 1.1, 0.9],
-            vec![1.1, 1.4, 1.3, 1.2, 1.0],
-        ]);
+        let anomaly = ts(vec![vec![10.0, 10.5, 11.0, 10.2, 10.8], vec![1.0, 1.5, 1.2, 1.3, 1.1]]);
+        let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1, 0.9], vec![1.1, 1.4, 1.3, 1.2, 1.0]]);
         let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
         assert!(e.features().contains(&0), "feature 0 separates: {e}");
         assert!(!e.features().contains(&1), "feature 1 does not separate: {e}");
@@ -224,10 +214,7 @@ mod tests {
     fn correlated_features_give_longer_explanations() {
         // Two perfectly correlated separating features: MacroBase keeps
         // both (it prefers longer itemsets).
-        let anomaly = ts(vec![
-            vec![10.0, 10.5, 11.0, 10.2],
-            vec![20.0, 21.0, 22.0, 20.4],
-        ]);
+        let anomaly = ts(vec![vec![10.0, 10.5, 11.0, 10.2], vec![20.0, 21.0, 22.0, 20.4]]);
         let reference = ts(vec![vec![1.0, 1.2, 0.8, 1.1], vec![2.0, 2.4, 1.6, 2.2]]);
         let e = MacroBaseExplainer::default().explain(&anomaly, &reference);
         assert_eq!(e.features(), vec![0, 1], "{e}");

@@ -97,9 +97,8 @@ impl ShapExplainer {
                     present += 1;
                 }
             }
-            let input: Vec<f64> = (0..d)
-                .map(|j| if mask[j] == 1.0 { x0[j] } else { background[j] })
-                .collect();
+            let input: Vec<f64> =
+                (0..d).map(|j| if mask[j] == 1.0 { x0[j] } else { background[j] }).collect();
             responses.push(score_fn(&input));
             weights.push(kernel(s).max(1e-12));
             masks.push(mask);

@@ -120,11 +120,8 @@ pub fn covariance_matrix(data: &Matrix) -> Matrix {
     let means: Vec<f64> = (0..m).map(|j| crate::stats::mean(&data.col(j))).collect();
     let mut cov = Matrix::zeros(m, m);
     for row in data.iter_rows() {
-        let dev: Vec<f64> = row
-            .iter()
-            .zip(&means)
-            .map(|(&x, &mu)| if x.is_nan() { 0.0 } else { x - mu })
-            .collect();
+        let dev: Vec<f64> =
+            row.iter().zip(&means).map(|(&x, &mu)| if x.is_nan() { 0.0 } else { x - mu }).collect();
         for (i, &di) in dev.iter().enumerate() {
             if di == 0.0 {
                 continue;
@@ -214,12 +211,8 @@ mod tests {
     #[test]
     fn covariance_of_perfectly_correlated() {
         // y = 2x => cov = [[var(x), 2 var(x)], [2 var(x), 4 var(x)]]
-        let data = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-            vec![4.0, 8.0],
-        ]);
+        let data =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0], vec![4.0, 8.0]]);
         let cov = covariance_matrix(&data);
         let var_x = crate::stats::variance(&[1.0, 2.0, 3.0, 4.0]);
         assert_close(cov[(0, 0)], var_x, 1e-12);

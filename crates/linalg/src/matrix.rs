@@ -191,9 +191,7 @@ impl Matrix {
     /// Multiply by a vector: `self * v`, returning a vector of length `rows`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        self.iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `self^T * v` without materializing the transpose.
@@ -213,11 +211,7 @@ impl Matrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Element-wise map in place.

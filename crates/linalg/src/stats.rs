@@ -96,11 +96,7 @@ pub fn median(xs: &[f64]) -> f64 {
 /// `MAD = 1.4826 * median(|X - median(X)|)` definition in Appendix D.2.
 pub fn mad(xs: &[f64]) -> f64 {
     let med = median(xs);
-    let devs: Vec<f64> = xs
-        .iter()
-        .filter(|x| !x.is_nan())
-        .map(|&x| (x - med).abs())
-        .collect();
+    let devs: Vec<f64> = xs.iter().filter(|x| !x.is_nan()).map(|&x| (x - med).abs()).collect();
     1.4826 * median(&devs)
 }
 
@@ -167,11 +163,7 @@ impl Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         let lo = min(xs);
         let hi = max(xs);
-        let (lo, hi) = if lo.is_finite() && hi.is_finite() {
-            (lo, hi)
-        } else {
-            (0.0, 1.0)
-        };
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() { (lo, hi) } else { (0.0, 1.0) };
         let mut h = Self { lo, hi, counts: vec![0; bins] };
         for &x in xs {
             if !x.is_nan() {

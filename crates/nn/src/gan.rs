@@ -88,8 +88,7 @@ impl BiGan {
 
     fn split_grad(&self, g: &Matrix) -> (Matrix, Matrix) {
         let gx = g.select_cols(&(0..self.in_dim).collect::<Vec<_>>());
-        let gz =
-            g.select_cols(&(self.in_dim..self.in_dim + self.latent).collect::<Vec<_>>());
+        let gz = g.select_cols(&(self.in_dim..self.in_dim + self.latent).collect::<Vec<_>>());
         (gx, gz)
     }
 
@@ -132,8 +131,7 @@ impl BiGan {
         self.d_features.zero_grad();
         self.d_head.zero_grad();
         let mut d_loss = 0.0;
-        for (input, target) in [(Self::concat(x, &e_x), &ones), (Self::concat(&g_z, &z), &zeros)]
-        {
+        for (input, target) in [(Self::concat(x, &e_x), &ones), (Self::concat(&g_z, &z), &zeros)] {
             let f = self.d_features.forward(&input);
             let p = self.d_head.forward(&f);
             d_loss += bce(&p, target);
@@ -223,11 +221,7 @@ impl BiGan {
         let f_real = self.features(x, &z);
         let f_recon = self.features(&recon, &z);
         let feat_err = row_squared_errors(&f_recon, &f_real);
-        rec_err
-            .iter()
-            .zip(&feat_err)
-            .map(|(r, f)| 0.5 * r + 0.5 * f)
-            .collect()
+        rec_err.iter().zip(&feat_err).map(|(r, f)| 0.5 * r + 0.5 * f).collect()
     }
 }
 
@@ -295,10 +289,7 @@ mod tests {
         );
         let sn: f64 = gan.outlier_scores(&normal).iter().sum::<f64>() / 50.0;
         let sa: f64 = gan.outlier_scores(&anomalous).iter().sum::<f64>() / 50.0;
-        assert!(
-            sa > sn * 1.5,
-            "anomalies should score higher: normal {sn} vs anomalous {sa}"
-        );
+        assert!(sa > sn * 1.5, "anomalies should score higher: normal {sn} vs anomalous {sa}");
     }
 
     #[test]
@@ -309,8 +300,7 @@ mod tests {
         gan.fit(&train, 60, 32, &Optimizer::adam(0.002), &mut r);
         let x = normal_batch(20, &mut r);
         let recon = gan.reconstruct(&x);
-        let err: f64 =
-            row_squared_errors(&recon, &x).iter().sum::<f64>() / 20.0;
+        let err: f64 = row_squared_errors(&recon, &x).iter().sum::<f64>() / 20.0;
         assert!(err < 1.0, "reconstruction error too high: {err}");
     }
 

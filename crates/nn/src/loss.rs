@@ -7,12 +7,7 @@ use exathlon_linalg::Matrix;
 pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = (pred.rows() * pred.cols()).max(1) as f64;
-    pred.as_slice()
-        .iter()
-        .zip(target.as_slice())
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / n
+    pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n
 }
 
 /// Gradient of [`mse`] with respect to `pred`.
@@ -22,11 +17,7 @@ pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
     Matrix::from_vec(
         pred.rows(),
         pred.cols(),
-        pred.as_slice()
-            .iter()
-            .zip(target.as_slice())
-            .map(|(p, t)| 2.0 * (p - t) / n)
-            .collect(),
+        pred.as_slice().iter().zip(target.as_slice()).map(|(p, t)| 2.0 * (p - t) / n).collect(),
     )
 }
 
@@ -36,12 +27,7 @@ pub fn row_squared_errors(pred: &Matrix, target: &Matrix) -> Vec<f64> {
     let m = pred.cols().max(1) as f64;
     (0..pred.rows())
         .map(|i| {
-            pred.row(i)
-                .iter()
-                .zip(target.row(i))
-                .map(|(p, t)| (p - t) * (p - t))
-                .sum::<f64>()
-                / m
+            pred.row(i).iter().zip(target.row(i)).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / m
         })
         .collect()
 }

@@ -97,9 +97,7 @@ impl Lstm {
             // z = Wx x + Wh h + b
             let mut z = self.wx.value.matvec(x);
             let zh = self.wh.value.matvec(&h);
-            for (zi, (zhi, bi)) in
-                z.iter_mut().zip(zh.iter().zip(self.b.value.as_slice()))
-            {
+            for (zi, (zhi, bi)) in z.iter_mut().zip(zh.iter().zip(self.b.value.as_slice())) {
                 *zi += zhi + bi;
             }
             let mut i_g = vec![0.0; h_dim];
@@ -170,16 +168,8 @@ impl Lstm {
         let mut dc = vec![0.0; h_dim];
         for t in (0..t_len).rev() {
             let cache = &caches[t];
-            let c_prev: Vec<f64> = if t == 0 {
-                vec![0.0; h_dim]
-            } else {
-                caches[t - 1].c.clone()
-            };
-            let h_prev: Vec<f64> = if t == 0 {
-                vec![0.0; h_dim]
-            } else {
-                caches[t - 1].h.clone()
-            };
+            let c_prev: Vec<f64> = if t == 0 { vec![0.0; h_dim] } else { caches[t - 1].c.clone() };
+            let h_prev: Vec<f64> = if t == 0 { vec![0.0; h_dim] } else { caches[t - 1].h.clone() };
 
             // dL/dc += dL/dh * o * (1 - tanh(c)^2)
             let mut dz = vec![0.0; GATES * h_dim];
@@ -213,11 +203,7 @@ impl Lstm {
 
     /// One minibatch step over `(sequence, target)` pairs; returns the mean
     /// sample loss. Gradients are clipped to L2 norm 5 before the update.
-    pub fn train_batch(
-        &mut self,
-        batch: &[(&[Vec<f64>], &[f64])],
-        opt: &Optimizer,
-    ) -> f64 {
+    pub fn train_batch(&mut self, batch: &[(&[Vec<f64>], &[f64])], opt: &Optimizer) -> f64 {
         assert!(!batch.is_empty(), "empty batch");
         self.zero_grad();
         let mut loss = 0.0;
@@ -375,11 +361,7 @@ mod tests {
             data.push((seq, vec![series[start + 8]]));
         }
         let history = lstm.fit(&data, 30, 16, &Optimizer::adam(0.01), &mut r);
-        assert!(
-            history[29] < 0.01,
-            "LSTM failed to learn the sine: final loss {}",
-            history[29]
-        );
+        assert!(history[29] < 0.01, "LSTM failed to learn the sine: final loss {}", history[29]);
         // Forecast quality on a fresh window.
         let seq: Vec<Vec<f64>> = (100..108).map(|i| vec![series[i]]).collect();
         let pred = lstm.predict(&seq)[0];

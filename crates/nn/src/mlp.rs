@@ -186,10 +186,7 @@ mod tests {
 
     #[test]
     fn construction_and_shapes() {
-        let mlp = Mlp::new(
-            &[(4, 8, Activation::Relu), (8, 2, Activation::Identity)],
-            &mut rng(),
-        );
+        let mlp = Mlp::new(&[(4, 8, Activation::Relu), (8, 2, Activation::Identity)], &mut rng());
         assert_eq!(mlp.in_dim(), 4);
         assert_eq!(mlp.out_dim(), 2);
         assert_eq!(mlp.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
@@ -198,10 +195,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "chain")]
     fn mismatched_layers_panic() {
-        let _ = Mlp::new(
-            &[(4, 8, Activation::Relu), (9, 2, Activation::Identity)],
-            &mut rng(),
-        );
+        let _ = Mlp::new(&[(4, 8, Activation::Relu), (9, 2, Activation::Identity)], &mut rng());
     }
 
     #[test]
@@ -250,10 +244,7 @@ mod tests {
     #[test]
     fn fit_loss_decreases() {
         let mut r = rng();
-        let mut mlp = Mlp::new(
-            &[(3, 6, Activation::Tanh), (6, 1, Activation::Identity)],
-            &mut r,
-        );
+        let mut mlp = Mlp::new(&[(3, 6, Activation::Tanh), (6, 1, Activation::Identity)], &mut r);
         let x = Matrix::from_fn(40, 3, |i, j| ((i * 3 + j) as f64 * 0.37).sin());
         let y = Matrix::from_fn(40, 1, |i, _| (i as f64 * 0.2).cos());
         let h = mlp.fit(&x, &y, 50, 8, &Optimizer::adam(0.005), &mut r);

@@ -77,10 +77,8 @@ impl Optimizer {
 /// all parameters jointly) — used by the LSTM's BPTT to avoid exploding
 /// gradients.
 pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f64) {
-    let total: f64 = params
-        .iter()
-        .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
-        .sum();
+    let total: f64 =
+        params.iter().map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>()).sum();
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;

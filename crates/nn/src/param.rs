@@ -32,7 +32,13 @@ impl Param {
 
     /// Xavier/Glorot uniform initialization: `U(-a, a)` with
     /// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers.
-    pub fn xavier(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+    pub fn xavier(
+        rows: usize,
+        cols: usize,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
         let mut p = Self::zeros(rows, cols);
         for x in p.value.as_mut_slice() {

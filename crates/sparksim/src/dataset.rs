@@ -210,15 +210,14 @@ impl DatasetBuilder {
         // T1: 6 traces, 29 instances (5+5+5+5+5+4).
         let t1_counts = [5usize, 5, 5, 5, 5, 4];
         for (k, &count) in t1_counts.iter().enumerate() {
-            let events = spread_events(&mut rng, d, count, 40..=80, |rng, start, dur| {
-                InjectedEvent {
+            let events =
+                spread_events(&mut rng, d, count, 40..=80, |rng, start, dur| InjectedEvent {
                     atype: AnomalyType::BurstyInput,
                     start,
                     duration: dur,
                     intensity: rng.gen_range(3.3..4.6),
                     node: 0,
-                }
-            });
+                });
             specs.push(self.disturbed_spec(k / 2, &mut trace_id, &mut rng, events, d));
         }
 
@@ -250,15 +249,14 @@ impl DatasetBuilder {
         // T4: 6 traces, 26 instances (5+5+4+4+4+4).
         let t4_counts = [5usize, 5, 4, 4, 4, 4];
         for (k, &count) in t4_counts.iter().enumerate() {
-            let events = spread_events(&mut rng, d, count, 40..=90, |rng, start, dur| {
-                InjectedEvent {
+            let events =
+                spread_events(&mut rng, d, count, 40..=90, |rng, start, dur| InjectedEvent {
                     atype: AnomalyType::CpuContention,
                     start,
                     duration: dur,
                     intensity: rng.gen_range(0.55..0.95),
                     node: rng.gen_range(0..4),
-                }
-            });
+                });
             specs.push(self.disturbed_spec(k / 2 + 7, &mut trace_id, &mut rng, events, d));
         }
 
@@ -266,28 +264,26 @@ impl DatasetBuilder {
         // 5 traces carry T5 events (2,2,2,2,1) and 6 carry T6 (2,2,2,2,1,1).
         let t5_counts = [2usize, 2, 2, 2, 1];
         for (k, &count) in t5_counts.iter().enumerate() {
-            let events = spread_events(&mut rng, d, count, 20..=20, |_, start, dur| {
-                InjectedEvent {
+            let events =
+                spread_events(&mut rng, d, count, 20..=20, |_, start, dur| InjectedEvent {
                     atype: AnomalyType::DriverFailure,
                     start,
                     duration: dur,
                     intensity: 0.0,
                     node: 0,
-                }
-            });
+                });
             specs.push(self.disturbed_spec(k / 2 + 4, &mut trace_id, &mut rng, events, d));
         }
         let t6_counts = [2usize, 2, 2, 2, 1, 1];
         for (k, &count) in t6_counts.iter().enumerate() {
-            let events = spread_events(&mut rng, d, count, 10..=10, |rng, start, dur| {
-                InjectedEvent {
+            let events =
+                spread_events(&mut rng, d, count, 10..=10, |rng, start, dur| InjectedEvent {
                     atype: AnomalyType::ExecutorFailure,
                     start,
                     duration: dur,
                     intensity: 0.0,
                     node: rng.gen_range(0..4),
-                }
-            });
+                });
             specs.push(self.disturbed_spec(k / 2 + 2, &mut trace_id, &mut rng, events, d));
         }
 
@@ -310,7 +306,7 @@ impl DatasetBuilder {
             app_id: app_hint % 10,
             trace_id: next_id(trace_id),
             rate_factor: rng.gen_range(0.55..1.45),
-            concurrency: [2usize, 4, 6, 9][rng.gen_range(0..4)],
+            concurrency: [2usize, 4, 6, 9][rng.gen_range(0..4_usize)],
             duration,
             seed: rng.gen(),
             schedule: DegSchedule::new(events),
@@ -355,18 +351,14 @@ fn spread_events(
 /// Each worker simulates a contiguous chunk and results are reassembled in
 /// spec order, so the output is identical to the sequential path.
 fn parallel_simulate(specs: &[SimSpec]) -> Vec<(Trace, Vec<GroundTruthEntry>)> {
-    let n_workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16);
+    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16);
     let chunk = specs.len().div_ceil(n_workers).max(1);
     crossbeam::scope(|scope| {
         let handles: Vec<_> = specs
             .chunks(chunk)
             .map(|c| scope.spawn(move |_| c.iter().map(simulate).collect::<Vec<_>>()))
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("simulation worker panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("simulation worker panicked")).collect()
     })
     .expect("crossbeam scope failed")
 }
@@ -413,9 +405,7 @@ mod tests {
     /// which needs enough room to crash; verified separately below).
     #[test]
     fn standard_dataset_matches_table1b() {
-        let ds = DatasetBuilder::standard(3)
-            .with_durations(400, 1200)
-            .build();
+        let ds = DatasetBuilder::standard(3).with_durations(400, 1200).build();
         assert_eq!(ds.undisturbed.len(), 59, "undisturbed trace count");
         assert_eq!(ds.disturbed.len(), 34, "disturbed trace count");
         let traces = ds.traces_per_type();
@@ -436,9 +426,7 @@ mod tests {
         let t2: Vec<&Trace> = ds
             .disturbed
             .iter()
-            .filter(|t| {
-                t.schedule.events()[0].atype == AnomalyType::BurstyInputUntilCrash
-            })
+            .filter(|t| t.schedule.events()[0].atype == AnomalyType::BurstyInputUntilCrash)
             .collect();
         assert_eq!(t2.len(), 7);
         let crashed = t2.iter().filter(|t| t.crashed_at.is_some()).count();

@@ -249,9 +249,7 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
 
         // --- Input. ---
         let mut rate = nominal_rate
-            * (1.0
-                + 0.04 * ((t as f64) * 0.021).sin()
-                + rng.gen_range(-0.03..0.03) * noise_scale);
+            * (1.0 + 0.04 * ((t as f64) * 0.021).sin() + rng.gen_range(-0.03..0.03) * noise_scale);
         match event.as_ref().map(|e| e.atype) {
             Some(AnomalyType::BurstyInput) | Some(AnomalyType::BurstyInputUntilCrash) => {
                 rate *= event.as_ref().map(|e| e.intensity).unwrap_or(1.0);
@@ -268,7 +266,12 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
         // --- Batch formation. ---
         if driver_up && t > 0 && t % app.batch_interval == 0 {
             last_received_batch = pending;
-            queue.push_back(Batch { total: pending, remaining: pending, created: t, started: None });
+            queue.push_back(Batch {
+                total: pending,
+                remaining: pending,
+                created: t,
+                started: None,
+            });
             pending = 0.0;
         }
 
@@ -277,7 +280,7 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
         for (n, ext) in node_external.iter_mut().enumerate() {
             // Other concurrently-running applications on the cluster.
             let background = 0.05 * (spec.concurrency.saturating_sub(1)) as f64 / 4.0
-                + rng.gen_range(0.0..0.03);
+                + rng.gen_range(0.0_f64..0.03);
             let datanode = if datanode_left[n] > 0 { 0.20 * noise_scale } else { 0.0 };
             let contention = match &event {
                 Some(e) if e.atype == AnomalyType::CpuContention && e.node == n => e.intensity,
@@ -318,8 +321,8 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
             if head.remaining <= 1e-9 {
                 let started = head.started.unwrap_or(t);
                 last_scheduling_delay = (started - head.created) as f64;
-                last_processing_delay = (t - started + 1) as f64
-                    + if checkpointing { 3.0 * noise_scale } else { 0.0 };
+                last_processing_delay =
+                    (t - started + 1) as f64 + if checkpointing { 3.0 * noise_scale } else { 0.0 };
                 cum_processed += head.total;
                 completed_batches += 1.0;
                 queue.pop_front();
@@ -348,13 +351,9 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
         // --- Memory. ---
         let queued: f64 = pending + queue.iter().map(|b| b.remaining).sum::<f64>();
         let n_active = active_now.len().max(1) as f64;
-        let exec_heap =
-            app.base_heap_mb + queued * app.mem_per_queued_record / (1e6 * n_active);
-        let driver_heap = if driver_up {
-            250.0 + queued * 2e-4 + rng.gen_range(-4.0..4.0)
-        } else {
-            40.0
-        };
+        let exec_heap = app.base_heap_mb + queued * app.mem_per_queued_record / (1e6 * n_active);
+        let driver_heap =
+            if driver_up { 250.0 + queued * 2e-4 + rng.gen_range(-4.0..4.0) } else { 40.0 };
         let block_mem = queued * app.mem_per_queued_record / 1e6 * 0.6;
 
         // --- OOM cascade (T2 physics, but live for any sustained pressure). ---
@@ -437,8 +436,7 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
             if n == driver_node && driver_up {
                 usage += 0.03;
             }
-            rec[base::node_cpu_idle(n)] =
-                (100.0 * (1.0 - usage) + jitter(1.5)).clamp(0.0, 100.0);
+            rec[base::node_cpu_idle(n)] = (100.0 * (1.0 - usage) + jitter(1.5)).clamp(0.0, 100.0);
         }
         values.extend_from_slice(&rec);
 
@@ -447,8 +445,7 @@ pub fn simulate(spec: &SimSpec) -> (Trace, Vec<GroundTruthEntry>) {
         }
     }
 
-    let series =
-        exathlon_tsdata::series::TimeSeries::from_flat(base_metric_names(), 0, values);
+    let series = exathlon_tsdata::series::TimeSeries::from_flat(base_metric_names(), 0, values);
     let trace = Trace {
         trace_id: spec.trace_id,
         context: WorkloadContext {

@@ -233,7 +233,8 @@ mod tests {
     #[test]
     fn eei_ends_when_delays_recover() {
         let t = trace_with_spike();
-        let eei = derive_eei(&t, AnomalyType::BurstyInput, 40, 60, 40, u64::MAX).expect("EEI expected");
+        let eei =
+            derive_eei(&t, AnomalyType::BurstyInput, 40, 60, 40, u64::MAX).expect("EEI expected");
         assert_eq!(eei.0, 60);
         // Delay decays to <= band (~1.25) around tick 78-79.
         assert!(eei.1 >= 70 && eei.1 <= 85, "unexpected EEI end {}", eei.1);

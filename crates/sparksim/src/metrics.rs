@@ -163,8 +163,7 @@ pub fn custom_feature_set(base_series: &TimeSeries) -> TimeSeries {
 
     // Step 2: difference everything except the three delay gauges.
     let delay_indices = [base::PROCESSING_DELAY, base::SCHEDULING_DELAY, base::TOTAL_DELAY];
-    let diff_indices: Vec<usize> =
-        (0..ts.dims()).filter(|j| !delay_indices.contains(j)).collect();
+    let diff_indices: Vec<usize> = (0..ts.dims()).filter(|j| !delay_indices.contains(j)).collect();
     let diffed = difference_features(&ts, &diff_indices);
 
     // Step 3: select the 19 features by name, in appendix order.
@@ -336,9 +335,7 @@ mod tests {
         let base = synthetic_base(10);
         let fs = custom_feature_set(&base);
         // totalProcessedRecords grows by 100/tick -> diff is constant 100.
-        let j = fs
-            .feature_index("1_diff_driver_Streaming_totalProcessedRecords_value")
-            .unwrap();
+        let j = fs.feature_index("1_diff_driver_Streaming_totalProcessedRecords_value").unwrap();
         assert!(fs.feature_column(j).iter().all(|&x| (x - 100.0).abs() < 1e-9));
         // Delays are passed through un-differenced.
         let d = fs.feature_index("driver_Streaming_lastCompletedBatch_processingDelay_value");

@@ -54,7 +54,12 @@ pub fn cardinality_factor(l: usize) -> f64 {
 
 /// Map a record index in the resampled series back to the tick range
 /// `[start, end)` it covers in the original series.
-pub fn resampled_index_to_ticks(ts_start: u64, idx: usize, l: usize, orig_len: usize) -> (u64, u64) {
+pub fn resampled_index_to_ticks(
+    ts_start: u64,
+    idx: usize,
+    l: usize,
+    orig_len: usize,
+) -> (u64, u64) {
     let start = idx * l;
     let end = (start + l).min(orig_len);
     (ts_start + start as u64, ts_start + end as u64)

@@ -183,11 +183,7 @@ impl TimeSeries {
         self.names == other.names
             && self.start_tick == other.start_tick
             && self.values.len() == other.values.len()
-            && self
-                .values
-                .iter()
-                .zip(&other.values)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.values.iter().zip(&other.values).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
     /// Convert to an `exathlon_linalg::Matrix`-compatible row-major buffer

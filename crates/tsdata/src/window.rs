@@ -32,10 +32,7 @@ pub fn flatten_window(ts: &TimeSeries, start: usize, size: usize) -> Vec<f64> {
 
 /// Extract all flattened windows of `size` records with the given stride.
 pub fn flattened_windows(ts: &TimeSeries, size: usize, stride: usize) -> Vec<Vec<f64>> {
-    window_starts(ts.len(), size, stride)
-        .into_iter()
-        .map(|s| flatten_window(ts, s, size))
-        .collect()
+    window_starts(ts.len(), size, stride).into_iter().map(|s| flatten_window(ts, s, size)).collect()
 }
 
 /// Extract `(input_window, target_record)` pairs for a one-step forecaster:

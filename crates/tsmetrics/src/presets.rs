@@ -1,8 +1,6 @@
 //! The AD1–AD4 functionality levels and their Table 6 parameter settings.
 
-use crate::range_pr::{
-    f_score, range_precision, range_recall, Bias, Cardinality, RangeParams,
-};
+use crate::range_pr::{f_score, range_precision, range_recall, Bias, Cardinality, RangeParams};
 use crate::ranges::Range;
 
 /// Exathlon's four AD functionality levels (§4.1).
@@ -127,10 +125,8 @@ mod tests {
             (vec![r(0, 100)], vec![r(99, 120)]),
         ];
         for (real, pred) in &scenarios {
-            let scores: Vec<PrF1> = AdLevel::ALL
-                .iter()
-                .map(|&l| evaluate_at_level(real, pred, l))
-                .collect();
+            let scores: Vec<PrF1> =
+                AdLevel::ALL.iter().map(|&l| evaluate_at_level(real, pred, l)).collect();
             for w in scores.windows(2) {
                 assert!(
                     w[0].recall >= w[1].recall - 1e-12,

@@ -124,10 +124,7 @@ mod tests {
     fn flags_roundtrip() {
         let flags = vec![false, true, true, false, true, false, false, true];
         let ranges = ranges_from_flags(&flags, 100);
-        assert_eq!(
-            ranges,
-            vec![Range::new(101, 103), Range::new(104, 105), Range::new(107, 108)]
-        );
+        assert_eq!(ranges, vec![Range::new(101, 103), Range::new(104, 105), Range::new(107, 108)]);
         assert_eq!(flags_from_ranges(&ranges, 100, flags.len()), flags);
     }
 

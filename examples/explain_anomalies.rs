@@ -65,18 +65,17 @@ fn main() {
 
         let w = ae.window_len().min(case.anomaly.len());
         let window = case.anomaly.slice(0, w);
-        let lime = LimeExplainer::default()
-            .explain(&window, &|flat: &[f64]| {
-                // Pad short windows to the model's input size.
-                let mut padded = flat.to_vec();
-                let dims = case.anomaly.dims();
-                while padded.len() < ae.window_len() * dims {
-                    let start = padded.len() - dims;
-                    let last: Vec<f64> = padded[start..].to_vec();
-                    padded.extend(last);
-                }
-                ae.window_score(&padded)
-            });
+        let lime = LimeExplainer::default().explain(&window, &|flat: &[f64]| {
+            // Pad short windows to the model's input size.
+            let mut padded = flat.to_vec();
+            let dims = case.anomaly.dims();
+            while padded.len() < ae.window_len() * dims {
+                let start = padded.len() - dims;
+                let last: Vec<f64> = padded[start..].to_vec();
+                padded.extend(last);
+            }
+            ae.window_score(&padded)
+        });
         match &lime {
             Explanation::Importance(terms) if !terms.is_empty() => {
                 println!("LIME     :");

@@ -33,11 +33,8 @@ fn ground_truth_is_well_formed_across_seeds() {
 fn anomaly_intervals_within_a_trace_do_not_overlap() {
     let ds = DatasetBuilder::standard(5).with_durations(400, 1000).build();
     for trace in &ds.disturbed {
-        let mut intervals: Vec<(u64, u64)> = ds
-            .ground_truth_for(trace.trace_id)
-            .iter()
-            .map(|e| e.anomaly_interval())
-            .collect();
+        let mut intervals: Vec<(u64, u64)> =
+            ds.ground_truth_for(trace.trace_id).iter().map(|e| e.anomaly_interval()).collect();
         intervals.sort();
         for w in intervals.windows(2) {
             assert!(

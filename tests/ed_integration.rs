@@ -53,8 +53,12 @@ fn exstream_explains_stalled_input_with_throughput_features() {
     let names = custom_feature_names();
     let used: Vec<&str> = e.features().iter().map(|&j| names[j].as_str()).collect();
     let plausible = used.iter().any(|n| {
-        n.contains("Received") || n.contains("Processed") || n.contains("Batch")
-            || n.contains("Delay") || n.contains("cpuTime") || n.contains("runTime")
+        n.contains("Received")
+            || n.contains("Processed")
+            || n.contains("Batch")
+            || n.contains("Delay")
+            || n.contains("cpuTime")
+            || n.contains("runTime")
     });
     assert!(plausible, "implausible T3 explanation features: {used:?}");
 }

@@ -1,0 +1,138 @@
+//! Determinism suite for the parallel-execution layer: the pipeline must
+//! produce **bitwise identical** results for any `EXATHLON_THREADS`,
+//! because `par_map` fans out over contiguous, order-preserved chunks of
+//! independent work (see `exathlon_linalg::par`).
+//!
+//! All thread-count variation happens inside single test functions run
+//! sequentially — `EXATHLON_THREADS` is process-global state, so it must
+//! never be mutated from concurrently running tests.
+
+use exathlon_core::config::{AdMethod, ExperimentConfig};
+use exathlon_core::evaluate::{evaluate_detection, DetectionOutcome, ScoredTest};
+use exathlon_core::experiment::{run_pipeline, PipelineRun};
+use exathlon_core::model::TrainingBudget;
+use exathlon_core::par::THREADS_ENV;
+use exathlon_sparksim::dataset::DatasetBuilder;
+use exathlon_tsmetrics::presets::AdLevel;
+
+/// The thread counts every invariant is checked across: the sequential
+/// pin, a divisor-unfriendly small count, and an oversubscribed one.
+const THREAD_COUNTS: [&str; 3] = ["1", "2", "8"];
+
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_threads<R>(threads: &str, body: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var(THREADS_ENV, threads);
+    let result = body();
+    std::env::remove_var(THREADS_ENV);
+    result
+}
+
+/// The methods exercising every parallel path: per-method fan-out in
+/// `run_pipeline`, per-trace fan-out in `score_tests`, and the
+/// record-parallel detectors (kNN / LOF / iForest) inside them.
+const METHODS: [AdMethod; 4] = [AdMethod::Knn, AdMethod::Lof, AdMethod::IForest, AdMethod::Mad];
+
+fn pipeline(threads: &str) -> PipelineRun {
+    with_threads(threads, || {
+        let ds = DatasetBuilder::tiny(11).build();
+        let config = ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() };
+        run_pipeline(&ds, &config, &METHODS, TrainingBudget::Quick)
+    })
+}
+
+/// `f64` equality up to the bit pattern (distinguishes 0.0 from -0.0 and
+/// never equates NaN payloads — stricter than `==`).
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+fn assert_scored_identical(reference: &[ScoredTest], other: &[ScoredTest], context: &str) {
+    assert_eq!(reference.len(), other.len(), "{context}: test count differs");
+    for (a, b) in reference.iter().zip(other) {
+        assert_eq!(a.trace_id, b.trace_id, "{context}: trace order differs");
+        assert_eq!(a.scores.len(), b.scores.len(), "{context}: score length differs");
+        for (i, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+            assert_eq!(
+                bits(*x),
+                bits(*y),
+                "{context}: trace {} score {i} differs bitwise: {x} vs {y}",
+                a.trace_id
+            );
+        }
+        assert_eq!(a.labels, b.labels, "{context}: labels differ");
+    }
+}
+
+fn assert_outcomes_identical(
+    reference: &[DetectionOutcome],
+    other: &[DetectionOutcome],
+    context: &str,
+) {
+    assert_eq!(reference.len(), other.len(), "{context}: rule count differs");
+    for (a, b) in reference.iter().zip(other) {
+        assert_eq!(a.rule, b.rule, "{context}: rule order differs");
+        assert_eq!(bits(a.threshold), bits(b.threshold), "{context}: {} threshold", a.rule);
+        assert_eq!(bits(a.f1), bits(b.f1), "{context}: {} f1", a.rule);
+        assert_eq!(bits(a.precision), bits(b.precision), "{context}: {} precision", a.rule);
+        assert_eq!(bits(a.recall), bits(b.recall), "{context}: {} recall", a.rule);
+        assert_eq!(a.per_type_recall, b.per_type_recall, "{context}: {} per-type", a.rule);
+    }
+}
+
+/// The full pipeline — training, trace scoring, record scoring,
+/// separation AUPRC — is bitwise identical across thread counts.
+#[test]
+fn pipeline_bitwise_identical_across_thread_counts() {
+    let reference = pipeline(THREAD_COUNTS[0]);
+    for threads in &THREAD_COUNTS[1..] {
+        let other = pipeline(threads);
+        for (method, ref_run) in &reference.methods {
+            let other_run = other.method_run(*method);
+            let context = format!("{method:?} @ {threads} threads");
+            assert_scored_identical(&ref_run.scored, &other_run.scored, &context);
+            assert_eq!(
+                ref_run.separation, other_run.separation,
+                "{context}: separation scores differ"
+            );
+        }
+    }
+}
+
+/// The 24-rule thresholding grid — the fourth parallel path — is bitwise
+/// identical across thread counts, at every AD level.
+#[test]
+fn detection_grid_bitwise_identical_across_thread_counts() {
+    let reference = pipeline(THREAD_COUNTS[0]);
+    let ref_run = reference.method_run(AdMethod::Knn);
+    let levels = AdLevel::ALL;
+    let baseline: Vec<Vec<DetectionOutcome>> = with_threads(THREAD_COUNTS[0], || {
+        levels.iter().map(|&l| evaluate_detection(&ref_run.model, &ref_run.scored, l)).collect()
+    });
+    for threads in &THREAD_COUNTS[1..] {
+        let other: Vec<Vec<DetectionOutcome>> = with_threads(threads, || {
+            levels.iter().map(|&l| evaluate_detection(&ref_run.model, &ref_run.scored, l)).collect()
+        });
+        for ((level, a), b) in levels.iter().zip(&baseline).zip(&other) {
+            assert_outcomes_identical(a, b, &format!("{level:?} @ {threads} threads"));
+        }
+    }
+}
+
+/// Scoring the same fitted detector from many threads concurrently (the
+/// shape `run_pipeline` creates: outer method fan-out calling inner
+/// record-parallel scoring) equals the isolated result — the worker
+/// budget degrades gracefully, never changing values.
+#[test]
+fn nested_parallel_scoring_matches_isolated() {
+    let reference = pipeline("1");
+    let (_, knn_run) = &reference.methods[0];
+    let isolated: Vec<Vec<u64>> =
+        knn_run.scored.iter().map(|t| t.scores.iter().map(|s| bits(*s)).collect()).collect();
+    let nested = pipeline("8");
+    let (_, knn_nested) = &nested.methods[0];
+    let nested_bits: Vec<Vec<u64>> =
+        knn_nested.scored.iter().map(|t| t.scores.iter().map(|s| bits(*s)).collect()).collect();
+    assert_eq!(isolated, nested_bits, "nested parallel scoring changed kNN scores");
+}

@@ -18,11 +18,7 @@ fn autoencoder_pipeline_detects_injected_anomalies() {
     let sep = &run.method_run(AdMethod::Ae).separation;
     // The injected anomalies carry strong signal in the tiny dataset; the
     // AE must separate them clearly at the trace level.
-    assert!(
-        sep.trace.average > 0.5,
-        "AE trace-level separation too weak: {}",
-        sep.trace.average
-    );
+    assert!(sep.trace.average > 0.5, "AE trace-level separation too weak: {}", sep.trace.average);
     // And detection with the best threshold must beat the trivial
     // flag-nothing detector at AD1.
     let (best, _) = run.detection_best_median(AdMethod::Ae, AdLevel::Existence);
@@ -32,12 +28,8 @@ fn autoencoder_pipeline_detects_injected_anomalies() {
 #[test]
 fn ad_levels_are_monotone_for_every_method_and_rule() {
     let ds = DatasetBuilder::tiny(22).build();
-    let run = run_pipeline(
-        &ds,
-        &tiny_config(),
-        &[AdMethod::Knn, AdMethod::Mad],
-        TrainingBudget::Quick,
-    );
+    let run =
+        run_pipeline(&ds, &tiny_config(), &[AdMethod::Knn, AdMethod::Mad], TrainingBudget::Quick);
     for method in [AdMethod::Knn, AdMethod::Mad] {
         let per_level: Vec<Vec<f64>> = AdLevel::ALL
             .iter()

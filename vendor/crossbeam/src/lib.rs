@@ -1,0 +1,100 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API this workspace uses is provided, implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63). Semantics
+//! match the call sites' expectations: `scope` returns `Ok(r)` on success,
+//! handles join in spawn order, and a panicking worker propagates when
+//! joined.
+
+use std::any::Any;
+
+/// Spawn handle of a scoped worker thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker and return its result (`Err` if it panicked).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// The scope passed to [`scope`]'s closure; spawns worker threads that may
+/// borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. As in crossbeam, the closure receives the
+    /// scope again so workers can spawn sub-workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle { inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })) }
+    }
+}
+
+/// Create a scope for spawning borrowing threads (crossbeam's
+/// `crossbeam::scope`). All workers are joined before this returns.
+///
+/// Unlike crossbeam, a worker panic that was already consumed via
+/// [`ScopedJoinHandle::join`] does not surface here; an *unjoined*
+/// panicking worker propagates its panic (std scope semantics). Both call
+/// patterns in this workspace join every handle and `expect` the result,
+/// so the observable behaviour is identical.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, as upstream re-exports.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_fanout_preserves_order() {
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(7).collect();
+        let sums = super::scope(|s| {
+            let handles: Vec<_> =
+                chunks.iter().map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<u64>>()
+        })
+        .unwrap();
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+        assert_eq!(sums[0], (0..7).sum::<u64>(), "first chunk's sum first");
+    }
+
+    #[test]
+    fn worker_panic_is_reported_at_join() {
+        let res = super::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let total = super::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The real serde is a generic data-model framework; this workspace only
+//! ever serializes its own types to JSON and back (via the vendored
+//! `serde_json`), so the stand-in collapses the data model to exactly
+//! that: [`Serialize`] writes JSON text, [`Deserialize`] reads from a
+//! parsed JSON [`Value`] tree. The `#[derive(Serialize, Deserialize)]`
+//! macros (from the vendored `serde_derive`) generate impls for structs
+//! with named fields and for enums with unit / newtype variants — the only
+//! shapes this workspace derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error (the stand-in never fails to serialize; the type
+/// exists for API parity and for `serde_json`'s parse errors).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error with a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed JSON document (object fields keep file order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without `.`/`e` — kept exact for u64 tick values.
+    Int(i128),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Types that can be read back from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Build a value from the JSON tree, or explain why it cannot.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- helpers
+// Used by the generated derive code; public but doc-hidden like serde's
+// own `__private`.
+
+/// Write `"key":` (with a leading comma when not the first field).
+#[doc(hidden)]
+pub fn write_key(out: &mut String, key: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    write_json_string(out, key);
+    out.push(':');
+}
+
+/// Deserialize a struct field by name.
+#[doc(hidden)]
+pub fn de_field<T: Deserialize>(v: &Value, name: &str, ty: &str) -> Result<T, Error> {
+    let field =
+        v.get(name).ok_or_else(|| Error::custom(format!("missing field `{name}` for {ty}")))?;
+    T::deserialize(field).map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}")))
+}
+
+/// JSON-escape and write a string literal (with quotes).
+#[doc(hidden)]
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!(
+                            "{i} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::custom(format!(
+                        "expected integer for {}, got {v:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/inf; serde_json writes null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    _ => Err(Error::custom(format!(
+                        "expected number for {}, got {v:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items =
+            v.as_array().ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (*self).serialize(out);
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array tuple, got {v:?}")))?;
+                let expect = [$( $n, )+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected {expect}-tuple, got {} elements", items.len())));
+                }
+                Ok(($( $t::deserialize(&items[$n])?, )+))
+            }
+        }
+    )+};
+}
+
+tuple_impls!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_shapes() {
+        let mut out = String::new();
+        42u64.serialize(&mut out);
+        assert_eq!(out, "42");
+        out.clear();
+        (-1.5f64).serialize(&mut out);
+        assert_eq!(out, "-1.5");
+        out.clear();
+        f64::NAN.serialize(&mut out);
+        assert_eq!(out, "null");
+        out.clear();
+        "a\"b".to_string().serialize(&mut out);
+        assert_eq!(out, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let mut out = String::new();
+        vec![1u32, 2, 3].serialize(&mut out);
+        assert_eq!(out, "[1,2,3]");
+        out.clear();
+        (Some(1u8), Option::<u8>::None).serialize(&mut out);
+        assert_eq!(out, "[1,null]");
+        out.clear();
+        (7u64, 9u64).serialize(&mut out);
+        assert_eq!(out, "[7,9]");
+    }
+
+    #[test]
+    fn deserialize_primitives() {
+        assert_eq!(u64::deserialize(&Value::Int(7)).unwrap(), 7);
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert_eq!(f64::deserialize(&Value::Float(1.25)).unwrap(), 1.25);
+        assert_eq!(f64::deserialize(&Value::Int(2)).unwrap(), 2.0);
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        let arr = Value::Array(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(<(u64, u64)>::deserialize(&arr).unwrap(), (1, 2));
+    }
+}

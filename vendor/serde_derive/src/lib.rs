@@ -1,0 +1,301 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline): the input item is
+//! parsed with a small token walker that understands exactly the shapes
+//! this workspace derives — non-generic structs with named fields, and
+//! non-generic enums whose variants are unit or newtype. Anything else is
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (JSON writer; see `vendor/serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` (JSON tree reader; see `vendor/serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields of a braced struct.
+    Struct(Vec<String>),
+    /// Enum variants: name + arity (0 = unit, 1 = newtype).
+    Enum(Vec<(String, usize)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Walk the item tokens: skip attributes and visibility, find
+/// `struct`/`enum`, the type name, and the defining brace group.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind, &name) {
+                    ("struct" | "enum", None, _) => kind = Some(s),
+                    (_, Some(_), None) => {
+                        name = Some(s);
+                        // Reject generics: this stand-in derives only the
+                        // concrete types of this workspace.
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "vendored serde_derive does not support generic type `{}`",
+                                    name.unwrap()
+                                ));
+                            }
+                        }
+                    }
+                    _ => {} // visibility / other modifiers
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                let name = name.unwrap();
+                let shape = match kind.as_deref() {
+                    Some("struct") => Shape::Struct(parse_struct_fields(g.stream())?),
+                    Some("enum") => Shape::Enum(parse_enum_variants(g.stream())?),
+                    _ => return Err("expected struct or enum".into()),
+                };
+                return Ok((name, shape));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && name.is_some() => {
+                return Err(format!(
+                    "vendored serde_derive does not support tuple struct `{}`",
+                    name.unwrap()
+                ));
+            }
+            _ => {}
+        }
+    }
+    Err("vendored serde_derive: no struct/enum body found".into())
+}
+
+/// Field names of a braced struct body (types are skipped — the generated
+/// code infers them from the struct literal).
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        match iter.peek() {
+            None => return Ok(fields),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` & co: skip the scope group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+            None => return Ok(fields),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        fields.push(field);
+        // Skip the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Variant names and arities of an enum body.
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                let mut arity = 0usize;
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            arity = count_top_level_fields(g.stream());
+                            iter.next();
+                        }
+                        Delimiter::Brace => {
+                            return Err(format!(
+                                "vendored serde_derive does not support struct variant `{vname}`"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                if arity > 1 {
+                    return Err(format!(
+                        "vendored serde_derive does not support {arity}-field tuple variant `{vname}`"
+                    ));
+                }
+                variants.push((vname, arity));
+                // Skip to the next comma (covers discriminants, which this
+                // workspace does not use, defensively).
+                while let Some(tt) = iter.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    for tt in body {
+        saw_any = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                body.push_str(&format!(
+                    "serde::write_key(out, {f:?}, {first});\n\
+                     serde::Serialize::serialize(&self.{f}, out);\n",
+                    first = i == 0
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::de_field(v, {f:?}, {name:?})?,\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => serde::write_json_string(out, {v:?}),\n"),
+                    _ => format!(
+                        "{name}::{v}(inner) => {{\n\
+                             out.push('{{');\n\
+                             serde::write_key(out, {v:?}, true);\n\
+                             serde::Serialize::serialize(inner, out);\n\
+                             out.push('}}');\n\
+                         }}\n"
+                    ),
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut String) {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => return Ok({name}::{v}(serde::Deserialize::deserialize(inner)?)),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let Some(fields) = v.as_object() {{\n\
+                             if fields.len() == 1 {{\n\
+                                 let (key, inner) = &fields[0];\n\
+                                 match key.as_str() {{ {newtype_arms} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(serde::Error::custom(format!(\n\
+                             \"no variant of {name} matches {{v:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

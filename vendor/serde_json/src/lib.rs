@@ -1,0 +1,359 @@
+//! Offline vendored stand-in for the `serde_json` crate: a small
+//! recursive-descent JSON parser plus the handful of entry points this
+//! workspace calls, over the vendored `serde`'s collapsed data model.
+//!
+//! `f64` values are written with Rust's shortest-roundtrip formatting, so
+//! the `float_roundtrip` guarantee of the real crate holds by
+//! construction.
+
+pub use serde::{Error, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Serialize to a JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let tree = parse_value(&compact)?;
+    let mut out = String::new();
+    pretty(&tree, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to an indented JSON byte vector.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    T::deserialize(&parse_value(s)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner_pad = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner_pad);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner_pad);
+                serde::write_json_string(out, k);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let mut s = String::new();
+            write_value(other, &mut s);
+            out.push_str(&s);
+        }
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&f.to_string())
+            } else {
+                out.push_str("null")
+            }
+        }
+        Value::Str(s) => serde::write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                serde::write_json_string(out, k);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parse a complete JSON document into a [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing data at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error::custom("unexpected end of JSON"));
+    };
+    match c {
+        b'n' => expect_lit(b, pos, "null", Value::Null),
+        b't' => expect_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => expect_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom(format!("expected , or ] at byte {pos}"))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::custom(format!("expected : at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_at(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::custom(format!("expected , or }} at byte {pos}"))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(Error::custom(format!("unexpected byte {other:#x} at {pos}"))),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::custom(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error::custom("unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(Error::custom("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::custom("bad \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(Error::custom(format!("bad escape \\{}", other as char))),
+                }
+            }
+            _ => {
+                // Re-sync on UTF-8 boundaries: find the full char.
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&b[start..])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos = start + ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+    } else {
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let doc = r#"{"a": 1, "b": [true, null, -2.5], "c": "x\ny", "d": {"e": []}}"#;
+        let v = parse_value(doc).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap()[2], Value::Float(-2.5));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny"));
+        let mut out = String::new();
+        write_value(&v, &mut out);
+        let back = parse_value(&out).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn big_u64_exact() {
+        let n = u64::MAX - 3;
+        let v = parse_value(&n.to_string()).unwrap();
+        assert_eq!(v, Value::Int(n as i128));
+        let back: u64 = from_str(&n.to_string()).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        for &f in &[0.1, 1e-17, 123456.789, -0.000123] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let doc = r#"{"a":[1,2],"b":{"c":"d"}}"#;
+        let v = parse_value(doc).unwrap();
+        let mut out = String::new();
+        pretty(&v, 0, &mut out);
+        assert_eq!(parse_value(&out).unwrap(), v);
+        assert!(out.contains('\n'), "pretty output should be indented");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+    }
+}
