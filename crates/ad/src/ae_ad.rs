@@ -97,6 +97,7 @@ impl AnomalyScorer for AutoencoderDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "AE.fit");
         let windows = pooled_windows(train, self.config.window, self.config.max_windows);
         let x = Matrix::from_rows(&windows);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -119,6 +120,7 @@ impl AnomalyScorer for AutoencoderDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "AE.series");
         let w = self.config.window;
         if ts.len() < w {
             return vec![0.0; ts.len()];

@@ -70,6 +70,7 @@ impl AnomalyScorer for BiGanDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "BiGAN.fit");
         let windows = pooled_windows(train, self.config.window, self.config.max_windows);
         let x = Matrix::from_rows(&windows);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -85,6 +86,7 @@ impl AnomalyScorer for BiGanDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "BiGAN.series");
         let model = self.model.as_ref().expect("detector not fitted");
         let w = self.config.window;
         if ts.len() < w {

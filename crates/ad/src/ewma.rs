@@ -74,6 +74,7 @@ impl AnomalyScorer for EwmaDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "EWMA.fit");
         assert!(!train.is_empty(), "no training traces");
         let m = train[0].dims();
         let mut per_feature: Vec<Vec<f64>> = vec![Vec::new(); m];
@@ -89,6 +90,7 @@ impl AnomalyScorer for EwmaDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "EWMA.series");
         assert!(!self.error_scale.is_empty(), "detector not fitted");
         assert_eq!(ts.dims(), self.error_scale.len(), "dimension mismatch");
         self.errors(ts)

@@ -173,6 +173,7 @@ impl AnomalyScorer for IsolationForestDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "iForest.fit");
         assert!(!train.is_empty(), "no training traces");
         let mut data: Vec<Vec<f64>> = Vec::new();
         for ts in train {
@@ -193,6 +194,7 @@ impl AnomalyScorer for IsolationForestDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "iForest.series");
         assert!(!self.trees.is_empty(), "detector not fitted");
         // Per-record tree traversal is independent given the fitted
         // forest; scored on the shared worker pool, order-preserving.

@@ -59,22 +59,19 @@ impl AnomalyScorer for KnnDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "kNN.fit");
         assert!(!train.is_empty(), "no training traces");
         let mut all: Vec<Vec<f64>> = Vec::new();
         for ts in train {
             all.extend(ts.records().map(|r| r.to_vec()));
         }
         assert!(!all.is_empty(), "empty training traces");
-        if all.len() > self.config.max_references {
-            let stride = all.len() as f64 / self.config.max_references as f64;
-            all = (0..self.config.max_references)
-                .map(|i| all[(i as f64 * stride) as usize].clone())
-                .collect();
-        }
-        self.references = all;
+        self.references =
+            exathlon_tsdata::sample::stride_subsample(&all, self.config.max_references);
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "kNN.series");
         assert!(!self.references.is_empty(), "detector not fitted");
         let k = self.config.k.min(self.references.len());
         // Records are scored independently on the shared worker pool

@@ -104,19 +104,15 @@ impl AnomalyScorer for LofDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "LOF.fit");
         assert!(!train.is_empty(), "no training traces");
         let mut refs: Vec<Vec<f64>> = Vec::new();
         for ts in train {
             refs.extend(ts.records().map(|r| r.to_vec()));
         }
         assert!(refs.len() > self.config.k, "need more than k training records");
-        if refs.len() > self.config.max_references {
-            let stride = refs.len() as f64 / self.config.max_references as f64;
-            refs = (0..self.config.max_references)
-                .map(|i| refs[(i as f64 * stride) as usize].clone())
-                .collect();
-        }
-        self.references = refs;
+        self.references =
+            exathlon_tsdata::sample::stride_subsample(&refs, self.config.max_references);
 
         // Pass 1: k-distances and neighbourhoods.
         let n = self.references.len();
@@ -143,6 +139,7 @@ impl AnomalyScorer for LofDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "LOF.series");
         assert!(!self.references.is_empty(), "detector not fitted");
         // Per-record LOF is independent given the fitted reference state;
         // scored on the shared worker pool, order-preserving.

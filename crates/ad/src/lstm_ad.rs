@@ -82,6 +82,7 @@ impl AnomalyScorer for LstmDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "LSTM.fit");
         assert!(!train.is_empty(), "no training traces");
         let mut pairs = Vec::new();
         for ts in train {
@@ -106,6 +107,7 @@ impl AnomalyScorer for LstmDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "LSTM.series");
         let model = self.model.as_ref().expect("detector not fitted");
         let w = self.config.window;
         let n = ts.len();

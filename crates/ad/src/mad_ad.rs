@@ -30,6 +30,7 @@ impl AnomalyScorer for MadDetector {
     }
 
     fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "MAD.fit");
         assert!(!train.is_empty(), "no training traces");
         let dims = train[0].dims();
         let mut medians = Vec::with_capacity(dims);
@@ -47,6 +48,7 @@ impl AnomalyScorer for MadDetector {
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "MAD.series");
         assert!(!self.medians.is_empty(), "detector not fitted");
         assert_eq!(ts.dims(), self.medians.len(), "dimension mismatch");
         ts.records()

@@ -35,11 +35,7 @@ pub fn pooled_windows(train: &[&TimeSeries], window: usize, max_windows: usize) 
         }
     }
     assert!(!all.is_empty(), "training traces shorter than the window size");
-    if all.len() <= max_windows {
-        return all;
-    }
-    let stride = all.len() as f64 / max_windows as f64;
-    (0..max_windows).map(|i| all[(i as f64 * stride) as usize].clone()).collect()
+    exathlon_tsdata::sample::stride_subsample(&all, max_windows)
 }
 
 #[cfg(test)]

@@ -67,5 +67,60 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_serial_vs_parallel);
+/// Overhead of the observability layer on the P2 inference workload.
+/// With `EXATHLON_PROFILE` unset every guard is one relaxed atomic load
+/// and no allocation, so `profile_off` must stay within 2% of a build
+/// without any instrumentation; `profile_on` shows the enabled cost for
+/// scale. Compare the two `kNN_profile_*` rows to verify the pin.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_obs_overhead");
+    group.sample_size(10);
+    let dims = 19;
+    let test = trace(2000, dims, 9);
+    let model = fitted(AdMethod::Knn, dims);
+    for (variant, value) in [("profile_off", None), ("profile_on", Some("1"))] {
+        match value {
+            Some(v) => std::env::set_var(exathlon_core::obs::PROFILE_ENV, v),
+            None => std::env::remove_var(exathlon_core::obs::PROFILE_ENV),
+        }
+        exathlon_core::obs::refresh();
+        exathlon_core::obs::reset();
+        group.bench_with_input(BenchmarkId::new("kNN", variant), &dims, |b, _| {
+            b.iter(|| black_box(model.scorer.score_series(&test)))
+        });
+    }
+    std::env::remove_var(exathlon_core::obs::PROFILE_ENV);
+    exathlon_core::obs::refresh();
+    exathlon_core::obs::reset();
+    group.finish();
+}
+
+/// The disabled guard in isolation: 2,000 stage + span guards plus
+/// counters — one per record of the workload above. The total must be
+/// microseconds against the workload's milliseconds (≪ 2%), pinning the
+/// "one relaxed atomic load, no allocation" claim directly.
+fn bench_obs_disabled_guard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_obs_disabled_guard");
+    group.sample_size(10);
+    std::env::remove_var(exathlon_core::obs::PROFILE_ENV);
+    exathlon_core::obs::refresh();
+    group.bench_function("2000_guards", |b| {
+        b.iter(|| {
+            for _ in 0..2000 {
+                let _stage = exathlon_core::obs::stage("score");
+                let _sp = exathlon_core::obs::span("score", "bench");
+                exathlon_core::obs::counter("bench.records", 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_serial_vs_parallel,
+    bench_obs_overhead,
+    bench_obs_disabled_guard
+);
 criterion_main!(benches);

@@ -77,4 +77,7 @@ fn main() {
         "\nDynamic rescaling moves global AUPRC by {delta:+.3} — the design\n\
          choice §5 motivates with unseen test contexts."
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -44,4 +44,7 @@ fn main() {
          are competitive at the 19-feature dimensionality but are exactly the\n\
          methods the paper notes degrade as dimensionality grows."
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -75,4 +75,7 @@ fn main() {
         a.len(),
         n.len()
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -71,4 +71,7 @@ fn main() {
             "AE spikier (diverges)"
         }
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -46,4 +46,7 @@ fn main() {
         "  AE ({ae:.2}) vs LSTM ({lstm:.2}) trace-level: {}",
         if ae >= lstm { "AE wins (paper shape)" } else { "LSTM wins (diverges)" }
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -40,4 +40,7 @@ fn main() {
             if monotone { "non-increasing (ok)" } else { "DIVERGES" }
         );
     }
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

@@ -96,4 +96,7 @@ fn main() {
         "  LIME has no accuracy numbers (not predictive): {}",
         if li.average.precision.is_none() { "ok" } else { "DIVERGES" }
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

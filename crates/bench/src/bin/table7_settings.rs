@@ -103,4 +103,7 @@ fn main() {
         "\nExpected shape (paper): Many-Examples (LS1/LS2) >= Few-Examples (LS3/LS4) \
          for AE and BiGAN; LSTM may benefit from N-App cardinality instead."
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon_core::obs::emit_report();
 }

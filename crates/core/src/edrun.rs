@@ -169,6 +169,7 @@ pub struct EdRunner<'a> {
 impl EdRunner<'_> {
     /// Produce the explanation of one anomaly (its full data).
     pub fn explain(&self, anomaly: &TimeSeries, reference: &TimeSeries) -> Explanation {
+        let _sp = crate::obs::span("ed", self.method.label());
         match self.method {
             EdMethodKind::MacroBase => MacroBaseExplainer::default().explain(anomaly, reference),
             EdMethodKind::Exstream => ExstreamExplainer::default().explain(anomaly, reference),
@@ -252,6 +253,8 @@ fn select_records(ts: &TimeSeries, indices: &[usize]) -> TimeSeries {
 
 /// Run and evaluate one ED method over the collected cases.
 pub fn evaluate_ed(runner: &EdRunner<'_>, cases: &[EdCase]) -> EdEvaluation {
+    let _stage = crate::obs::stage("ed");
+    crate::obs::add_records("ed", cases.iter().map(|c| c.anomaly.len() as u64).sum());
     let mut rng = StdRng::seed_from_u64(runner.seed);
 
     struct CaseResult {

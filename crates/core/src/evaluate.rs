@@ -40,13 +40,19 @@ pub struct ScoredTest {
 /// trace is independent and results keep input order, so the output is
 /// identical to the sequential map for any `EXATHLON_THREADS`.
 pub fn score_tests(model: &TrainedModel, tests: &[TransformedTest]) -> Vec<ScoredTest> {
-    crate::par::par_map(tests, |t| ScoredTest {
-        trace_id: t.trace_id,
-        app_id: t.app_id,
-        dominant_type: t.dominant_type,
-        scores: model.scorer.score_series(&t.series),
-        labels: t.labels.clone(),
-        typed_ranges: t.typed_ranges.clone(),
+    let _stage = crate::obs::stage("score");
+    crate::obs::add_records("score", tests.iter().map(|t| t.series.len() as u64).sum());
+    let scorer_name = model.scorer.name();
+    crate::par::par_map(tests, |t| {
+        let _sp = crate::obs::span("score", scorer_name);
+        ScoredTest {
+            trace_id: t.trace_id,
+            app_id: t.app_id,
+            dominant_type: t.dominant_type,
+            scores: model.scorer.score_series(&t.series),
+            labels: t.labels.clone(),
+            typed_ranges: t.typed_ranges.clone(),
+        }
     })
 }
 
@@ -98,6 +104,7 @@ fn mean(xs: &[f64]) -> f64 {
 
 /// Compute the separation scores of a scored test set.
 pub fn separation(tests: &[ScoredTest]) -> SeparationScores {
+    let _stage = crate::obs::stage("evaluate");
     let by_type = |filter: Option<AnomalyType>| -> Vec<&ScoredTest> {
         tests.iter().filter(|t| filter.is_none() || t.dominant_type == filter).collect()
     };
@@ -200,8 +207,10 @@ pub fn evaluate_detection(
     tests: &[ScoredTest],
     level: AdLevel,
 ) -> Vec<DetectionOutcome> {
+    let _stage = crate::obs::stage("threshold");
     let rules = ThresholdRule::all_rules();
     crate::par::par_map(&rules, |rule| {
+        let _sp = crate::obs::span("threshold", "rule");
         let threshold = rule.fit(&model.d2_scores);
         detection_with_threshold(&rule.label(), threshold, tests, level)
     })
@@ -241,7 +250,7 @@ pub fn detection_with_threshold(
 pub fn best_and_median(outcomes: &[DetectionOutcome]) -> (DetectionOutcome, DetectionOutcome) {
     assert!(!outcomes.is_empty(), "no outcomes to rank");
     let mut sorted: Vec<&DetectionOutcome> = outcomes.iter().collect();
-    sorted.sort_by(|a, b| b.f1.partial_cmp(&a.f1).expect("finite F1"));
+    sorted.sort_by(|a, b| b.f1.total_cmp(&a.f1));
     let best = sorted[0].clone();
     let median = sorted[sorted.len() / 2].clone();
     (best, median)

@@ -90,10 +90,28 @@ pub fn run_pipeline(
     methods: &[AdMethod],
     budget: TrainingBudget,
 ) -> PipelineRun {
-    let partitioned = partition(ds, config.setting, config.peek_fraction);
-    let (transform, train) = FittedTransform::fit(&partitioned.train, config);
-    let tests: Vec<TransformedTest> =
-        partitioned.test.iter().map(|s| transform.apply_test(s)).collect();
+    let partitioned = {
+        let _stage = crate::obs::stage("partition");
+        partition(ds, config.setting, config.peek_fraction)
+    };
+    let (transform, train, tests) = {
+        let _stage = crate::obs::stage("transform");
+        let (transform, train) = FittedTransform::fit(&partitioned.train, config);
+        let tests: Vec<TransformedTest> = partitioned
+            .test
+            .iter()
+            .map(|s| {
+                let _sp = crate::obs::span("transform", "apply_test");
+                transform.apply_test(s)
+            })
+            .collect();
+        crate::obs::add_records(
+            "transform",
+            train.iter().map(|t| t.len() as u64).sum::<u64>()
+                + tests.iter().map(|t| t.series.len() as u64).sum::<u64>(),
+        );
+        (transform, train, tests)
+    };
 
     // Methods train and score on the shared worker pool; each method is
     // fully independent (own seed, own model), and `par_map` preserves
@@ -110,6 +128,10 @@ pub fn run_pipeline(
         let sep = separation(&scored);
         (method, MethodRun { model, scored, separation: sep })
     });
+
+    // Profiled runs snapshot the registry here: by this point simulate /
+    // partition / transform / train / score / evaluate have all recorded.
+    crate::obs::emit_report();
 
     PipelineRun { transform, train, tests, methods }
 }

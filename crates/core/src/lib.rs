@@ -33,6 +33,7 @@ pub mod edrun;
 pub mod evaluate;
 pub mod experiment;
 pub mod model;
+pub mod obs;
 pub mod par;
 pub mod partition;
 pub mod report;

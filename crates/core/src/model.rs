@@ -147,8 +147,11 @@ pub fn train_model(
     budget: TrainingBudget,
     seed: u64,
 ) -> TrainedModel {
+    let _stage = crate::obs::stage("train");
     let (d1, d2) = split_train(train, holdout);
     let mut scorer = build_scorer(method, budget, seed);
+    let _sp = crate::obs::span("train", scorer.name());
+    crate::obs::add_records("train", d1.iter().map(|t| t.len() as u64).sum());
     let d1_refs: Vec<&TimeSeries> = d1.iter().collect();
     scorer.fit(&d1_refs);
     let mut d2_scores = Vec::new();

@@ -1,0 +1,11 @@
+//! Pipeline observability, re-exported from `exathlon-linalg` (the
+//! substrate crate every other crate already depends on, so sparksim/ad/
+//! ed instrumentation and the core pipeline share one registry).
+//!
+//! See [`exathlon_linalg::obs`] for the span model, env vars
+//! (`EXATHLON_PROFILE`, `EXATHLON_PROFILE_DIR`), and report schema.
+
+pub use exathlon_linalg::obs::{
+    add_records, counter, emit_report, enabled, refresh, report, report_dir, reset, span, stage,
+    Report, SpanReport, StageReport, PROFILE_DIR_ENV, PROFILE_ENV, REPORT_FILE,
+};

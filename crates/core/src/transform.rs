@@ -93,12 +93,7 @@ impl FittedTransform {
                     let filled = fill_missing(&expanded, 0.0);
                     rows.extend(filled.records().map(|r| r.to_vec()));
                 }
-                if rows.len() > PCA_FIT_RECORDS {
-                    let stride = rows.len() as f64 / PCA_FIT_RECORDS as f64;
-                    rows = (0..PCA_FIT_RECORDS)
-                        .map(|i| rows[(i as f64 * stride) as usize].clone())
-                        .collect();
-                }
+                rows = exathlon_tsdata::sample::stride_subsample(&rows, PCA_FIT_RECORDS);
                 let data = Matrix::from_rows(&rows);
                 Some(Pca::fit(&data, ComponentSelection::Fixed(k)))
             }

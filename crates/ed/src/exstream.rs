@@ -58,6 +58,7 @@ impl ExstreamExplainer {
     /// # Panics
     /// Panics if either series is empty or dimensions differ.
     pub fn explain(&self, anomaly: &TimeSeries, reference: &TimeSeries) -> Explanation {
+        let _sp = exathlon_linalg::obs::span("ed", "EXstream.explain");
         assert!(!anomaly.is_empty() && !reference.is_empty(), "empty ED input");
         assert_eq!(anomaly.dims(), reference.dims(), "ED input dimension mismatch");
         let m = anomaly.dims();

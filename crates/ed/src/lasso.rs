@@ -116,6 +116,22 @@ pub fn weighted_lasso(
     LassoFit { intercept, coefficients, iterations }
 }
 
+/// Indices of the `k` largest coefficients by absolute value, descending
+/// (ties broken by index for determinism). Zero and non-finite
+/// coefficients are excluded: a NaN produced by a degenerate Lasso fit
+/// drops out of the explanation instead of poisoning the ranking —
+/// `partial_cmp().expect(...)` here used to abort the whole run.
+pub fn top_coefficients(coefficients: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..coefficients.len())
+        .filter(|&j| coefficients[j] != 0.0 && coefficients[j].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        coefficients[b].abs().total_cmp(&coefficients[a].abs()).then_with(|| a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
 fn soft_threshold(x: f64, lambda: f64) -> f64 {
     if x > lambda {
         x - lambda
@@ -200,5 +216,30 @@ mod tests {
     #[should_panic(expected = "empty design")]
     fn empty_input_panics() {
         let _ = weighted_lasso(&[], &[], &[], 0.1, 10, 1e-6);
+    }
+
+    #[test]
+    fn top_coefficients_ranks_by_magnitude() {
+        let c = [0.5, -3.0, 0.0, 2.0, -0.1];
+        assert_eq!(top_coefficients(&c, 3), vec![1, 3, 0]);
+        assert_eq!(top_coefficients(&c, 10), vec![1, 3, 0, 4]);
+        assert_eq!(top_coefficients(&c, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_coefficients_survives_non_finite() {
+        // Regression: ranking with the old `partial_cmp(..).expect(
+        // "finite coefficients")` comparator panics on this input; the
+        // hardened version drops the NaN/inf entries and keeps going.
+        let c = [f64::NAN, 1.0, f64::INFINITY, -2.0, f64::NEG_INFINITY];
+        assert_eq!(top_coefficients(&c, 5), vec![3, 1]);
+        let all_bad = [f64::NAN, f64::NAN];
+        assert!(top_coefficients(&all_bad, 2).is_empty());
+    }
+
+    #[test]
+    fn top_coefficients_breaks_ties_by_index() {
+        let c = [1.0, -1.0, 1.0];
+        assert_eq!(top_coefficients(&c, 3), vec![0, 1, 2]);
     }
 }

@@ -57,6 +57,7 @@ impl LimeExplainer {
     /// # Panics
     /// Panics if the window is empty.
     pub fn explain(&self, window: &TimeSeries, score_fn: &dyn Fn(&[f64]) -> f64) -> Explanation {
+        let _sp = exathlon_linalg::obs::span("ed", "LIME.explain");
         assert!(!window.is_empty(), "empty LIME window");
         let cfg = &self.config;
         let t_len = window.len();
@@ -110,15 +111,9 @@ impl LimeExplainer {
 
         let fit = weighted_lasso(&samples, &responses, &weights, cfg.lambda, 300, 1e-8);
 
-        // Top-k cells by |coefficient|.
-        let mut order: Vec<usize> = (0..d).filter(|&j| fit.coefficients[j] != 0.0).collect();
-        order.sort_by(|&a, &b| {
-            fit.coefficients[b]
-                .abs()
-                .partial_cmp(&fit.coefficients[a].abs())
-                .expect("finite coefficients")
-        });
-        order.truncate(cfg.k);
+        // Top-k cells by |coefficient|; non-finite coefficients from a
+        // degenerate fit are dropped rather than aborting the run.
+        let order = crate::lasso::top_coefficients(&fit.coefficients, cfg.k);
 
         let terms: Vec<ImportanceTerm> = order
             .iter()

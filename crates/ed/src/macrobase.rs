@@ -57,6 +57,7 @@ impl MacroBaseExplainer {
     /// # Panics
     /// Panics if either series is empty or dimensions differ.
     pub fn explain(&self, anomaly: &TimeSeries, reference: &TimeSeries) -> Explanation {
+        let _sp = exathlon_linalg::obs::span("ed", "MacroBase.explain");
         assert!(!anomaly.is_empty() && !reference.is_empty(), "empty ED input");
         assert_eq!(anomaly.dims(), reference.dims(), "ED input dimension mismatch");
         let m = anomaly.dims();

@@ -57,6 +57,7 @@ impl ShapExplainer {
         background: &[f64],
         score_fn: &dyn Fn(&[f64]) -> f64,
     ) -> Explanation {
+        let _sp = exathlon_linalg::obs::span("ed", "SHAP.explain");
         assert!(!window.is_empty(), "empty SHAP window");
         let t_len = window.len();
         let m = window.dims();
@@ -114,14 +115,7 @@ impl ShapExplainer {
 
         let fit = weighted_lasso(&masks, &responses, &weights, 0.0, 2000, 1e-12);
 
-        let mut order: Vec<usize> = (0..d).filter(|&j| fit.coefficients[j] != 0.0).collect();
-        order.sort_by(|&a, &b| {
-            fit.coefficients[b]
-                .abs()
-                .partial_cmp(&fit.coefficients[a].abs())
-                .expect("finite Shapley values")
-        });
-        order.truncate(self.config.k);
+        let order = crate::lasso::top_coefficients(&fit.coefficients, self.config.k);
 
         let terms: Vec<ImportanceTerm> = order
             .iter()

@@ -21,6 +21,7 @@
 
 pub mod eigen;
 pub mod matrix;
+pub mod obs;
 pub mod par;
 pub mod pca;
 pub mod stats;

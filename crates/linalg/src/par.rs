@@ -91,6 +91,7 @@ where
 {
     let n = items.len();
     let cap = max_threads();
+    crate::obs::counter("par.calls", 1);
     if n <= 1 || cap <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -98,6 +99,8 @@ where
     if lease.0 == 0 {
         return items.iter().map(&f).collect();
     }
+    crate::obs::counter("par.parallel_calls", 1);
+    crate::obs::counter("par.workers_spawned", lease.0 as u64);
     let lanes = lease.0 + 1;
     let chunk = n.div_ceil(lanes);
     let result = crossbeam::scope(|scope| {
@@ -106,10 +109,20 @@ where
         let first = chunks.next().expect("non-empty input");
         // Spawn the tail chunks, compute the head on this thread, then
         // join in order — output order equals input order.
-        let handles: Vec<_> =
-            chunks.map(|c| scope.spawn(move |_| c.iter().map(f).collect::<Vec<U>>())).collect();
+        let handles: Vec<_> = chunks
+            .map(|c| {
+                scope.spawn(move |_| {
+                    let busy = crate::obs::BusyClock::start();
+                    let out = c.iter().map(f).collect::<Vec<U>>();
+                    busy.stop();
+                    out
+                })
+            })
+            .collect();
+        let busy = crate::obs::BusyClock::start();
         let mut out: Vec<U> = Vec::with_capacity(n);
         out.extend(first.iter().map(f));
+        busy.stop();
         for handle in handles {
             out.extend(handle.join().expect("par_map worker panicked"));
         }

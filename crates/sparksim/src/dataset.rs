@@ -19,6 +19,7 @@ use crate::deg::{AnomalyType, DegSchedule, InjectedEvent};
 use crate::engine::{simulate, SimSpec};
 use crate::ground_truth::GroundTruthEntry;
 use crate::trace::Trace;
+use exathlon_linalg::obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +114,7 @@ impl DatasetBuilder {
 
     /// Build the dataset.
     pub fn build(&self) -> Dataset {
+        let _stage = obs::stage("simulate");
         let is_tiny = self.normal_duration <= 300;
         let specs = if is_tiny { self.tiny_specs() } else { self.standard_specs() };
         let n_undisturbed = specs.iter().filter(|s| s.schedule.is_empty()).count();
@@ -120,8 +122,15 @@ impl DatasetBuilder {
         let results: Vec<(Trace, Vec<GroundTruthEntry>)> = if self.parallel {
             parallel_simulate(&specs)
         } else {
-            specs.iter().map(simulate).collect()
+            specs
+                .iter()
+                .map(|spec| {
+                    let _sp = obs::span("simulate", "trace");
+                    simulate(spec)
+                })
+                .collect()
         };
+        obs::add_records("simulate", results.iter().map(|(t, _)| t.base.len() as u64).sum());
 
         let mut undisturbed = Vec::with_capacity(n_undisturbed);
         let mut disturbed = Vec::with_capacity(specs.len() - n_undisturbed);
@@ -346,21 +355,17 @@ fn spread_events(
     events
 }
 
-/// Simulate a batch of specs on worker threads using crossbeam scoped
-/// threads (keeps the dataset build to a few seconds even at full scale).
-/// Each worker simulates a contiguous chunk and results are reassembled in
-/// spec order, so the output is identical to the sequential path.
+/// Simulate a batch of specs on the shared worker pool
+/// (`exathlon_linalg::par`): trace generation draws from the same global
+/// worker budget as the rest of the pipeline and honours the
+/// `EXATHLON_THREADS` override. Chunks are contiguous and joined in spec
+/// order, so the output is bitwise identical to the sequential path
+/// (pinned by `tests/parallel_determinism.rs`).
 fn parallel_simulate(specs: &[SimSpec]) -> Vec<(Trace, Vec<GroundTruthEntry>)> {
-    let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16);
-    let chunk = specs.len().div_ceil(n_workers).max(1);
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = specs
-            .chunks(chunk)
-            .map(|c| scope.spawn(move |_| c.iter().map(simulate).collect::<Vec<_>>()))
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("simulation worker panicked")).collect()
+    exathlon_linalg::par::par_map(specs, |spec| {
+        let _sp = obs::span("simulate", "trace");
+        simulate(spec)
     })
-    .expect("crossbeam scope failed")
 }
 
 #[cfg(test)]

@@ -17,9 +17,12 @@
 //!   Appendix D.1) and missing-value cleaning,
 //! * [`scale`] — min-max and standard scalers fitted on training data, plus
 //!   the paper's *dynamic* scaler that adapts to the new context of each
-//!   test trace as the AD model runs over it.
+//!   test trace as the AD model runs over it,
+//! * [`sample`] — clamped evenly-spaced subsampling shared by the scorer
+//!   pools, kNN/LOF reference sets, and the PCA row subsample.
 
 pub mod resample;
+pub mod sample;
 pub mod scale;
 pub mod series;
 pub mod transform;

@@ -1,0 +1,88 @@
+//! Deterministic subsampling shared by the scorer pools, kNN/LOF
+//! reference sets, and PCA row subsample.
+//!
+//! The pipeline repeatedly needs "at most `max` evenly spaced elements of
+//! a slice". The obvious float-stride formula `(i as f64 * stride) as
+//! usize` is an out-of-bounds panic waiting on rounding: nothing in the
+//! cast guarantees the computed index stays below `len`. This module
+//! centralizes the index computation with an explicit clamp so every call
+//! site shares one proved-in-bounds implementation.
+
+/// Indices of at most `max` evenly spaced elements of a `len`-element
+/// slice, in increasing order of position formula (ties possible for tiny
+/// `len`). Returns `0..len` when `len <= max`; never returns an index
+/// `>= len`; always returns `min(len, max)` indices.
+pub fn stride_indices(len: usize, max: usize) -> Vec<usize> {
+    if len <= max {
+        return (0..len).collect();
+    }
+    let stride = len as f64 / max as f64;
+    (0..max).map(|i| (((i as f64) * stride) as usize).min(len - 1)).collect()
+}
+
+/// Clone at most `max` evenly spaced elements of `all` (order-preserving,
+/// identity when `all.len() <= max`).
+pub fn stride_subsample<T: Clone>(all: &[T], max: usize) -> Vec<T> {
+    stride_indices(all.len(), max).into_iter().map(|i| all[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_small() {
+        assert_eq!(stride_indices(5, 10), vec![0, 1, 2, 3, 4]);
+        assert_eq!(stride_indices(10, 10), (0..10).collect::<Vec<_>>());
+        assert!(stride_indices(0, 4).is_empty());
+        let items = vec![1, 2, 3];
+        assert_eq!(stride_subsample(&items, 8), items);
+    }
+
+    #[test]
+    fn zero_max_yields_nothing() {
+        assert!(stride_indices(100, 0).is_empty());
+        assert!(stride_subsample(&[1, 2, 3], 0).is_empty());
+    }
+
+    #[test]
+    fn subsample_is_evenly_spaced() {
+        let all: Vec<usize> = (0..100).collect();
+        let got = stride_subsample(&all, 4);
+        assert_eq!(got, vec![0, 25, 50, 75]);
+    }
+
+    #[test]
+    fn indices_always_in_bounds_and_counted() {
+        // Adversarial sweep over the sizes where `stride * (max - 1)`
+        // lands closest to `len`: every index must stay `< len` and the
+        // count must be exactly `max` (the unclamped float formula has no
+        // such guarantee — the clamp makes it unconditional).
+        for len in 1..400usize {
+            for max in 1..len {
+                let idx = stride_indices(len, max);
+                assert_eq!(idx.len(), max, "len={len} max={max}");
+                assert!(idx.iter().all(|&i| i < len), "len={len} max={max} idx={idx:?}");
+                assert!(idx.windows(2).all(|w| w[0] <= w[1]), "monotone len={len} max={max}");
+            }
+        }
+        // Boundary at huge scale: stride * (max-1) is within one ulp of
+        // len — only the clamp keeps the last index in bounds by
+        // construction.
+        let idx = stride_indices(usize::MAX >> 11, 1 << 20);
+        assert_eq!(idx.len(), 1 << 20);
+        assert!(idx.iter().all(|&i| i < usize::MAX >> 11));
+    }
+
+    #[test]
+    fn matches_unclamped_formula_on_safe_sizes() {
+        // The clamp must not change selection where the old formula was
+        // already in bounds — goldens from fitted models stay bitwise
+        // identical.
+        for (len, max) in [(100, 7), (1500, 64), (901, 300), (4096, 1000)] {
+            let stride = len as f64 / max as f64;
+            let old: Vec<usize> = (0..max).map(|i| (i as f64 * stride) as usize).collect();
+            assert_eq!(stride_indices(len, max), old, "len={len} max={max}");
+        }
+    }
+}

@@ -38,14 +38,15 @@ pub fn fill_forward(ts: &TimeSeries) -> TimeSeries {
 
 /// First-order difference of selected features: output record `i` holds
 /// `x[i+1][j] - x[i][j]` for differenced features `j` and `x[i+1][j]`
-/// unchanged for the others. The output has `len - 1` records; names of
-/// differenced features gain the paper's `1_diff_` prefix.
+/// unchanged for the others. The output has `len.saturating_sub(1)`
+/// records; names of differenced features gain the paper's `1_diff_`
+/// prefix. A series with fewer than 2 records has no differences and
+/// yields an empty series (same renamed features, `start_tick + 1`)
+/// instead of underflowing `len - 1`.
 ///
 /// # Panics
-/// Panics if the series has fewer than 2 records or an index is out of
-/// bounds.
+/// Panics if a feature index is out of bounds.
 pub fn difference_features(ts: &TimeSeries, diff_indices: &[usize]) -> TimeSeries {
-    assert!(ts.len() >= 2, "differencing needs at least two records");
     let m = ts.dims();
     for &j in diff_indices {
         assert!(j < m, "feature index {j} out of bounds");
@@ -63,6 +64,9 @@ pub fn difference_features(ts: &TimeSeries, diff_indices: &[usize]) -> TimeSerie
         .enumerate()
         .map(|(j, n)| if is_diff[j] { format!("1_diff_{n}") } else { n.clone() })
         .collect();
+    if ts.len() < 2 {
+        return TimeSeries::from_flat(names, ts.start_tick() + 1, Vec::new());
+    }
     let mut values = Vec::with_capacity((ts.len() - 1) * m);
     for i in 0..ts.len() - 1 {
         let cur = ts.record(i);
@@ -146,10 +150,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
-    fn difference_too_short_panics() {
-        let ts = TimeSeries::from_records(default_names(1), 0, &[vec![1.0]]);
-        let _ = difference_features(&ts, &[0]);
+    fn difference_single_record_is_empty() {
+        // Regression: this used to assert (debug) / compute `0 - 1`
+        // capacity (release) instead of degrading to an empty series.
+        let ts = TimeSeries::from_records(default_names(1), 5, &[vec![1.0]]);
+        let d = difference_features(&ts, &[0]);
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.names(), &["1_diff_f0".to_string()]);
+        assert_eq!(d.start_tick(), 6);
+    }
+
+    #[test]
+    fn difference_empty_series_is_empty() {
+        let ts = TimeSeries::from_records(default_names(2), 0, &[]);
+        let d = difference_features(&ts, &[1]);
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.names(), &["f0".to_string(), "1_diff_f1".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn difference_bad_index_panics() {
+        let ts = TimeSeries::from_records(default_names(1), 0, &[vec![1.0], vec![2.0]]);
+        let _ = difference_features(&ts, &[3]);
     }
 
     #[test]

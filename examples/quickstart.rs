@@ -68,4 +68,7 @@ fn main() {
             prf.f1
         );
     }
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon::core::obs::emit_report();
 }

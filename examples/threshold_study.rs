@@ -46,4 +46,7 @@ fn main() {
          hyperparameter; Exathlon therefore scores AD methods by the best\n\
          AND the median rule over this grid (Appendix D.2)."
     );
+    // Final cumulative profile snapshot (covers post-pipeline phases);
+    // no-op unless EXATHLON_PROFILE=1.
+    let _ = exathlon::core::obs::emit_report();
 }

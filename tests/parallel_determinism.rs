@@ -120,6 +120,43 @@ fn detection_grid_bitwise_identical_across_thread_counts() {
     }
 }
 
+/// Dataset builds — trace simulation now rides the shared worker pool —
+/// are bitwise identical across thread counts AND across the
+/// parallel/sequential toggle: the par port of `parallel_simulate` must
+/// not change a single bit of any trace or ground-truth entry.
+#[test]
+fn dataset_build_bitwise_identical_across_thread_counts() {
+    let reference = with_threads(THREAD_COUNTS[0], || DatasetBuilder::tiny(7).build());
+    let mut variants: Vec<(String, exathlon_sparksim::dataset::Dataset)> = Vec::new();
+    for threads in &THREAD_COUNTS[1..] {
+        variants.push((
+            format!("parallel @ {threads} threads"),
+            with_threads(threads, || DatasetBuilder::tiny(7).build()),
+        ));
+    }
+    variants.push((
+        "sequential path".to_string(),
+        with_threads("4", || DatasetBuilder::tiny(7).with_parallel(false).build()),
+    ));
+    for (context, other) in &variants {
+        assert_eq!(
+            reference.undisturbed.len(),
+            other.undisturbed.len(),
+            "{context}: undisturbed count"
+        );
+        assert_eq!(reference.disturbed.len(), other.disturbed.len(), "{context}: disturbed count");
+        for (a, b) in reference.undisturbed.iter().zip(&other.undisturbed) {
+            assert_eq!(a.trace_id, b.trace_id, "{context}: undisturbed trace order");
+            assert!(a.base.same_data(&b.base), "{context}: trace {} data differs", a.trace_id);
+        }
+        for (a, b) in reference.disturbed.iter().zip(&other.disturbed) {
+            assert_eq!(a.trace_id, b.trace_id, "{context}: disturbed trace order");
+            assert!(a.base.same_data(&b.base), "{context}: trace {} data differs", a.trace_id);
+        }
+        assert_eq!(reference.ground_truth, other.ground_truth, "{context}: ground truth");
+    }
+}
+
 /// Scoring the same fitted detector from many threads concurrently (the
 /// shape `run_pipeline` creates: outer method fan-out calling inner
 /// record-parallel scoring) equals the isolated result — the worker
