@@ -6,6 +6,7 @@
 //! sensitive to data dimensions"), and used by the ablation benches.
 
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::kernel::{self, DistanceKernel};
 use exathlon_tsdata::TimeSeries;
 
 /// Configuration of the kNN scorer.
@@ -24,32 +25,31 @@ impl Default for KnnConfig {
     }
 }
 
-/// The kNN anomaly detector.
+/// The kNN anomaly detector, backed by the shared batched distance
+/// kernel: references are sanitized once at fit time (non-finite
+/// features zeroed by [`kernel::sanitize_rows`] — the single rule kNN
+/// and LOF now share), and scoring evaluates query chunks through the
+/// Gram-trick GEMM instead of per-pair scalar loops.
 #[derive(Debug, Clone)]
 pub struct KnnDetector {
     config: KnnConfig,
-    references: Vec<Vec<f64>>,
+    kernel: DistanceKernel,
 }
 
 impl KnnDetector {
     /// Create an (unfitted) detector.
     pub fn new(config: KnnConfig) -> Self {
         assert!(config.k > 0, "k must be positive");
-        Self { config, references: Vec::new() }
+        Self { config, kernel: DistanceKernel::fit::<Vec<f64>>(&[]) }
     }
 
-    fn distance2(a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| {
-                // Sanitize all non-finite features, not just NaN: an ∞
-                // feature on both sides yields ∞ − ∞ = NaN, which used to
-                // poison the selection comparator below.
-                let x = if x.is_finite() { *x } else { 0.0 };
-                let y = if y.is_finite() { *y } else { 0.0 };
-                (x - y) * (x - y)
-            })
-            .sum()
+    /// Mean-of-`k`-nearest score for one row of squared distances.
+    fn score_row(k: usize, mut dists: Vec<f64>) -> f64 {
+        // total_cmp: squared distances of finite features can still
+        // overflow to ∞; ordering must never panic.
+        dists.select_nth_unstable_by(k - 1, f64::total_cmp);
+        let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
+        mean.sqrt()
     }
 }
 
@@ -66,29 +66,33 @@ impl AnomalyScorer for KnnDetector {
             all.extend(ts.records().map(|r| r.to_vec()));
         }
         assert!(!all.is_empty(), "empty training traces");
-        self.references =
-            exathlon_tsdata::sample::stride_subsample(&all, self.config.max_references);
+        let refs = exathlon_tsdata::sample::stride_subsample(&all, self.config.max_references);
+        self.kernel = DistanceKernel::fit(&refs);
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
         let _sp = exathlon_linalg::obs::span("score", "kNN.series");
-        assert!(!self.references.is_empty(), "detector not fitted");
-        let k = self.config.k.min(self.references.len());
-        // Records are scored independently on the shared worker pool
-        // (contiguous chunks, order-preserving — identical output to the
-        // sequential map). This is the O(records × references) hot loop
-        // of the P2 inference bench.
+        assert!(!self.kernel.is_empty(), "detector not fitted");
+        let k = self.config.k.min(self.kernel.len());
+        // Fixed-size query chunks scored independently on the shared
+        // worker pool (chunk boundaries never depend on the thread
+        // count, so output is identical for any `EXATHLON_THREADS`).
+        // This is the O(records × references) hot loop of the P2
+        // inference bench, evaluated as one Gram-trick GEMM per chunk.
         let records: Vec<&[f64]> = ts.records().collect();
-        exathlon_linalg::par::par_map(&records, |r| {
-            // Partial selection of the k smallest distances.
-            let mut dists: Vec<f64> =
-                self.references.iter().map(|q| Self::distance2(r, q)).collect();
-            // total_cmp: squared distances of finite features can
-            // still overflow to ∞; ordering must never panic.
-            dists.select_nth_unstable_by(k - 1, f64::total_cmp);
-            let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
-            mean.sqrt()
-        })
+        let chunks: Vec<&[&[f64]]> = records.chunks(kernel::DIST_CHUNK).collect();
+        let scored: Vec<Vec<f64>> = exathlon_linalg::par::par_map(&chunks, |chunk| {
+            if kernel::naive_distance_mode() {
+                chunk
+                    .iter()
+                    .map(|r| Self::score_row(k, self.kernel.naive_sq_distances_to(r)))
+                    .collect()
+            } else {
+                let dists = self.kernel.sq_distances(chunk);
+                (0..dists.rows()).map(|i| Self::score_row(k, dists.row(i).to_vec())).collect()
+            }
+        });
+        scored.into_iter().flatten().collect()
     }
 }
 
@@ -125,7 +129,7 @@ mod tests {
         let train = ts(&(0..500).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let mut det = KnnDetector::new(KnnConfig { k: 2, max_references: 50 });
         det.fit(&[&train]);
-        assert_eq!(det.references.len(), 50);
+        assert_eq!(det.kernel.len(), 50);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! reachability density (lrd), and the LOF ratio.
 
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::kernel::{self, DistanceKernel};
+use exathlon_linalg::Matrix;
 use exathlon_tsdata::TimeSeries;
 
 /// Configuration of the LOF detector.
@@ -24,11 +26,12 @@ impl Default for LofConfig {
     }
 }
 
-/// The LOF anomaly detector.
+/// The LOF anomaly detector, sharing the batched distance kernel (and
+/// its single non-finite sanitization rule) with kNN.
 #[derive(Debug, Clone)]
 pub struct LofDetector {
     config: LofConfig,
-    references: Vec<Vec<f64>>,
+    kernel: DistanceKernel,
     /// Per-reference k-distance.
     k_distance: Vec<f64>,
     /// Per-reference local reachability density.
@@ -37,49 +40,53 @@ pub struct LofDetector {
     neighbours: Vec<Vec<usize>>,
 }
 
-fn distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            // Sanitize all non-finite features, not just NaN: an ∞
-            // feature on both sides yields ∞ − ∞ = NaN, which used to
-            // poison the sort comparator in `knn`.
-            let x = if x.is_finite() { *x } else { 0.0 };
-            let y = if y.is_finite() { *y } else { 0.0 };
-            (x - y) * (x - y)
-        })
-        .sum::<f64>()
-        .sqrt()
-}
-
 impl LofDetector {
     /// Create an (unfitted) detector.
     pub fn new(config: LofConfig) -> Self {
         assert!(config.k > 0, "k must be positive");
         Self {
             config,
-            references: Vec::new(),
+            kernel: DistanceKernel::fit::<Vec<f64>>(&[]),
             k_distance: Vec::new(),
             lrd: Vec::new(),
             neighbours: Vec::new(),
         }
     }
 
-    /// k nearest reference indices (ascending by distance) to a query,
+    /// k nearest reference indices (ascending by distance) from a
+    /// precomputed row of Euclidean distances to every reference,
     /// excluding `exclude` (for self-neighbourhoods during fitting).
-    fn knn(&self, x: &[f64], exclude: Option<usize>) -> Vec<(usize, f64)> {
-        let mut dists: Vec<(usize, f64)> = self
-            .references
+    fn knn_from_dists(&self, dists: &[f64], exclude: Option<usize>) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> = dists
             .iter()
             .enumerate()
             .filter(|(i, _)| Some(*i) != exclude)
-            .map(|(i, q)| (i, distance(x, q)))
+            .map(|(i, &d)| (i, d))
             .collect();
         // total_cmp: squared distances of finite features can still
-        // overflow to ∞; ordering must never panic.
-        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
-        dists.truncate(self.config.k);
-        dists
+        // overflow to ∞; ordering must never panic. The sort is stable,
+        // so ties keep ascending reference order, as before.
+        pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        pairs.truncate(self.config.k);
+        pairs
+    }
+
+    /// Euclidean distances from every reference to every reference, as
+    /// one batched self-distance GEMM (or the retained scalar path in
+    /// naive mode). Both fit passes read from this single matrix.
+    fn self_distances(&self) -> Matrix {
+        let mut sq = if kernel::naive_distance_mode() {
+            let rows: Vec<Vec<f64>> = (0..self.kernel.len())
+                .map(|i| self.kernel.naive_sq_distances_to(self.kernel.reference(i)))
+                .collect();
+            Matrix::from_rows(&rows)
+        } else {
+            self.kernel.self_sq_distances()
+        };
+        for v in sq.as_mut_slice() {
+            *v = v.sqrt();
+        }
+        sq
     }
 
     /// Local reachability density of a query given its k nearest
@@ -111,15 +118,20 @@ impl AnomalyScorer for LofDetector {
             refs.extend(ts.records().map(|r| r.to_vec()));
         }
         assert!(refs.len() > self.config.k, "need more than k training records");
-        self.references =
+        let subsampled =
             exathlon_tsdata::sample::stride_subsample(&refs, self.config.max_references);
+        self.kernel = DistanceKernel::fit(&subsampled);
+
+        // One batched all-pairs distance matrix feeds both fit passes
+        // (the old code recomputed every pass-2 distance from scratch).
+        let dists = self.self_distances();
 
         // Pass 1: k-distances and neighbourhoods.
-        let n = self.references.len();
+        let n = self.kernel.len();
         let mut k_distance = Vec::with_capacity(n);
         let mut neighbours = Vec::with_capacity(n);
         for i in 0..n {
-            let knn = self.knn(&self.references[i].clone(), Some(i));
+            let knn = self.knn_from_dists(dists.row(i), Some(i));
             k_distance.push(knn.last().map(|&(_, d)| d).unwrap_or(0.0));
             neighbours.push(knn.iter().map(|&(j, _)| j).collect());
         }
@@ -129,10 +141,8 @@ impl AnomalyScorer for LofDetector {
         // Pass 2: reference lrds.
         let mut lrd = Vec::with_capacity(n);
         for i in 0..n {
-            let knn: Vec<(usize, f64)> = self.neighbours[i]
-                .iter()
-                .map(|&j| (j, distance(&self.references[i], &self.references[j])))
-                .collect();
+            let knn: Vec<(usize, f64)> =
+                self.neighbours[i].iter().map(|&j| (j, dists[(i, j)])).collect();
             lrd.push(self.lrd_of(&knn));
         }
         self.lrd = lrd;
@@ -140,12 +150,11 @@ impl AnomalyScorer for LofDetector {
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
         let _sp = exathlon_linalg::obs::span("score", "LOF.series");
-        assert!(!self.references.is_empty(), "detector not fitted");
-        // Per-record LOF is independent given the fitted reference state;
-        // scored on the shared worker pool, order-preserving.
-        let records: Vec<&[f64]> = ts.records().collect();
-        exathlon_linalg::par::par_map(&records, |x| {
-            let knn = self.knn(x, None);
+        assert!(!self.kernel.is_empty(), "detector not fitted");
+        // Fixed-size query chunks on the shared worker pool (chunk
+        // boundaries never depend on the thread count): one Gram-trick
+        // GEMM per chunk replaces the per-pair scalar loops.
+        let score_from = |knn: Vec<(usize, f64)>| -> f64 {
             let own_lrd = self.lrd_of(&knn);
             if !own_lrd.is_finite() {
                 return 1.0; // sits exactly on training data
@@ -156,7 +165,32 @@ impl AnomalyScorer for LofDetector {
             let neighbour_lrd: f64 = knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>()
                 / knn.len().max(1) as f64;
             (neighbour_lrd / own_lrd).max(0.0)
-        })
+        };
+        let records: Vec<&[f64]> = ts.records().collect();
+        let chunks: Vec<&[&[f64]]> = records.chunks(kernel::DIST_CHUNK).collect();
+        let scored: Vec<Vec<f64>> = exathlon_linalg::par::par_map(&chunks, |chunk| {
+            if kernel::naive_distance_mode() {
+                chunk
+                    .iter()
+                    .map(|r| {
+                        let mut row = self.kernel.naive_sq_distances_to(r);
+                        for v in &mut row {
+                            *v = v.sqrt();
+                        }
+                        score_from(self.knn_from_dists(&row, None))
+                    })
+                    .collect()
+            } else {
+                let sq = self.kernel.sq_distances(chunk);
+                (0..sq.rows())
+                    .map(|i| {
+                        let row: Vec<f64> = sq.row(i).iter().map(|v| v.sqrt()).collect();
+                        score_from(self.knn_from_dists(&row, None))
+                    })
+                    .collect()
+            }
+        });
+        scored.into_iter().flatten().collect()
     }
 }
 
@@ -205,7 +239,7 @@ mod tests {
         let train = cluster(5000, 4);
         let mut det = LofDetector::new(LofConfig { k: 5, max_references: 200 });
         det.fit(&[&train]);
-        assert_eq!(det.references.len(), 200);
+        assert_eq!(det.kernel.len(), 200);
     }
 
     #[test]

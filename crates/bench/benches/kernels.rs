@@ -3,6 +3,7 @@
 //! AUPRC. These track the cost drivers behind the P1–P3 results.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exathlon_linalg::kernel::{naive_matmul, DistanceKernel};
 use exathlon_linalg::pca::{ComponentSelection, Pca};
 use exathlon_linalg::Matrix;
 use exathlon_tsmetrics::auprc::auprc;
@@ -16,6 +17,51 @@ fn bench_matmul(c: &mut Criterion) {
         let b = Matrix::from_fn(n, n, |i, j| ((i + j * 17) as f64 * 0.01).cos());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// The retained naive triple loop against the blocked/SIMD kernel, at
+/// the sizes the acceptance speedup (≥3x at 256) is defined on.
+fn bench_gemm_naive_vs_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_naive_vs_kernel");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j) as f64 * 0.01).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i + j * 17) as f64 * 0.01).cos());
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(naive_matmul(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// The per-pair scalar distance loop against the Gram-trick batch, at
+/// the kNN/LOF inference shape (19 features, as in `FS_custom`).
+fn bench_distances_scalar_vs_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances_scalar_vs_batched");
+    let dims = 19usize;
+    for (queries, refs) in [(256usize, 512usize), (1024, 1024)] {
+        let reference: Vec<Vec<f64>> = (0..refs)
+            .map(|i| (0..dims).map(|j| ((i * 13 + j * 7) as f64 * 0.011).sin()).collect())
+            .collect();
+        let query: Vec<Vec<f64>> = (0..queries)
+            .map(|i| (0..dims).map(|j| ((i * 5 + j * 29) as f64 * 0.017).cos()).collect())
+            .collect();
+        let kernel = DistanceKernel::fit(&reference);
+        let id = format!("{queries}x{refs}");
+        group.bench_with_input(BenchmarkId::new("scalar", &id), &id, |bench, _| {
+            bench.iter(|| {
+                for q in &query {
+                    black_box(kernel.naive_sq_distances_to(q));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", &id), &id, |bench, _| {
+            bench.iter(|| black_box(kernel.sq_distances(&query)));
         });
     }
     group.finish();
@@ -50,5 +96,13 @@ fn bench_auprc(c: &mut Criterion) {
     c.bench_function("auprc_50k", |b| b.iter(|| black_box(auprc(&scores, &labels))));
 }
 
-criterion_group!(benches, bench_matmul, bench_pca, bench_range_pr, bench_auprc);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gemm_naive_vs_kernel,
+    bench_distances_scalar_vs_batched,
+    bench_pca,
+    bench_range_pr,
+    bench_auprc
+);
 criterion_main!(benches);

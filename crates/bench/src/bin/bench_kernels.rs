@@ -1,0 +1,129 @@
+//! Records the dense-kernel speedups behind the PR's acceptance
+//! criteria: blocked/SIMD GEMM vs the retained naive triple loop, and
+//! the Gram-trick batched distance kernel vs the per-pair scalar loop.
+//!
+//! Runs single-threaded (`EXATHLON_THREADS=1` is forced before any
+//! kernel use) so the numbers measure the kernels themselves, not the
+//! worker pool. Writes `results/BENCH_kernels.json` with the median
+//! ns/op of every measured variant; the vendored criterion stand-in
+//! prints but does not persist, so this binary does its own timing.
+
+use exathlon_linalg::kernel::{naive_matmul, DistanceKernel};
+use exathlon_linalg::Matrix;
+use std::time::Instant;
+
+/// One measured baseline/kernel pair.
+struct Group {
+    name: String,
+    baseline_ns: f64,
+    kernel_ns: f64,
+}
+
+impl Group {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.kernel_ns
+    }
+}
+
+/// Median wall time of `reps` calls, in ns/op (each call is one op).
+fn median_ns(reps: usize, mut op: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    // One warm-up call outside the sample.
+    op();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn gemm_group(n: usize, reps: usize) -> Group {
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j) as f64 * 0.01).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i + j * 17) as f64 * 0.01).cos());
+    Group {
+        name: format!("gemm{n}"),
+        baseline_ns: median_ns(reps, || {
+            std::hint::black_box(naive_matmul(&a, &b));
+        }),
+        kernel_ns: median_ns(reps, || {
+            std::hint::black_box(a.matmul(&b));
+        }),
+    }
+}
+
+fn distance_group(queries: usize, refs: usize, dims: usize, reps: usize) -> Group {
+    let reference: Vec<Vec<f64>> = (0..refs)
+        .map(|i| (0..dims).map(|j| ((i * 13 + j * 7) as f64 * 0.011).sin()).collect())
+        .collect();
+    let query: Vec<Vec<f64>> = (0..queries)
+        .map(|i| (0..dims).map(|j| ((i * 5 + j * 29) as f64 * 0.017).cos()).collect())
+        .collect();
+    let kernel = DistanceKernel::fit(&reference);
+    Group {
+        name: format!("dist{queries}x{refs}d{dims}"),
+        baseline_ns: median_ns(reps, || {
+            for q in &query {
+                std::hint::black_box(kernel.naive_sq_distances_to(q));
+            }
+        }),
+        kernel_ns: median_ns(reps, || {
+            std::hint::black_box(kernel.sq_distances(&query));
+        }),
+    }
+}
+
+fn to_json(groups: &[Group]) -> String {
+    let mut out = String::from("{\n  \"threads\": 1,\n  \"unit\": \"ns/op (median)\",\n");
+    out.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.0}, \"kernel_ns\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            g.name,
+            g.baseline_ns,
+            g.kernel_ns,
+            g.speedup(),
+            if i + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    // Single-core measurement: set before the first kernel call.
+    std::env::set_var(exathlon_linalg::par::THREADS_ENV, "1");
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 5 } else { 15 };
+
+    println!("Dense-kernel benchmarks (single-threaded, {reps} reps, median):\n");
+    let groups = vec![
+        gemm_group(64, reps * 3),
+        gemm_group(128, reps),
+        gemm_group(256, reps),
+        distance_group(256, 512, 19, reps * 3),
+        distance_group(1024, 1024, 19, reps),
+    ];
+
+    println!("{:<18} {:>14} {:>14} {:>9}", "group", "baseline ns", "kernel ns", "speedup");
+    for g in &groups {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>8.2}x",
+            g.name,
+            g.baseline_ns,
+            g.kernel_ns,
+            g.speedup()
+        );
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_kernels.json");
+    std::fs::write(&path, to_json(&groups)).expect("write BENCH_kernels.json");
+    println!("\nWrote {}", path.display());
+}

@@ -4,6 +4,14 @@
 //! being explained; the original uses LARS/Lasso. This is the standard
 //! coordinate-descent solver with per-sample weights and soft
 //! thresholding, on standardized features.
+//!
+//! The design matrix is held feature-major (each feature one contiguous
+//! row), so the per-feature correlation and residual-update sweeps
+//! stream memory through the kernel layer's [`dot`]/[`axpy`] primitives
+//! instead of striding by the feature count.
+
+use exathlon_linalg::kernel::{axpy, dot};
+use exathlon_linalg::Matrix;
 
 /// Result of a Lasso fit.
 #[derive(Debug, Clone)]
@@ -51,31 +59,44 @@ pub fn weighted_lasso(
     let w_total: f64 = weights.iter().sum();
     assert!(w_total > 0.0, "weights sum to zero");
 
+    // Feature-major design (`d × n`): feature `j` is the contiguous row
+    // `xf.row(j)`. Every sweep below walks samples in the same ascending
+    // order as the row-major loops it replaces, so results are bitwise
+    // unchanged.
+    let mut xf = Matrix::zeros(d, n);
+    for (i, r) in x.iter().enumerate() {
+        for (j, &v) in r.iter().enumerate() {
+            xf[(j, i)] = v;
+        }
+    }
+
     // Weighted standardization of features and centering of y.
     let mut means = vec![0.0; d];
     let mut stds = vec![0.0; d];
     for j in 0..d {
-        let mu: f64 = x.iter().zip(weights).map(|(r, &w)| w * r[j]).sum::<f64>() / w_total;
+        let row = xf.row(j);
+        let mu = dot(row, weights) / w_total;
         let var: f64 =
-            x.iter().zip(weights).map(|(r, &w)| w * (r[j] - mu) * (r[j] - mu)).sum::<f64>()
-                / w_total;
+            row.iter().zip(weights).map(|(&v, &w)| w * (v - mu) * (v - mu)).sum::<f64>() / w_total;
         means[j] = mu;
         stds[j] = var.sqrt().max(1e-12);
     }
     let y_mean: f64 = y.iter().zip(weights).map(|(&v, &w)| w * v).sum::<f64>() / w_total;
 
-    // Standardized design (owned copy; LIME problems are small).
-    let xs: Vec<Vec<f64>> = x
-        .iter()
-        .map(|r| r.iter().zip(means.iter().zip(&stds)).map(|(&v, (m, s))| (v - m) / s).collect())
-        .collect();
+    // Standardize in place (owned copy; LIME problems are small).
+    for j in 0..d {
+        let (m, s) = (means[j], stds[j]);
+        for v in xf.row_mut(j) {
+            *v = (*v - m) / s;
+        }
+    }
     let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
 
     let mut beta = vec![0.0; d];
     let mut residual = yc.clone();
     // Per-feature weighted squared norms.
     let norms: Vec<f64> = (0..d)
-        .map(|j| xs.iter().zip(weights).map(|(r, &w)| w * r[j] * r[j]).sum::<f64>() / w_total)
+        .map(|j| xf.row(j).iter().zip(weights).map(|(&v, &w)| w * v * v).sum::<f64>() / w_total)
         .collect();
 
     let mut iterations = 0;
@@ -86,21 +107,23 @@ pub fn weighted_lasso(
             if norms[j] <= 1e-14 {
                 continue;
             }
+            let xj = xf.row(j);
+            let bj = beta[j];
             // rho = weighted correlation of feature j with the residual
             // (adding back its own contribution).
-            let rho: f64 = xs
+            let rho: f64 = xj
                 .iter()
                 .zip(&residual)
                 .zip(weights)
-                .map(|((r, &res), &w)| w * r[j] * (res + r[j] * beta[j]))
+                .map(|((&v, &res), &w)| w * v * (res + v * bj))
                 .sum::<f64>()
                 / w_total;
             let new_beta = soft_threshold(rho, lambda) / norms[j];
-            let delta = new_beta - beta[j];
+            let delta = new_beta - bj;
             if delta != 0.0 {
-                for ((r, res), _) in xs.iter().zip(residual.iter_mut()).zip(weights) {
-                    *res -= r[j] * delta;
-                }
+                // `res += (−delta)·xj` — IEEE negation is exact, so this
+                // matches the old `res -= xj·delta` bit for bit.
+                axpy(-delta, xj, &mut residual);
                 beta[j] = new_beta;
                 max_delta = max_delta.max(delta.abs());
             }

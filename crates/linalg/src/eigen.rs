@@ -118,26 +118,22 @@ pub fn covariance_matrix(data: &Matrix) -> Matrix {
         return Matrix::zeros(m, m);
     }
     let means: Vec<f64> = (0..m).map(|j| crate::stats::mean(&data.col(j))).collect();
-    let mut cov = Matrix::zeros(m, m);
-    for row in data.iter_rows() {
-        let dev: Vec<f64> =
-            row.iter().zip(&means).map(|(&x, &mu)| if x.is_nan() { 0.0 } else { x - mu }).collect();
-        for (i, &di) in dev.iter().enumerate() {
-            if di == 0.0 {
-                continue;
-            }
-            for (j, &dj) in dev.iter().enumerate().skip(i) {
-                cov[(i, j)] += di * dj;
-            }
+    // Deviation matrix (NaN features impute to zero deviation, as before),
+    // then one `DᵀD` GEMM: each covariance entry sums observations in
+    // ascending row order with a single accumulator — the same order the
+    // old rank-1 accumulation used, so finite results are bitwise
+    // unchanged — and the kernel fills both triangles symmetrically
+    // (`di·dj` commutes).
+    let mut dev = Matrix::zeros(n, m);
+    for (r, row) in data.iter_rows().enumerate() {
+        for ((d, &x), &mu) in dev.row_mut(r).iter_mut().zip(row).zip(&means) {
+            *d = if x.is_nan() { 0.0 } else { x - mu };
         }
     }
+    let mut cov = dev.transpose_matmul(&dev);
     let inv_n = 1.0 / n as f64;
-    for i in 0..m {
-        for j in i..m {
-            let val = cov[(i, j)] * inv_n;
-            cov[(i, j)] = val;
-            cov[(j, i)] = val;
-        }
+    for v in cov.as_mut_slice() {
+        *v *= inv_n;
     }
     cov
 }

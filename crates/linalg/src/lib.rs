@@ -7,7 +7,9 @@
 //!
 //! * a dense [`Matrix`] type with the usual kernels (multiply, transpose,
 //!   row/column views) used by the from-scratch neural networks in
-//!   `exathlon-nn`,
+//!   `exathlon-nn`, backed by the cache-blocked GEMM and batched
+//!   pairwise-distance kernels in [`kernel`] (naive references retained
+//!   there for regression tests and benchmarks),
 //! * a symmetric [eigensolver](eigen) (cyclic Jacobi) backing
 //!   [principal component analysis](pca), which the paper uses as the
 //!   `FS_pca` feature-extraction alternative (Table 8),
@@ -20,6 +22,7 @@
 //! no external BLAS or ndarray dependency.
 
 pub mod eigen;
+pub mod kernel;
 pub mod matrix;
 pub mod obs;
 pub mod par;

@@ -2,10 +2,12 @@
 //! workspace needs: multiplication, transpose, element-wise maps, row and
 //! column access, and a handful of constructors.
 //!
-//! The implementation favours clarity and cache-friendly inner loops (the
-//! `i-k-j` ordering in [`Matrix::matmul`]) over micro-optimized SIMD; the
-//! networks trained in this reproduction are small enough that this is
-//! comfortably fast.
+//! The compute-heavy entry points ([`Matrix::matmul`],
+//! [`Matrix::matmul_transpose`], [`Matrix::transpose_matmul`],
+//! [`Matrix::matvec`], [`Matrix::transpose_matvec`], [`Matrix::transpose`])
+//! delegate to the cache-blocked, register-tiled kernels in
+//! [`crate::kernel`]; the naive reference loops they replaced are retained
+//! there (`kernel::naive_*`) for regression tests and benchmarks.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
@@ -147,66 +149,68 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose, cache-tiled: both the read and the write stream
+    /// touch at most a `32 x 32` tile (8 KiB each) per pass instead of
+    /// striding the whole matrix, which is what made the plain double
+    /// loop (`kernel::naive_transpose`) an O(n²)-cache-miss hot spot in
+    /// PCA and LSTM backward. The output is a pure permutation of the
+    /// input — value-identical to the naive loop.
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        for ib in (0..self.rows).step_by(TILE) {
+            let i_end = (ib + TILE).min(self.rows);
+            for jb in (0..self.cols).step_by(TILE) {
+                let j_end = (jb + TILE).min(self.cols);
+                for i in ib..i_end {
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, &v) in row.iter().enumerate().take(j_end).skip(jb) {
+                        out.data[j * self.rows + i] = v;
+                    }
+                }
             }
         }
         out
     }
 
-    /// Matrix multiplication `self * other`.
-    ///
-    /// Uses the cache-friendly `i-k-j` loop ordering so the innermost loop
-    /// walks both operands sequentially.
+    /// Matrix multiplication `self * other` via the blocked GEMM kernel
+    /// ([`crate::kernel::matmul`]); bitwise identical to the retained
+    /// naive `i-k-j` loop for finite inputs.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul dimension mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernel::matmul(self, other)
+    }
+
+    /// `self * other^T` without materializing the transpose
+    /// ([`crate::kernel::matmul_transpose`]) — the dense-layer forward
+    /// shape `x · Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics unless `self.cols() == other.cols()`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        crate::kernel::matmul_transpose(self, other)
+    }
+
+    /// `self^T * other` without materializing the transpose
+    /// ([`crate::kernel::transpose_matmul`]) — the backprop shape
+    /// `dzᵀ · x` and the covariance shape `DᵀD`.
+    ///
+    /// # Panics
+    /// Panics unless `self.rows() == other.rows()`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        crate::kernel::transpose_matmul(self, other)
     }
 
     /// Multiply by a vector: `self * v`, returning a vector of length `rows`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect()
+        crate::kernel::matvec(self, v)
     }
 
     /// `self^T * v` without materializing the transpose.
     pub fn transpose_matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, v.len(), "transpose_matvec dimension mismatch");
-        let mut out = vec![0.0; self.cols];
-        for (row, &vi) in self.iter_rows().zip(v) {
-            if vi == 0.0 {
-                continue;
-            }
-            for (o, &r) in out.iter_mut().zip(row) {
-                *o += vi * r;
-            }
-        }
-        out
+        crate::kernel::transpose_matvec(self, v)
     }
 
     /// Element-wise map into a new matrix.
@@ -432,6 +436,25 @@ mod tests {
         let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let v = vec![1.0, -1.0, 2.0];
         assert_eq!(a.transpose_matvec(&v), a.transpose().matvec(&v));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_match_explicit_transpose() {
+        let a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64 * 0.13).sin());
+        let b = Matrix::from_fn(6, 7, |i, j| ((i + j * 3) as f64 * 0.21).cos());
+        assert_eq!(a.matmul_transpose(&b), a.matmul(&b.transpose()));
+        let c = Matrix::from_fn(5, 4, |i, j| ((i * 2 + j) as f64 * 0.17).sin());
+        assert_eq!(a.transpose_matmul(&c), a.transpose().matmul(&c));
+    }
+
+    #[test]
+    fn transpose_roundtrip_large_non_square() {
+        // Exercises the tiled path with ragged edge tiles.
+        let a = Matrix::from_fn(67, 41, |i, j| (i * 100 + j) as f64);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (41, 67));
+        assert_eq!(t[(40, 66)], a[(66, 40)]);
+        assert_eq!(t.transpose(), a);
     }
 
     #[test]

@@ -107,10 +107,19 @@ impl Pca {
         self.components.transpose_matvec(&centered)
     }
 
-    /// Project every row of `data` into component space.
+    /// Project every row of `data` into component space: one centering
+    /// pass, then a single `centered · components` GEMM — the same
+    /// ascending-`k` sums as [`Pca::transform_row`], so each row is
+    /// bitwise identical to the one-at-a-time path.
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        let rows: Vec<Vec<f64>> = data.iter_rows().map(|r| self.transform_row(r)).collect();
-        Matrix::from_rows(&rows)
+        assert_eq!(data.cols(), self.input_dim(), "PCA transform dimension mismatch");
+        let mut centered = Matrix::zeros(data.rows(), data.cols());
+        for (r, row) in data.iter_rows().enumerate() {
+            for ((c, &x), &mu) in centered.row_mut(r).iter_mut().zip(row).zip(&self.means) {
+                *c = if x.is_nan() { 0.0 } else { x - mu };
+            }
+        }
+        centered.matmul(&self.components)
     }
 
     /// Map a point in component space back to the original feature space

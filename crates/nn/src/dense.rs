@@ -58,7 +58,7 @@ impl Dense {
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "dense input dimension mismatch");
-        let mut z = x.matmul(&self.weight.value.transpose());
+        let mut z = x.matmul_transpose(&self.weight.value);
         for i in 0..z.rows() {
             let row = z.row_mut(i);
             for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
@@ -81,7 +81,7 @@ impl Dense {
         // dL/dz = dL/dy * act'(z)
         let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
         // dL/dW = dz^T x ; dL/db = column sums of dz
-        let dw = dz.transpose().matmul(x);
+        let dw = dz.transpose_matmul(x);
         self.weight.grad += &dw;
         for i in 0..dz.rows() {
             let row = dz.row(i);

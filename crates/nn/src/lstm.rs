@@ -94,9 +94,20 @@ impl Lstm {
         let mut caches = Vec::with_capacity(seq.len());
         for x in seq {
             assert_eq!(x.len(), self.in_dim, "sequence step dimension mismatch");
+        }
+        // The input-side gate pre-activations have no recurrent
+        // dependency, so all steps go through one GEMM: row `t` of `wxx`
+        // is `Wx·x_t`, with the same products in the same order as the
+        // per-step matvec (bitwise-identical results).
+        let wxx = if seq.is_empty() {
+            Matrix::zeros(0, GATES * h_dim)
+        } else {
+            Matrix::from_rows(seq).matmul_transpose(&self.wx.value)
+        };
+        for (t, x) in seq.iter().enumerate() {
             // z = Wx x + Wh h + b
-            let mut z = self.wx.value.matvec(x);
             let zh = self.wh.value.matvec(&h);
+            let mut z = wxx.row(t).to_vec();
             for (zi, (zhi, bi)) in z.iter_mut().zip(zh.iter().zip(self.b.value.as_slice())) {
                 *zi += zhi + bi;
             }

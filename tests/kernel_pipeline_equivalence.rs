@@ -1,0 +1,101 @@
+//! End-to-end numerics contract of the dense kernel layer: running the
+//! full pipeline with the batched GEMM/Gram-trick kernels produces the
+//! same detection results as running it with the retained naive
+//! reference paths (`EXATHLON_NAIVE_KERNELS=1`).
+//!
+//! Per-record scores are compared at the kernel layer's 1e-9 relative
+//! tolerance (the Gram expansion reassociates the distance sums);
+//! thresholds, predictions, and detection metrics must come out
+//! identical.
+//!
+//! The toggle is process-global, so the whole comparison lives in one
+//! test binary and the variable is restored before the test returns.
+
+use exathlon_core::config::{AdMethod, ExperimentConfig};
+use exathlon_core::evaluate::evaluate_detection;
+use exathlon_core::experiment::{run_pipeline, PipelineRun};
+use exathlon_core::model::TrainingBudget;
+use exathlon_linalg::kernel::NAIVE_KERNELS_ENV;
+use exathlon_sparksim::dataset::DatasetBuilder;
+use exathlon_tsmetrics::presets::AdLevel;
+
+/// The distance-kernel consumers plus one kernel-free control method.
+const METHODS: [AdMethod; 3] = [AdMethod::Knn, AdMethod::Lof, AdMethod::Mad];
+
+fn pipeline() -> PipelineRun {
+    let ds = DatasetBuilder::tiny(11).build();
+    let config = ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() };
+    run_pipeline(&ds, &config, &METHODS, TrainingBudget::Quick)
+}
+
+#[test]
+fn pipeline_metrics_identical_with_naive_kernels() {
+    // Batched (default) run first, then the naive reference run.
+    std::env::remove_var(NAIVE_KERNELS_ENV);
+    let batched = pipeline();
+    std::env::set_var(NAIVE_KERNELS_ENV, "1");
+    let naive = pipeline();
+    std::env::remove_var(NAIVE_KERNELS_ENV);
+
+    for (method, batched_run) in &batched.methods {
+        let naive_run = naive.method_run(*method);
+
+        // Per-record scores: within the kernel numerics contract.
+        assert_eq!(batched_run.scored.len(), naive_run.scored.len(), "{method:?}: test count");
+        for (a, b) in batched_run.scored.iter().zip(&naive_run.scored) {
+            assert_eq!(a.trace_id, b.trace_id, "{method:?}: trace order");
+            assert_eq!(a.labels, b.labels, "{method:?}: labels");
+            assert_eq!(a.scores.len(), b.scores.len(), "{method:?}: score count");
+            for (i, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+                let tol = 1e-9 * y.abs().max(1.0);
+                assert!(
+                    (x - y).abs() <= tol,
+                    "{method:?} trace {} score {i}: batched {x} vs naive {y}",
+                    a.trace_id
+                );
+            }
+        }
+
+        // Detection metrics: identical at every AD level and rule.
+        for level in AdLevel::ALL {
+            let from_batched = evaluate_detection(&batched_run.model, &batched_run.scored, level);
+            let from_naive = evaluate_detection(&naive_run.model, &naive_run.scored, level);
+            assert_eq!(from_batched.len(), from_naive.len(), "{method:?} {level:?}: rule count");
+            for (a, b) in from_batched.iter().zip(&from_naive) {
+                assert_eq!(a.rule, b.rule, "{method:?} {level:?}: rule order");
+                let ctx = format!("{method:?} {level:?} {}", a.rule);
+                assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "{ctx}: f1 {} vs {}", a.f1, b.f1);
+                assert_eq!(
+                    a.precision.to_bits(),
+                    b.precision.to_bits(),
+                    "{ctx}: precision {} vs {}",
+                    a.precision,
+                    b.precision
+                );
+                assert_eq!(
+                    a.recall.to_bits(),
+                    b.recall.to_bits(),
+                    "{ctx}: recall {} vs {}",
+                    a.recall,
+                    b.recall
+                );
+                assert_eq!(a.per_type_recall, b.per_type_recall, "{ctx}: per-type recall");
+            }
+        }
+
+        // Separation AUPRC rides the same scores (ranking-based, so a
+        // sub-1e-9 score wobble must not move it beyond tolerance).
+        for (scope, a, b) in [
+            ("trace", &batched_run.separation.trace, &naive_run.separation.trace),
+            ("app", &batched_run.separation.app, &naive_run.separation.app),
+            ("global", &batched_run.separation.global, &naive_run.separation.global),
+        ] {
+            assert!(
+                (a.average - b.average).abs() <= 1e-9 * b.average.abs().max(1.0),
+                "{method:?} {scope} separation: batched {} vs naive {}",
+                a.average,
+                b.average
+            );
+        }
+    }
+}
