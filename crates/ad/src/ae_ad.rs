@@ -7,13 +7,13 @@
 //! profile that makes AE strong at range detection (AD2) and
 //! exactly-once detection (AD4).
 
-use crate::scorer::{pooled_windows, AnomalyScorer};
+use crate::scorer::{pooled_windows, window_batch, AnomalyScorer};
 use exathlon_linalg::Matrix;
 use exathlon_nn::activation::Activation;
 use exathlon_nn::loss::row_squared_errors;
 use exathlon_nn::optimizer::Optimizer;
 use exathlon_nn::Mlp;
-use exathlon_tsdata::window::{record_scores_from_windows, window_starts};
+use exathlon_tsdata::window::{record_scores_from_windows, WindowSet};
 use exathlon_tsdata::TimeSeries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,7 +99,7 @@ impl AnomalyScorer for AutoencoderDetector {
     fn fit(&mut self, train: &[&TimeSeries]) {
         let _sp = exathlon_linalg::obs::span("train", "AE.fit");
         let windows = pooled_windows(train, self.config.window, self.config.max_windows);
-        let x = Matrix::from_rows(&windows);
+        let x = window_batch(&windows);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut model = Mlp::autoencoder(
             x.cols(),
@@ -125,11 +125,9 @@ impl AnomalyScorer for AutoencoderDetector {
         if ts.len() < w {
             return vec![0.0; ts.len()];
         }
-        let starts = window_starts(ts.len(), w, 1);
-        let windows: Vec<Vec<f64>> =
-            starts.iter().map(|&s| exathlon_tsdata::window::flatten_window(ts, s, w)).collect();
-        let scores = self.window_scores(&Matrix::from_rows(&windows));
-        record_scores_from_windows(ts.len(), w, &starts, &scores)
+        let windows = WindowSet::from_series(ts, w, 1);
+        let scores = self.window_scores(&window_batch(&windows));
+        record_scores_from_windows(ts.len(), w, &windows.starts(), &scores)
     }
 }
 

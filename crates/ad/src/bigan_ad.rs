@@ -5,11 +5,10 @@
 //! MSE and its discriminator feature loss (Zenati et al.), and record
 //! scores average over enclosing windows — smooth like the autoencoder's.
 
-use crate::scorer::{pooled_windows, AnomalyScorer};
-use exathlon_linalg::Matrix;
+use crate::scorer::{pooled_windows, window_batch, AnomalyScorer};
 use exathlon_nn::gan::BiGan;
 use exathlon_nn::optimizer::Optimizer;
-use exathlon_tsdata::window::{flatten_window, record_scores_from_windows, window_starts};
+use exathlon_tsdata::window::{record_scores_from_windows, WindowSet};
 use exathlon_tsdata::TimeSeries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,7 +71,7 @@ impl AnomalyScorer for BiGanDetector {
     fn fit(&mut self, train: &[&TimeSeries]) {
         let _sp = exathlon_linalg::obs::span("train", "BiGAN.fit");
         let windows = pooled_windows(train, self.config.window, self.config.max_windows);
-        let x = Matrix::from_rows(&windows);
+        let x = window_batch(&windows);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut model = BiGan::new(x.cols(), self.config.latent, self.config.hidden, &mut rng);
         model.fit(
@@ -92,10 +91,9 @@ impl AnomalyScorer for BiGanDetector {
         if ts.len() < w {
             return vec![0.0; ts.len()];
         }
-        let starts = window_starts(ts.len(), w, 1);
-        let windows: Vec<Vec<f64>> = starts.iter().map(|&s| flatten_window(ts, s, w)).collect();
-        let scores = model.outlier_scores(&Matrix::from_rows(&windows));
-        record_scores_from_windows(ts.len(), w, &starts, &scores)
+        let windows = WindowSet::from_series(ts, w, 1);
+        let scores = model.outlier_scores(&window_batch(&windows));
+        record_scores_from_windows(ts.len(), w, &windows.starts(), &scores)
     }
 }
 

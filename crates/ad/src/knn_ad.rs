@@ -7,6 +7,7 @@
 
 use crate::scorer::AnomalyScorer;
 use exathlon_linalg::kernel::{self, DistanceKernel};
+use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
 use exathlon_tsdata::TimeSeries;
 
 /// Configuration of the kNN scorer.
@@ -61,13 +62,27 @@ impl AnomalyScorer for KnnDetector {
     fn fit(&mut self, train: &[&TimeSeries]) {
         let _sp = exathlon_linalg::obs::span("train", "kNN.fit");
         assert!(!train.is_empty(), "no training traces");
-        let mut all: Vec<Vec<f64>> = Vec::new();
-        for ts in train {
-            all.extend(ts.records().map(|r| r.to_vec()));
+        if materialized_windows_mode() {
+            // Pre-dataplane path: clone every record, then clone the
+            // subsample survivors.
+            let mut all: Vec<Vec<f64>> = Vec::new();
+            for ts in train {
+                all.extend(ts.records().map(|r| r.to_vec()));
+            }
+            assert!(!all.is_empty(), "empty training traces");
+            let refs = exathlon_tsdata::sample::stride_subsample(&all, self.config.max_references);
+            let bytes = ((all.len() + refs.len()) * train[0].dims() * 8) as u64;
+            exathlon_linalg::obs::counter("dataplane.materialized_bytes", bytes);
+            self.kernel = DistanceKernel::fit(&refs);
+        } else {
+            // Size-1 windows are record views: the kernel fits straight
+            // from borrowed slices, zero copies before its own sanitize.
+            let mut refs = WindowSet::pooled(train, 1);
+            assert!(!refs.is_empty(), "empty training traces");
+            refs.subsample(self.config.max_references);
+            let views: Vec<&[f64]> = (0..refs.len()).map(|i| refs.window(i)).collect();
+            self.kernel = DistanceKernel::fit(&views);
         }
-        assert!(!all.is_empty(), "empty training traces");
-        let refs = exathlon_tsdata::sample::stride_subsample(&all, self.config.max_references);
-        self.kernel = DistanceKernel::fit(&refs);
     }
 
     fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {

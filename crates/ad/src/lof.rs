@@ -9,6 +9,7 @@
 use crate::scorer::AnomalyScorer;
 use exathlon_linalg::kernel::{self, DistanceKernel};
 use exathlon_linalg::Matrix;
+use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
 use exathlon_tsdata::TimeSeries;
 
 /// Configuration of the LOF detector.
@@ -113,14 +114,28 @@ impl AnomalyScorer for LofDetector {
     fn fit(&mut self, train: &[&TimeSeries]) {
         let _sp = exathlon_linalg::obs::span("train", "LOF.fit");
         assert!(!train.is_empty(), "no training traces");
-        let mut refs: Vec<Vec<f64>> = Vec::new();
-        for ts in train {
-            refs.extend(ts.records().map(|r| r.to_vec()));
+        if materialized_windows_mode() {
+            // Pre-dataplane path: clone every record, then clone the
+            // subsample survivors.
+            let mut refs: Vec<Vec<f64>> = Vec::new();
+            for ts in train {
+                refs.extend(ts.records().map(|r| r.to_vec()));
+            }
+            assert!(refs.len() > self.config.k, "need more than k training records");
+            let subsampled =
+                exathlon_tsdata::sample::stride_subsample(&refs, self.config.max_references);
+            let bytes = ((refs.len() + subsampled.len()) * train[0].dims() * 8) as u64;
+            exathlon_linalg::obs::counter("dataplane.materialized_bytes", bytes);
+            self.kernel = DistanceKernel::fit(&subsampled);
+        } else {
+            // Size-1 windows are record views: the kernel fits straight
+            // from borrowed slices, zero copies before its own sanitize.
+            let mut refs = WindowSet::pooled(train, 1);
+            assert!(refs.len() > self.config.k, "need more than k training records");
+            refs.subsample(self.config.max_references);
+            let views: Vec<&[f64]> = (0..refs.len()).map(|i| refs.window(i)).collect();
+            self.kernel = DistanceKernel::fit(&views);
         }
-        assert!(refs.len() > self.config.k, "need more than k training records");
-        let subsampled =
-            exathlon_tsdata::sample::stride_subsample(&refs, self.config.max_references);
-        self.kernel = DistanceKernel::fit(&subsampled);
 
         // One batched all-pairs distance matrix feeds both fit passes
         // (the old code recomputed every pass-2 distance from scratch).

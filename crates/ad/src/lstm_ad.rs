@@ -10,6 +10,7 @@
 use crate::scorer::AnomalyScorer;
 use exathlon_nn::lstm::Lstm;
 use exathlon_nn::optimizer::Optimizer;
+use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
 use exathlon_tsdata::TimeSeries;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -60,20 +61,6 @@ impl LstmDetector {
     pub fn new(config: LstmConfig) -> Self {
         Self { config, model: None }
     }
-
-    /// Build `(sequence, target)` forecast pairs from one trace.
-    fn pairs_of(ts: &TimeSeries, window: usize) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
-        if ts.len() <= window {
-            return Vec::new();
-        }
-        (0..ts.len() - window)
-            .map(|start| {
-                let seq: Vec<Vec<f64>> =
-                    (start..start + window).map(|i| ts.record(i).to_vec()).collect();
-                (seq, ts.record(start + window).to_vec())
-            })
-            .collect()
-    }
 }
 
 impl AnomalyScorer for LstmDetector {
@@ -84,25 +71,41 @@ impl AnomalyScorer for LstmDetector {
     fn fit(&mut self, train: &[&TimeSeries]) {
         let _sp = exathlon_linalg::obs::span("train", "LSTM.fit");
         assert!(!train.is_empty(), "no training traces");
-        let mut pairs = Vec::new();
-        for ts in train {
-            pairs.extend(Self::pairs_of(ts, self.config.window));
-        }
+        let mut pairs = WindowSet::forecast_pooled(train, self.config.window);
         assert!(!pairs.is_empty(), "training traces shorter than the window size");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        if pairs.len() > self.config.max_pairs {
-            pairs.shuffle(&mut rng);
-            pairs.truncate(self.config.max_pairs);
+        let total = pairs.len();
+        if total > self.config.max_pairs {
+            // Shuffling an index vector draws the same Fisher-Yates RNG
+            // values as shuffling the owned pairs did (the swap sequence
+            // depends only on length), so the cap keeps the same pairs and
+            // the downstream RNG stream is unchanged.
+            let mut order: Vec<usize> = (0..total).collect();
+            order.shuffle(&mut rng);
+            order.truncate(self.config.max_pairs);
+            pairs.select(&order);
         }
-        let dims = pairs[0].1.len();
+        let dims = pairs.dims();
         let mut model = Lstm::new(dims, self.config.hidden, dims, &mut rng);
-        model.fit(
-            &pairs,
-            self.config.epochs,
-            self.config.batch_size,
-            &Optimizer::adam(self.config.lr),
-            &mut rng,
-        );
+        let opt = Optimizer::adam(self.config.lr);
+        if materialized_windows_mode() {
+            // Pre-dataplane copies: every forecast pair was cloned record
+            // by record before the cap dropped most of them.
+            let owned: Vec<(Vec<f64>, Vec<f64>)> = (0..pairs.len())
+                .map(|i| (pairs.window(i).to_vec(), pairs.target(i).to_vec()))
+                .collect();
+            let bytes = (total * (pairs.flat_len() + dims) * 8) as u64;
+            exathlon_linalg::obs::counter("dataplane.materialized_bytes", bytes);
+            let views: Vec<(&[f64], &[f64])> =
+                owned.iter().map(|(s, t)| (&s[..], &t[..])).collect();
+            model.fit_flat(&views, self.config.epochs, self.config.batch_size, &opt, &mut rng);
+        } else {
+            // Windows and targets are contiguous views over the traces:
+            // the trainer reads them with zero staging copies.
+            let views: Vec<(&[f64], &[f64])> =
+                (0..pairs.len()).map(|i| (pairs.window(i), pairs.target(i))).collect();
+            model.fit_flat(&views, self.config.epochs, self.config.batch_size, &opt, &mut rng);
+        }
         self.model = Some(model);
     }
 
@@ -115,10 +118,22 @@ impl AnomalyScorer for LstmDetector {
         if n <= w {
             return scores;
         }
+        let materialized = materialized_windows_mode();
+        if materialized {
+            exathlon_linalg::obs::counter(
+                "dataplane.materialized_bytes",
+                ((n - w) * w * ts.dims() * 8) as u64,
+            );
+        }
         #[allow(clippy::needless_range_loop)] // t indexes both the series and scores
         for t in w..n {
-            let seq: Vec<Vec<f64>> = (t - w..t).map(|i| ts.record(i).to_vec()).collect();
-            let forecast = model.predict(&seq);
+            let forecast = if materialized {
+                // Pre-dataplane path: clone the window records per step.
+                let seq: Vec<Vec<f64>> = (t - w..t).map(|i| ts.record(i).to_vec()).collect();
+                model.predict(&seq)
+            } else {
+                model.predict_flat(ts.records_slice(t - w, w))
+            };
             let actual = ts.record(t);
             // Relative forecast error: squared error normalized by the
             // magnitude of the actual record (plus 1 to stabilize the

@@ -1,6 +1,13 @@
 //! The common interface of all AD methods: the outlier-score function
-//! `g: x -> R` of §5 step 3.
+//! `g: x -> R` of §5 step 3 — plus the window data plane shared by the
+//! window-based methods: pooled [`WindowSet`] views and the batch gather
+//! that assembles them into a `Matrix` with one `copy_from_slice` per
+//! window. `EXATHLON_MATERIALIZED_WINDOWS=1` switches back to the
+//! pre-dataplane owned-row path; both modes meter their copies through the
+//! `dataplane.gather_bytes` / `dataplane.materialized_bytes` obs counters.
 
+use exathlon_linalg::Matrix;
+use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
 use exathlon_tsdata::TimeSeries;
 
 /// A semi-supervised anomaly scorer: fit a normality model on normal
@@ -26,16 +33,61 @@ pub trait AnomalyScorer {
 /// Collect windows from several traces into one training pool, capped at
 /// `max_windows` by uniform striding (the cardinality-reduction lever the
 /// benchmark grants user algorithms, §4.3).
-pub fn pooled_windows(train: &[&TimeSeries], window: usize, max_windows: usize) -> Vec<Vec<f64>> {
+///
+/// Returns views, never owned rows: subsampling selects `(trace, start)`
+/// entries. In materialized mode the pre-dataplane copies (every stride-1
+/// window flattened, then the survivors cloned by the subsample) are
+/// performed for real — and metered — so the escape hatch reproduces the
+/// old path's cost, not just its values.
+pub fn pooled_windows<'a>(
+    train: &[&'a TimeSeries],
+    window: usize,
+    max_windows: usize,
+) -> WindowSet<'a> {
     assert!(!train.is_empty(), "no training traces");
-    let mut all = Vec::new();
-    for ts in train {
-        if ts.len() >= window {
-            all.extend(exathlon_tsdata::window::flattened_windows(ts, window, 1));
+    let mut ws = WindowSet::pooled(train, window);
+    assert!(!ws.is_empty(), "training traces shorter than the window size");
+    if materialized_windows_mode() {
+        let mut all = Vec::new();
+        for ts in train {
+            if ts.len() >= window {
+                all.extend(exathlon_tsdata::window::flattened_windows(ts, window, 1));
+            }
         }
+        let kept = exathlon_tsdata::sample::stride_subsample(&all, max_windows);
+        let bytes = ((all.len() + kept.len()) * ws.flat_len() * 8) as u64;
+        exathlon_linalg::obs::counter("dataplane.materialized_bytes", bytes);
+        std::hint::black_box(kept);
     }
-    assert!(!all.is_empty(), "training traces shorter than the window size");
-    exathlon_tsdata::sample::stride_subsample(&all, max_windows)
+    ws.subsample(max_windows);
+    ws
+}
+
+/// Assemble the batch matrix for a window set, reusing `out`'s buffer:
+/// one `copy_from_slice` per window on the default path, or the owned
+/// rows + `Matrix::from_rows` double copy of the pre-dataplane plane
+/// under `EXATHLON_MATERIALIZED_WINDOWS=1`. Both paths produce
+/// byte-identical matrices.
+pub fn gather_window_batch(ws: &WindowSet<'_>, out: &mut Matrix) {
+    let bytes = (ws.len() * ws.flat_len() * 8) as u64;
+    if materialized_windows_mode() {
+        let rows = ws.to_rows();
+        *out = Matrix::from_rows(&rows);
+        exathlon_linalg::obs::counter("dataplane.materialized_bytes", 2 * bytes);
+    } else {
+        out.reset(ws.len(), ws.flat_len());
+        for i in 0..ws.len() {
+            out.row_mut(i).copy_from_slice(ws.window(i));
+        }
+        exathlon_linalg::obs::counter("dataplane.gather_bytes", bytes);
+    }
+}
+
+/// [`gather_window_batch`] into a fresh matrix.
+pub fn window_batch(ws: &WindowSet<'_>) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    gather_window_batch(ws, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -54,7 +106,7 @@ mod tests {
         let b = ts(10);
         let w = pooled_windows(&[&a, &b], 3, 1000);
         assert_eq!(w.len(), 16); // 8 per trace
-        assert_eq!(w[0].len(), 3);
+        assert_eq!(w.flat_len(), 3);
     }
 
     #[test]
@@ -77,5 +129,43 @@ mod tests {
     fn all_short_panics() {
         let a = ts(2);
         let _ = pooled_windows(&[&a], 5, 100);
+    }
+
+    #[test]
+    fn pooled_windows_matches_old_owned_pool() {
+        // The view-based pool must select exactly the rows the
+        // pre-dataplane flatten + stride_subsample pool selected.
+        let a = ts(37);
+        let b = ts(19);
+        let ws = pooled_windows(&[&a, &b], 4, 12);
+        let mut all = Vec::new();
+        for t in [&a, &b] {
+            all.extend(exathlon_tsdata::window::flattened_windows(t, 4, 1));
+        }
+        let old = exathlon_tsdata::sample::stride_subsample(&all, 12);
+        assert_eq!(ws.len(), old.len());
+        for (i, row) in old.iter().enumerate() {
+            assert_eq!(ws.window(i), &row[..]);
+        }
+    }
+
+    #[test]
+    fn window_batch_matches_from_rows_bitwise() {
+        let a = ts(25);
+        let ws = pooled_windows(&[&a], 3, 9);
+        let gathered = window_batch(&ws);
+        let from_rows = Matrix::from_rows(&ws.to_rows());
+        assert_eq!(gathered.shape(), from_rows.shape());
+        for (x, y) in gathered.as_slice().iter().zip(from_rows.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The gather must also land bitwise-identically in a dirty
+        // reused buffer.
+        let mut reused = Matrix::filled(2, 17, f64::NAN);
+        gather_window_batch(&ws, &mut reused);
+        assert_eq!(reused.shape(), from_rows.shape());
+        for (x, y) in reused.as_slice().iter().zip(from_rows.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -1,0 +1,207 @@
+//! Records the zero-copy window data plane speedups behind the PR's
+//! acceptance criteria: view-based pooled windows + gathered batches
+//! against the materialized escape hatch (which re-enacts the old
+//! flatten/clone/`from_rows` copies for real), and the fused
+//! resample+rescale transform against the staged two-pass version.
+//!
+//! Runs single-threaded (`EXATHLON_THREADS=1` is forced up front) so the
+//! numbers measure the data plane, not the worker pool. Also meters the
+//! bytes both planes copy via the `dataplane.*` observability counters
+//! and reports the copy-reduction ratio. Writes
+//! `results/BENCH_dataplane.json`.
+
+use exathlon_ad::scorer::{pooled_windows, window_batch};
+use exathlon_tsdata::resample::resample_mean;
+use exathlon_tsdata::scale::{DynamicScaler, StandardScaler};
+use exathlon_tsdata::series::default_names;
+use exathlon_tsdata::window::{WindowSet, MATERIALIZED_WINDOWS_ENV};
+use exathlon_tsdata::TimeSeries;
+use std::time::Instant;
+
+/// The AE/LSTM shape on `FS_custom`: 19 features, window 8.
+const DIMS: usize = 19;
+const WINDOW: usize = 8;
+/// Training pool: 10 traces of 4,000 records; window cap as in AE fit.
+const TRACES: usize = 10;
+const TRACE_LEN: usize = 4_000;
+const MAX_WINDOWS: usize = 4_000;
+
+/// One measured baseline/data-plane pair.
+struct Group {
+    name: String,
+    baseline_ns: f64,
+    dataplane_ns: f64,
+}
+
+impl Group {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.dataplane_ns
+    }
+}
+
+/// Median wall time of `reps` calls, in ns/op (each call is one op).
+fn median_ns(reps: usize, mut op: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    // One warm-up call outside the sample.
+    op();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time `op` once per mode: under `EXATHLON_MATERIALIZED_WINDOWS=1`
+/// (baseline) and with the toggle cleared (data plane).
+fn mode_group(name: &str, reps: usize, mut op: impl FnMut()) -> Group {
+    std::env::set_var(MATERIALIZED_WINDOWS_ENV, "1");
+    let baseline_ns = median_ns(reps, &mut op);
+    std::env::remove_var(MATERIALIZED_WINDOWS_ENV);
+    let dataplane_ns = median_ns(reps, &mut op);
+    Group { name: name.to_string(), baseline_ns, dataplane_ns }
+}
+
+fn trace(len: usize, seed: usize) -> TimeSeries {
+    let mut values = Vec::with_capacity(len * DIMS);
+    for i in 0..len {
+        for j in 0..DIMS {
+            values.push((((i + seed * 131) * 13 + j * 7) as f64 * 0.011).sin());
+        }
+    }
+    TimeSeries::from_flat(default_names(DIMS), 0, values)
+}
+
+/// The full training-pool path of AE/BiGAN fit: pooled stride-1
+/// windows, subsampled to the cap, gathered into one batch matrix.
+fn run_pooled_batch(train: &[&TimeSeries]) {
+    let ws = pooled_windows(train, WINDOW, MAX_WINDOWS);
+    std::hint::black_box(window_batch(&ws));
+}
+
+/// The AE score path: every stride-1 window of a test trace gathered
+/// into one inference batch.
+fn run_score_batch(test: &TimeSeries) {
+    let ws = WindowSet::from_series(test, WINDOW, 1);
+    std::hint::black_box(window_batch(&ws));
+}
+
+/// Staged test-time transform: materialize the resampled intermediate,
+/// then rescale it (the pre-dataplane chain).
+fn run_staged_transform(test: &TimeSeries, scaler: &StandardScaler, l: usize) {
+    let mut dynamic = DynamicScaler::from_standard(scaler.clone(), 0.004);
+    let unscaled = resample_mean(test, l);
+    std::hint::black_box(dynamic.transform_series(&unscaled));
+}
+
+/// Fused test-time transform: resample and rescale in one streaming
+/// pass, no intermediate series.
+fn run_fused_transform(test: &TimeSeries, scaler: &StandardScaler, l: usize) {
+    let mut dynamic = DynamicScaler::from_standard(scaler.clone(), 0.004);
+    std::hint::black_box(dynamic.transform_series_resampled(test, l));
+}
+
+/// Meter the bytes one mode copies across the representative window
+/// workload (fit pool + gather, score batch), via the `dataplane.*`
+/// counters.
+fn measure_bytes(train: &[&TimeSeries], test: &TimeSeries, materialized: bool) -> (u64, u64) {
+    if materialized {
+        std::env::set_var(MATERIALIZED_WINDOWS_ENV, "1");
+    } else {
+        std::env::remove_var(MATERIALIZED_WINDOWS_ENV);
+    }
+    exathlon_linalg::obs::reset();
+    run_pooled_batch(train);
+    run_score_batch(test);
+    let report = exathlon_linalg::obs::report();
+    std::env::remove_var(MATERIALIZED_WINDOWS_ENV);
+    let get =
+        |name: &str| report.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+    (get("dataplane.gather_bytes"), get("dataplane.materialized_bytes"))
+}
+
+fn to_json(groups: &[Group], gather_bytes: u64, materialized_bytes: u64) -> String {
+    let reduction = materialized_bytes as f64 / gather_bytes.max(1) as f64;
+    let mut out = String::from("{\n  \"threads\": 1,\n  \"unit\": \"ns/op (median)\",\n");
+    out.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.0}, \"dataplane_ns\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            g.name,
+            g.baseline_ns,
+            g.dataplane_ns,
+            g.speedup(),
+            if i + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"bytes\": {{\"gather_bytes\": {gather_bytes}, \
+         \"materialized_bytes\": {materialized_bytes}, \"copy_reduction\": {reduction:.2}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    // Single-core measurement: set before the first kernel call.
+    std::env::set_var(exathlon_linalg::par::THREADS_ENV, "1");
+    // Counters are metered below; the timing loops run with profiling off
+    // so the data plane is measured without the recording overhead.
+    std::env::remove_var(exathlon_linalg::obs::PROFILE_ENV);
+    exathlon_linalg::obs::refresh();
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 5 } else { 15 };
+
+    let traces: Vec<TimeSeries> = (0..TRACES).map(|s| trace(TRACE_LEN, s)).collect();
+    let train: Vec<&TimeSeries> = traces.iter().collect();
+    let test = trace(TRACE_LEN, TRACES);
+    let scaler = StandardScaler::fit_pooled(&train);
+
+    println!("Window data-plane benchmarks (single-threaded, {reps} reps, median):\n");
+    let groups = vec![
+        mode_group("pooled_windows_batch", reps, || run_pooled_batch(&train)),
+        mode_group("ae_score_batch", reps * 3, || run_score_batch(&test)),
+        Group {
+            name: "fused_transform".to_string(),
+            baseline_ns: median_ns(reps * 3, || run_staged_transform(&test, &scaler, 5)),
+            dataplane_ns: median_ns(reps * 3, || run_fused_transform(&test, &scaler, 5)),
+        },
+    ];
+
+    println!("{:<22} {:>14} {:>14} {:>9}", "group", "baseline ns", "dataplane ns", "speedup");
+    for g in &groups {
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>8.2}x",
+            g.name,
+            g.baseline_ns,
+            g.dataplane_ns,
+            g.speedup()
+        );
+    }
+
+    // Byte metering: one workload per mode, profiling on.
+    std::env::set_var(exathlon_linalg::obs::PROFILE_ENV, "1");
+    exathlon_linalg::obs::refresh();
+    let (gather_bytes, _) = measure_bytes(&train, &test, false);
+    let (_, materialized_bytes) = measure_bytes(&train, &test, true);
+    std::env::remove_var(exathlon_linalg::obs::PROFILE_ENV);
+    exathlon_linalg::obs::refresh();
+    println!(
+        "\nbytes copied: gather {gather_bytes} vs materialized {materialized_bytes} \
+         ({:.2}x reduction)",
+        materialized_bytes as f64 / gather_bytes.max(1) as f64
+    );
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_dataplane.json");
+    std::fs::write(&path, to_json(&groups, gather_bytes, materialized_bytes))
+        .expect("write BENCH_dataplane.json");
+    println!("\nWrote {}", path.display());
+}

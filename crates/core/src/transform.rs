@@ -19,7 +19,7 @@ use exathlon_sparksim::deg::AnomalyType;
 use exathlon_sparksim::metrics::custom_feature_set;
 use exathlon_tsdata::resample::resample_mean;
 use exathlon_tsdata::scale::{DynamicScaler, StandardScaler};
-use exathlon_tsdata::transform::fill_missing;
+use exathlon_tsdata::window::materialized_windows_mode;
 use exathlon_tsdata::TimeSeries;
 use exathlon_tsmetrics::Range;
 
@@ -87,38 +87,39 @@ impl FittedTransform {
                 // PCA is fitted on the expanded raw metric layout of the
                 // training traces (NaN imputed to 0, as inactive-executor
                 // nulls), subsampled to keep the covariance fit tractable.
-                let mut rows: Vec<Vec<f64>> = Vec::new();
+                // The subsample indices are picked up front so only the
+                // selected records are ever gathered (NaN-filled straight
+                // into the fit matrix), instead of materializing and
+                // filling every expanded record first.
+                let total: usize = train.iter().map(|ts| ts.len()).sum();
+                let picks = exathlon_tsdata::sample::stride_indices(total, PCA_FIT_RECORDS);
+                let mut data = Matrix::zeros(picks.len(), PCA_INPUT_DIMS);
+                let mut next = 0usize;
+                let mut base_idx = 0usize;
                 for ts in train {
                     let expanded = exathlon_sparksim::metrics::expand_to_full(ts, PCA_INPUT_DIMS);
-                    let filled = fill_missing(&expanded, 0.0);
-                    rows.extend(filled.records().map(|r| r.to_vec()));
+                    while next < picks.len() && picks[next] < base_idx + expanded.len() {
+                        let rec = expanded.record(picks[next] - base_idx);
+                        for (o, &v) in data.row_mut(next).iter_mut().zip(rec) {
+                            *o = if v.is_nan() { 0.0 } else { v };
+                        }
+                        next += 1;
+                    }
+                    base_idx += expanded.len();
                 }
-                rows = exathlon_tsdata::sample::stride_subsample(&rows, PCA_FIT_RECORDS);
-                let data = Matrix::from_rows(&rows);
                 Some(Pca::fit(&data, ComponentSelection::Fixed(k)))
             }
         };
 
-        let this = Self {
-            feature_space: config.feature_space,
-            resample_l: l,
-            pca,
-            scaler: StandardScaler::fit(&TimeSeries::from_records(
-                exathlon_tsdata::series::default_names(1),
-                0,
-                &[vec![0.0]],
-            )),
-        };
         // Extract + resample all training traces, then fit the scaler on
-        // their concatenation.
-        let unscaled: Vec<TimeSeries> =
-            train.iter().map(|ts| this.extract_and_resample(ts)).collect();
-        let mut pooled = unscaled[0].clone();
-        for ts in &unscaled[1..] {
-            pooled.append(ts);
-        }
-        let scaler = StandardScaler::fit(&pooled);
-        let this = Self { scaler, ..this };
+        // the pool via streaming moments (no concatenated clone).
+        let unscaled: Vec<TimeSeries> = train
+            .iter()
+            .map(|ts| resample_mean(&Self::extract(config.feature_space, pca.as_ref(), ts), l))
+            .collect();
+        let refs: Vec<&TimeSeries> = unscaled.iter().collect();
+        let scaler = StandardScaler::fit_pooled(&refs);
+        let this = Self { feature_space: config.feature_space, resample_l: l, pca, scaler };
 
         let transformed = unscaled.iter().map(|ts| this.scaler.transform(ts)).collect();
         (this, transformed)
@@ -132,30 +133,61 @@ impl FittedTransform {
         }
     }
 
-    /// Feature extraction + resampling, no scaling.
-    fn extract_and_resample(&self, base: &TimeSeries) -> TimeSeries {
-        let extracted = match (&self.feature_space, &self.pca) {
+    /// Feature extraction, no resampling or scaling. An associated
+    /// function (not `&self`) so [`FittedTransform::fit`] can extract
+    /// before the scaler exists.
+    fn extract(feature_space: FeatureSpace, pca: Option<&Pca>, base: &TimeSeries) -> TimeSeries {
+        match (feature_space, pca) {
             (FeatureSpace::Custom, _) => custom_feature_set(base),
             (FeatureSpace::Pca(k), Some(pca)) => {
                 let expanded = exathlon_sparksim::metrics::expand_to_full(base, PCA_INPUT_DIMS);
-                let filled = fill_missing(&expanded, 0.0);
-                let rows: Vec<Vec<f64>> = filled.records().map(|r| pca.transform_row(r)).collect();
-                let names = (0..*k).map(|i| format!("pc{i}")).collect();
-                TimeSeries::from_records(names, base.start_tick(), &rows)
+                // NaN must be imputed to 0 *before* projecting — the
+                // projection's own NaN handling imputes in centered space,
+                // which is a different value. One reused scratch record
+                // replaces the whole-series filled clone.
+                let mut scratch = vec![0.0; expanded.dims()];
+                let mut values = Vec::with_capacity(expanded.len() * k);
+                for rec in expanded.records() {
+                    for (s, &v) in scratch.iter_mut().zip(rec) {
+                        *s = if v.is_nan() { 0.0 } else { v };
+                    }
+                    values.extend_from_slice(&pca.transform_row(&scratch));
+                }
+                let names = (0..k).map(|i| format!("pc{i}")).collect();
+                TimeSeries::from_flat(names, base.start_tick(), values)
             }
             (FeatureSpace::Pca(_), None) => unreachable!("PCA space requires a fitted PCA"),
-        };
+        }
+    }
+
+    /// Feature extraction + resampling, no scaling (staged path).
+    fn extract_and_resample(&self, base: &TimeSeries) -> TimeSeries {
+        let extracted = Self::extract(self.feature_space, self.pca.as_ref(), base);
         resample_mean(&extracted, self.resample_l)
     }
 
     /// Transform a test segment: extract, resample, dynamically rescale,
     /// and project the ground truth into record-index space.
+    ///
+    /// Resampling and rescaling run as one fused streaming pass; the
+    /// `EXATHLON_MATERIALIZED_WINDOWS` escape hatch restores the staged
+    /// path that materializes the resampled intermediate first (the two
+    /// are bitwise identical).
     pub fn apply_test(&self, segment: &TestSegment) -> TransformedTest {
-        let unscaled = self.extract_and_resample(&segment.series);
         // Dynamic test-time rescaling seeded from the training statistics:
         // clone per trace so traces do not contaminate each other.
         let mut dynamic = DynamicScaler::from_standard(self.scaler.clone(), DYNAMIC_ALPHA);
-        let series = dynamic.transform_series(&unscaled);
+        let series = if materialized_windows_mode() {
+            let unscaled = self.extract_and_resample(&segment.series);
+            exathlon_linalg::obs::counter(
+                "dataplane.materialized_bytes",
+                (unscaled.len() * unscaled.dims() * 8) as u64,
+            );
+            dynamic.transform_series(&unscaled)
+        } else {
+            let extracted = Self::extract(self.feature_space, self.pca.as_ref(), &segment.series);
+            dynamic.transform_series_resampled(&extracted, self.resample_l)
+        };
         self.finish_test(segment, series)
     }
 

@@ -278,6 +278,16 @@ impl Matrix {
         self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
     }
 
+    /// Reshape in place to `rows x cols`, reusing the existing allocation
+    /// (growing it once if needed). Cell contents are unspecified after
+    /// the call — every consumer must overwrite them, as the data-plane
+    /// gather paths do with one `copy_from_slice` per row.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Return a sub-matrix consisting of the given rows (copied).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
@@ -285,6 +295,17 @@ impl Matrix {
             data.extend_from_slice(self.row(i));
         }
         Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// [`Matrix::select_rows`] into a caller-reused buffer: one
+    /// `copy_from_slice` per selected row, no fresh allocation once `out`
+    /// has grown to the steady-state batch shape. Bitwise identical
+    /// contents to `select_rows`.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
     }
 
     /// Return a sub-matrix consisting of the given columns (copied).
@@ -488,6 +509,29 @@ mod tests {
         assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);
         let c = a.select_cols(&[1]);
         assert_eq!(c.col(0), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let a = Matrix::from_vec(4, 3, (1..=12).map(|x| x as f64).collect());
+        let mut out = Matrix::zeros(0, 0);
+        for indices in [vec![1, 3, 0], vec![2], vec![], vec![0, 0, 3]] {
+            a.select_rows_into(&indices, &mut out);
+            let fresh = a.select_rows(&indices);
+            assert_eq!(out.shape(), fresh.shape());
+            assert_eq!(out.as_slice(), fresh.as_slice());
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_reuses() {
+        let mut m = Matrix::zeros(4, 5);
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice().len(), 6);
+        m.reset(6, 2);
+        assert_eq!(m.shape(), (6, 2));
+        assert_eq!(m.as_slice().len(), 12);
     }
 
     #[test]

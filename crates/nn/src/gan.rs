@@ -76,14 +76,15 @@ impl BiGan {
 
     fn concat(x: &Matrix, z: &Matrix) -> Matrix {
         assert_eq!(x.rows(), z.rows(), "pair batch mismatch");
-        let mut rows = Vec::with_capacity(x.rows());
+        // Straight into the output buffer — the per-row `Vec` staging this
+        // replaced doubled the copy for every discriminator input batch.
+        let mut out = Matrix::zeros(x.rows(), x.cols() + z.cols());
         for i in 0..x.rows() {
-            let mut r = Vec::with_capacity(x.cols() + z.cols());
-            r.extend_from_slice(x.row(i));
-            r.extend_from_slice(z.row(i));
-            rows.push(r);
+            let row = out.row_mut(i);
+            row[..x.cols()].copy_from_slice(x.row(i));
+            row[x.cols()..].copy_from_slice(z.row(i));
         }
-        Matrix::from_rows(&rows)
+        out
     }
 
     fn split_grad(&self, g: &Matrix) -> (Matrix, Matrix) {
@@ -201,10 +202,12 @@ impl BiGan {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..data.rows()).collect();
         let mut last = GanLosses { d_loss: f64::NAN, eg_loss: f64::NAN };
+        // Reused minibatch scratch, as in `Mlp::fit`.
+        let mut xb = Matrix::zeros(0, 0);
         for _ in 0..epochs {
             order.shuffle(rng);
             for chunk in order.chunks(batch_size) {
-                let xb = data.select_rows(chunk);
+                data.select_rows_into(chunk, &mut xb);
                 last = self.train_batch(&xb, opt, rng);
             }
         }

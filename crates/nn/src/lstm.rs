@@ -87,24 +87,48 @@ impl Lstm {
         self.wx.count() + self.wh.count() + self.b.count() + self.wy.count() + self.by.count()
     }
 
-    fn forward_sequence(&self, seq: &[Vec<f64>]) -> (Vec<StepCache>, Vec<f64>) {
-        let h_dim = self.hidden;
-        let mut h = vec![0.0; h_dim];
-        let mut c = vec![0.0; h_dim];
-        let mut caches = Vec::with_capacity(seq.len());
+    /// Number of steps in a flat record-major sequence buffer.
+    ///
+    /// # Panics
+    /// Panics if `seq.len()` is not a multiple of the input dimension.
+    fn steps_of(&self, seq: &[f64]) -> usize {
+        if self.in_dim == 0 {
+            return 0;
+        }
+        assert_eq!(seq.len() % self.in_dim, 0, "sequence step dimension mismatch");
+        seq.len() / self.in_dim
+    }
+
+    /// Flatten an owned per-step sequence into one record-major buffer
+    /// (the representation the core forward/backward paths consume).
+    fn flatten_seq(&self, seq: &[Vec<f64>]) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(seq.len() * self.in_dim);
         for x in seq {
             assert_eq!(x.len(), self.in_dim, "sequence step dimension mismatch");
+            flat.extend_from_slice(x);
         }
+        flat
+    }
+
+    fn forward_sequence(&self, seq: &[f64]) -> (Vec<StepCache>, Vec<f64>) {
+        let h_dim = self.hidden;
+        let t_len = self.steps_of(seq);
+        let mut h = vec![0.0; h_dim];
+        let mut c = vec![0.0; h_dim];
+        let mut caches = Vec::with_capacity(t_len);
         // The input-side gate pre-activations have no recurrent
         // dependency, so all steps go through one GEMM: row `t` of `wxx`
         // is `Wx·x_t`, with the same products in the same order as the
-        // per-step matvec (bitwise-identical results).
-        let wxx = if seq.is_empty() {
+        // per-step matvec (bitwise-identical results). The flat buffer has
+        // exactly the row-major layout `from_rows` used to build, so the
+        // GEMM input — and everything downstream — is bitwise unchanged.
+        let wxx = if t_len == 0 {
             Matrix::zeros(0, GATES * h_dim)
         } else {
-            Matrix::from_rows(seq).matmul_transpose(&self.wx.value)
+            Matrix::from_vec(t_len, self.in_dim, seq.to_vec()).matmul_transpose(&self.wx.value)
         };
-        for (t, x) in seq.iter().enumerate() {
+        for t in 0..t_len {
+            let x = &seq[t * self.in_dim..(t + 1) * self.in_dim];
             // z = Wx x + Wh h + b
             let zh = self.wh.value.matvec(&h);
             let mut z = wxx.row(t).to_vec();
@@ -130,7 +154,7 @@ impl Lstm {
                 new_h[j] = o_g[j] * tanh_c[j];
             }
             caches.push(StepCache {
-                x: x.clone(),
+                x: x.to_vec(),
                 i: i_g,
                 f: f_g,
                 o: o_g,
@@ -151,12 +175,21 @@ impl Lstm {
 
     /// Predict the next record from a sequence of input records.
     pub fn predict(&self, seq: &[Vec<f64>]) -> Vec<f64> {
+        self.predict_flat(&self.flatten_seq(seq))
+    }
+
+    /// [`Lstm::predict`] on a flat record-major sequence buffer — e.g. a
+    /// zero-copy window view over a `TimeSeries`.
+    ///
+    /// # Panics
+    /// Panics if `seq.len()` is not a multiple of the input dimension.
+    pub fn predict_flat(&self, seq: &[f64]) -> Vec<f64> {
         self.forward_sequence(seq).1
     }
 
     /// Accumulate gradients for one `(sequence, target)` pair; returns the
     /// sample loss.
-    fn backward_sequence(&mut self, seq: &[Vec<f64>], target: &[f64]) -> f64 {
+    fn backward_sequence(&mut self, seq: &[f64], target: &[f64]) -> f64 {
         let (caches, y) = self.forward_sequence(seq);
         let h_dim = self.hidden;
         let t_len = caches.len();
@@ -215,6 +248,14 @@ impl Lstm {
     /// One minibatch step over `(sequence, target)` pairs; returns the mean
     /// sample loss. Gradients are clipped to L2 norm 5 before the update.
     pub fn train_batch(&mut self, batch: &[(&[Vec<f64>], &[f64])], opt: &Optimizer) -> f64 {
+        let flat: Vec<(Vec<f64>, &[f64])> =
+            batch.iter().map(|&(seq, target)| (self.flatten_seq(seq), target)).collect();
+        let views: Vec<(&[f64], &[f64])> = flat.iter().map(|(s, t)| (&s[..], *t)).collect();
+        self.train_batch_flat(&views, opt)
+    }
+
+    /// [`Lstm::train_batch`] on flat record-major sequence buffers.
+    pub fn train_batch_flat(&mut self, batch: &[(&[f64], &[f64])], opt: &Optimizer) -> f64 {
         assert!(!batch.is_empty(), "empty batch");
         self.zero_grad();
         let mut loss = 0.0;
@@ -246,6 +287,24 @@ impl Lstm {
         opt: &Optimizer,
         rng: &mut StdRng,
     ) -> Vec<f64> {
+        let flat: Vec<(Vec<f64>, &[f64])> =
+            data.iter().map(|(seq, target)| (self.flatten_seq(seq), &target[..])).collect();
+        let views: Vec<(&[f64], &[f64])> = flat.iter().map(|(s, t)| (&s[..], *t)).collect();
+        self.fit_flat(&views, epochs, batch_size, opt, rng)
+    }
+
+    /// [`Lstm::fit`] on flat record-major sequence buffers — the form the
+    /// zero-copy data plane feeds directly from window views. Consumes the
+    /// same RNG stream (one index shuffle per epoch) and performs the same
+    /// arithmetic as the owned-row path, so both are bitwise identical.
+    pub fn fit_flat(
+        &mut self,
+        data: &[(&[f64], &[f64])],
+        epochs: usize,
+        batch_size: usize,
+        opt: &Optimizer,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut history = Vec::with_capacity(epochs);
@@ -254,9 +313,8 @@ impl Lstm {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let batch: Vec<(&[Vec<f64>], &[f64])> =
-                    chunk.iter().map(|&i| (&data[i].0[..], &data[i].1[..])).collect();
-                epoch_loss += self.train_batch(&batch, opt);
+                let batch: Vec<(&[f64], &[f64])> = chunk.iter().map(|&i| data[i]).collect();
+                epoch_loss += self.train_batch_flat(&batch, opt);
                 batches += 1;
             }
             history.push(epoch_loss / batches.max(1) as f64);
@@ -303,7 +361,7 @@ mod tests {
         let target = vec![0.3, -0.4];
 
         lstm.zero_grad();
-        let _ = lstm.backward_sequence(&seq, &target);
+        let _ = lstm.backward_sequence(&seq.concat(), &target);
         let analytic_wx = lstm.wx.grad.clone();
         let analytic_wh = lstm.wh.grad.clone();
         let analytic_b = lstm.b.grad.clone();
@@ -409,5 +467,40 @@ mod tests {
     fn wrong_input_dim_panics() {
         let lstm = Lstm::new(3, 4, 3, &mut rng());
         let _ = lstm.predict(&[vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_flat_len_panics() {
+        let lstm = Lstm::new(3, 4, 3, &mut rng());
+        let _ = lstm.predict_flat(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn flat_apis_match_owned_bitwise() {
+        let data: Vec<(Vec<Vec<f64>>, Vec<f64>)> = (0..20)
+            .map(|i| {
+                let t = i as f64 * 0.4;
+                let seq = vec![vec![t.sin(), t.cos()], vec![(t + 0.4).sin(), (t + 0.4).cos()]];
+                (seq, vec![(t + 0.8).sin(), (t + 0.8).cos()])
+            })
+            .collect();
+        let flat: Vec<(Vec<f64>, Vec<f64>)> =
+            data.iter().map(|(s, t)| (s.concat(), t.clone())).collect();
+        let views: Vec<(&[f64], &[f64])> = flat.iter().map(|(s, t)| (&s[..], &t[..])).collect();
+
+        let mut owned = Lstm::new(2, 5, 2, &mut rng());
+        let mut flat_net = owned.clone();
+        let h_owned = owned.fit(&data, 4, 6, &Optimizer::adam(0.01), &mut rng());
+        let h_flat = flat_net.fit_flat(&views, 4, 6, &Optimizer::adam(0.01), &mut rng());
+        assert_eq!(h_owned, h_flat);
+
+        let probe = vec![vec![0.3, -0.2], vec![0.1, 0.9], vec![-0.5, 0.4]];
+        let a = owned.predict(&probe);
+        let b = flat_net.predict_flat(&probe.concat());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

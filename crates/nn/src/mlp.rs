@@ -159,13 +159,18 @@ impl Mlp {
         let n = inputs.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let mut history = Vec::with_capacity(epochs);
+        // Minibatch scratch reused across the whole run: batch assembly
+        // settles into two steady-state buffers instead of two fresh
+        // allocations per step (contents are bitwise identical).
+        let mut xb = Matrix::zeros(0, 0);
+        let mut tb = Matrix::zeros(0, 0);
         for _ in 0..epochs {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let xb = inputs.select_rows(chunk);
-                let tb = targets.select_rows(chunk);
+                inputs.select_rows_into(chunk, &mut xb);
+                targets.select_rows_into(chunk, &mut tb);
                 epoch_loss += self.train_batch(&xb, &tb, opt);
                 batches += 1;
             }

@@ -22,11 +22,34 @@ pub fn resample_mean(ts: &TimeSeries, l: usize) -> TimeSeries {
     if l == 1 {
         return ts.clone();
     }
-    let m = ts.dims();
     let n_out = ts.len().div_ceil(l);
-    let mut values = Vec::with_capacity(n_out * m);
+    let mut values = Vec::with_capacity(n_out * ts.dims());
+    resample_mean_into(ts, l, &mut |rec| values.extend_from_slice(rec));
+    TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+}
+
+/// Streaming form of [`resample_mean`]: feed each resampled record to
+/// `sink` as it completes, without materializing an intermediate
+/// [`TimeSeries`]. The fused transform chain stacks the dynamic scaler on
+/// top of this so resample + scale make a single pass over the flat
+/// buffer. Bitwise identical arithmetic to [`resample_mean`] — at `l == 1`
+/// the raw records are streamed untouched (the averaging loop would
+/// rewrite `-0.0` as `+0.0` via `0.0 + x`, where [`resample_mean`] clones).
+///
+/// # Panics
+/// Panics if `l == 0`.
+pub fn resample_mean_into(ts: &TimeSeries, l: usize, sink: &mut impl FnMut(&[f64])) {
+    assert!(l > 0, "resample interval must be positive");
+    if l == 1 {
+        for record in ts.records() {
+            sink(record);
+        }
+        return;
+    }
+    let m = ts.dims();
     let mut sums = vec![0.0; m];
     let mut counts = vec![0u32; m];
+    let mut out = vec![0.0; m];
     for (i, record) in ts.records().enumerate() {
         for (j, &x) in record.iter().enumerate() {
             if !x.is_nan() {
@@ -37,13 +60,13 @@ pub fn resample_mean(ts: &TimeSeries, l: usize) -> TimeSeries {
         let end_of_interval = (i + 1) % l == 0 || i + 1 == ts.len();
         if end_of_interval {
             for j in 0..m {
-                values.push(if counts[j] > 0 { sums[j] / counts[j] as f64 } else { f64::NAN });
+                out[j] = if counts[j] > 0 { sums[j] / counts[j] as f64 } else { f64::NAN };
                 sums[j] = 0.0;
                 counts[j] = 0;
             }
+            sink(&out);
         }
     }
-    TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
 }
 
 /// The cardinality factor `α = 1/l` for an interval length `l`.
@@ -104,6 +127,31 @@ mod tests {
         let r = resample_mean(&ts, 2);
         assert_eq!(r.value(0, 0), 1.0);
         assert!(r.value(1, 0).is_nan());
+    }
+
+    #[test]
+    fn streaming_resample_matches_materialized() {
+        let ts = TimeSeries::from_records(
+            default_names(2),
+            7,
+            &[
+                vec![1.0, -0.0],
+                vec![f64::NAN, 2.0],
+                vec![3.0, f64::NAN],
+                vec![5.0, -4.0],
+                vec![9.0, 0.5],
+            ],
+        );
+        for l in [1, 2, 3, 5, 9] {
+            let materialized = resample_mean(&ts, l);
+            let mut streamed: Vec<f64> = Vec::new();
+            resample_mean_into(&ts, l, &mut |r| streamed.extend_from_slice(r));
+            let (_, _, flat) = materialized.to_flat();
+            assert_eq!(flat.len(), streamed.len(), "l={l}");
+            for (a, b) in flat.iter().zip(&streamed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "l={l}");
+            }
+        }
     }
 
     #[test]

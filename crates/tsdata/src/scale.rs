@@ -108,14 +108,52 @@ pub struct StandardScaler {
 impl StandardScaler {
     /// Fit per-feature mean and population standard deviation.
     pub fn fit(train: &TimeSeries) -> Self {
-        let m = train.dims();
-        let mut means = Vec::with_capacity(m);
-        let mut stds = Vec::with_capacity(m);
-        for j in 0..m {
-            let col = train.feature_column(j);
-            means.push(exathlon_linalg_mean(&col));
-            stds.push(exathlon_linalg_std(&col));
+        Self::fit_pooled(&[train])
+    }
+
+    /// Fit on several traces pooled, via streaming moments — no
+    /// concatenated copy of the training set is ever materialized.
+    ///
+    /// Bitwise identical to `fit` on the concatenation: each feature's
+    /// accumulator receives its non-NaN values in exactly
+    /// record-over-concatenation order, the same addition sequence the
+    /// per-column path performs (pinned by a test below).
+    ///
+    /// # Panics
+    /// Panics if `traces` is empty or the traces disagree on features.
+    pub fn fit_pooled(traces: &[&TimeSeries]) -> Self {
+        assert!(!traces.is_empty(), "no series to fit on");
+        let m = traces[0].dims();
+        let mut sums = vec![0.0; m];
+        let mut ns = vec![0usize; m];
+        for ts in traces {
+            assert_eq!(ts.dims(), m, "pooled fit feature mismatch");
+            for r in ts.records() {
+                for (j, &x) in r.iter().enumerate() {
+                    if !x.is_nan() {
+                        sums[j] += x;
+                        ns[j] += 1;
+                    }
+                }
+            }
         }
+        let means: Vec<f64> =
+            sums.iter().zip(&ns).map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 }).collect();
+        let mut sq = vec![0.0; m];
+        for ts in traces {
+            for r in ts.records() {
+                for (j, &x) in r.iter().enumerate() {
+                    if !x.is_nan() {
+                        sq[j] += (x - means[j]) * (x - means[j]);
+                    }
+                }
+            }
+        }
+        let stds: Vec<f64> = sq
+            .iter()
+            .zip(&ns)
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { (s / n as f64).sqrt() })
+            .collect();
         Self { means, stds }
     }
 
@@ -148,41 +186,6 @@ impl AffineScale for StandardScaler {
     }
     fn spread(&self) -> &[f64] {
         &self.stds
-    }
-}
-
-// Local copies of mean/std so this crate stays dependency-free. They match
-// exathlon-linalg's NaN-skipping semantics (verified in tests).
-fn exathlon_linalg_mean(xs: &[f64]) -> f64 {
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for &x in xs {
-        if !x.is_nan() {
-            sum += x;
-            n += 1;
-        }
-    }
-    if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
-    }
-}
-
-fn exathlon_linalg_std(xs: &[f64]) -> f64 {
-    let m = exathlon_linalg_mean(xs);
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for &x in xs {
-        if !x.is_nan() {
-            sum += (x - m) * (x - m);
-            n += 1;
-        }
-    }
-    if n == 0 {
-        0.0
-    } else {
-        (sum / n as f64).sqrt()
     }
 }
 
@@ -225,8 +228,15 @@ impl DynamicScaler {
     /// Normalize one record with the *current* statistics, then fold the
     /// record into the running estimates.
     pub fn transform_and_update(&mut self, record: &[f64]) -> Vec<f64> {
-        assert_eq!(record.len(), self.means.len(), "record dimension mismatch");
         let mut out = Vec::with_capacity(record.len());
+        self.transform_and_update_into(record, &mut out);
+        out
+    }
+
+    /// [`Self::transform_and_update`] appending into a caller-owned buffer
+    /// — the allocation-free form the fused transform chain builds on.
+    pub fn transform_and_update_into(&mut self, record: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(record.len(), self.means.len(), "record dimension mismatch");
         for (j, &x) in record.iter().enumerate() {
             let std = self.vars[j].sqrt();
             if x.is_nan() {
@@ -243,7 +253,6 @@ impl DynamicScaler {
             self.means[j] += self.alpha * delta;
             self.vars[j] = (1.0 - self.alpha) * (self.vars[j] + self.alpha * delta * delta);
         }
-        out
     }
 
     /// Transform a whole series sequentially (statistics evolve as we go),
@@ -251,8 +260,21 @@ impl DynamicScaler {
     pub fn transform_series(&mut self, ts: &TimeSeries) -> TimeSeries {
         let mut values = Vec::with_capacity(ts.len() * ts.dims());
         for r in ts.records() {
-            values.extend(self.transform_and_update(r));
+            self.transform_and_update_into(r, &mut values);
         }
+        TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
+    }
+
+    /// Fused `resample_mean(ts, l)` + [`Self::transform_series`] in one
+    /// pass: each resampled record is scaled the moment its interval
+    /// closes, with no intermediate [`TimeSeries`] in between. Bitwise
+    /// identical to the staged pair (the resampled values and the scaler's
+    /// update sequence are the same).
+    pub fn transform_series_resampled(&mut self, ts: &TimeSeries, l: usize) -> TimeSeries {
+        let mut values = Vec::with_capacity(ts.len().div_ceil(l.max(1)) * ts.dims());
+        crate::resample::resample_mean_into(ts, l, &mut |rec| {
+            self.transform_and_update_into(rec, &mut values);
+        });
         TimeSeries::from_flat(ts.names().to_vec(), ts.start_tick(), values)
     }
 }
@@ -261,6 +283,42 @@ impl DynamicScaler {
 mod tests {
     use super::*;
     use crate::series::default_names;
+
+    // NaN-skipping column moments, matching exathlon-linalg's semantics —
+    // the pre-dataplane per-column fit algorithm, retained as the bitwise
+    // reference for `fit_pooled`'s streaming moments.
+    fn exathlon_linalg_mean(xs: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &x in xs {
+            if !x.is_nan() {
+                sum += x;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    fn exathlon_linalg_std(xs: &[f64]) -> f64 {
+        let m = exathlon_linalg_mean(xs);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &x in xs {
+            if !x.is_nan() {
+                sum += (x - m) * (x - m);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (sum / n as f64).sqrt()
+        }
+    }
 
     fn train() -> TimeSeries {
         TimeSeries::from_records(
@@ -355,5 +413,58 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn dynamic_bad_alpha_panics() {
         let _ = DynamicScaler::fit(&train(), 1.5);
+    }
+
+    #[test]
+    fn fit_pooled_matches_fit_on_concatenation_bitwise() {
+        let a = TimeSeries::from_records(
+            default_names(2),
+            0,
+            &[vec![0.1, f64::NAN], vec![-3.5, 10.0], vec![7.25, 0.3]],
+        );
+        let b = TimeSeries::from_records(
+            default_names(2),
+            9,
+            &[vec![f64::NAN, 2.0], vec![1e9, -2.0e-3]],
+        );
+        let mut concat = a.clone();
+        concat.append(&b);
+        let pooled = StandardScaler::fit_pooled(&[&a, &b]);
+        // Reference: the pre-dataplane per-column fit over the
+        // materialized concatenation.
+        for j in 0..concat.dims() {
+            let col = concat.feature_column(j);
+            assert_eq!(pooled.means()[j].to_bits(), exathlon_linalg_mean(&col).to_bits());
+            assert_eq!(pooled.stds()[j].to_bits(), exathlon_linalg_std(&col).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn fit_pooled_empty_panics() {
+        let _ = StandardScaler::fit_pooled(&[]);
+    }
+
+    #[test]
+    fn fused_resample_scale_matches_staged_bitwise() {
+        let ts = TimeSeries::from_records(
+            default_names(2),
+            3,
+            &[
+                vec![50.0, -0.0],
+                vec![f64::NAN, 48.0],
+                vec![52.0, 51.0],
+                vec![49.0, f64::NAN],
+                vec![47.0, 50.5],
+            ],
+        );
+        for l in [1, 2, 3, 7] {
+            let base = StandardScaler::fit(&train());
+            let mut staged_sc = DynamicScaler::from_standard(base.clone(), 0.25);
+            let staged = staged_sc.transform_series(&crate::resample::resample_mean(&ts, l));
+            let mut fused_sc = DynamicScaler::from_standard(base, 0.25);
+            let fused = fused_sc.transform_series_resampled(&ts, l);
+            assert!(staged.same_data(&fused), "l={l}");
+        }
     }
 }

@@ -111,6 +111,20 @@ impl TimeSeries {
         self.values.chunks_exact(self.dims().max(1))
     }
 
+    /// Records `[start, start + count)` as one contiguous row-major slice.
+    ///
+    /// Because storage is row-major, a stride-1 window of consecutive
+    /// records is exactly one such slice — the zero-copy substrate of the
+    /// window data plane ([`crate::window::WindowSet`]).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn records_slice(&self, start: usize, count: usize) -> &[f64] {
+        let m = self.dims();
+        &self.values[start * m..(start + count) * m]
+    }
+
     /// Append one record.
     ///
     /// # Panics
@@ -281,6 +295,20 @@ mod tests {
     #[should_panic(expected = "record length")]
     fn ragged_push_panics() {
         sample().push(&[1.0]);
+    }
+
+    #[test]
+    fn records_slice_is_contiguous() {
+        let ts = sample();
+        assert_eq!(ts.records_slice(1, 2), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(ts.records_slice(0, 0), &[] as &[f64]);
+        assert_eq!(ts.records_slice(0, 4).len(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn records_slice_out_of_bounds_panics() {
+        let _ = sample().records_slice(2, 3);
     }
 
     #[test]

@@ -7,7 +7,171 @@
 //! averages window scores back onto the records the window encloses —
 //! [`record_scores_from_windows`] implements exactly that.
 
+use crate::sample::stride_indices;
 use crate::series::TimeSeries;
+
+/// Environment variable selecting the pre-dataplane materialized-window
+/// path (`EXATHLON_MATERIALIZED_WINDOWS=1`): every stride-1 window is
+/// copied into an owned row before batching, exactly as before the
+/// zero-copy data plane. Kept as an escape hatch and for the e2e
+/// equivalence test (`tests/dataplane_equivalence.rs`).
+pub const MATERIALIZED_WINDOWS_ENV: &str = "EXATHLON_MATERIALIZED_WINDOWS";
+
+/// True when the materialized-window escape hatch is requested. Re-read
+/// from the environment on every call (like the naive-kernel toggle) so
+/// tests can flip it at runtime.
+pub fn materialized_windows_mode() -> bool {
+    std::env::var(MATERIALIZED_WINDOWS_ENV).map(|v| v.trim() == "1").unwrap_or(false)
+}
+
+/// A set of fixed-size windows as `(trace, start)` views over the
+/// contiguous row-major buffers of one or more [`TimeSeries`] — no
+/// per-window allocation. A stride-1 window of `size` consecutive records
+/// is one contiguous slice of the underlying buffer
+/// ([`TimeSeries::records_slice`]), so batch assembly needs exactly one
+/// `copy_from_slice` per window. Subsampling selects entries, not rows.
+#[derive(Debug, Clone)]
+pub struct WindowSet<'a> {
+    traces: Vec<&'a TimeSeries>,
+    /// `(trace index, start record)` per window, in enumeration order.
+    entries: Vec<(u32, u32)>,
+    size: usize,
+    dims: usize,
+    /// True when built by [`WindowSet::forecast_pooled`]: every window has
+    /// a one-step forecast target at `start + size`.
+    forecast: bool,
+}
+
+impl<'a> WindowSet<'a> {
+    fn build(
+        traces: &[&'a TimeSeries],
+        size: usize,
+        forecast: bool,
+        mut starts_of: impl FnMut(usize) -> Vec<usize>,
+    ) -> Self {
+        assert!(size > 0, "window size and stride must be positive");
+        let dims = traces.first().map(|ts| ts.dims()).unwrap_or(0);
+        let kept: Vec<&TimeSeries> = traces.to_vec();
+        let mut entries = Vec::new();
+        for (t, ts) in kept.iter().enumerate() {
+            assert_eq!(ts.dims(), dims, "window set feature mismatch");
+            let t32 = u32::try_from(t).expect("too many traces for a window set");
+            for s in starts_of(ts.len()) {
+                entries.push((t32, u32::try_from(s).expect("trace too long for a window set")));
+            }
+        }
+        Self { traces: kept, entries, size, dims, forecast }
+    }
+
+    /// All `[start, start + size)` windows of one series with the given
+    /// stride, in start order. View-equivalent of [`flattened_windows`].
+    pub fn from_series(ts: &'a TimeSeries, size: usize, stride: usize) -> Self {
+        Self::build(&[ts], size, false, |len| window_starts(len, size, stride))
+    }
+
+    /// All stride-1 windows of every trace long enough to hold one,
+    /// pooled in trace order. Traces shorter than `size` are skipped.
+    pub fn pooled(traces: &[&'a TimeSeries], size: usize) -> Self {
+        Self::build(traces, size, false, |len| {
+            if len < size {
+                Vec::new()
+            } else {
+                window_starts(len, size, 1)
+            }
+        })
+    }
+
+    /// All stride-1 forecast windows of every trace: starts `0..len-size`,
+    /// each paired with the target record at `start + size`. Traces with
+    /// no complete `(window, target)` pair are skipped. View-equivalent of
+    /// [`forecast_pairs`] with stride 1.
+    pub fn forecast_pooled(traces: &[&'a TimeSeries], size: usize) -> Self {
+        Self::build(traces, size, true, |len| {
+            if len <= size {
+                Vec::new()
+            } else {
+                (0..len - size).collect()
+            }
+        })
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the set holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records per window.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Features per record.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Length of one flattened window (`size * dims`).
+    pub fn flat_len(&self) -> usize {
+        self.size * self.dims
+    }
+
+    /// Window `i` as one contiguous record-major slice — bitwise identical
+    /// to [`flatten_window`] of the same range, with zero copies.
+    #[inline]
+    pub fn window(&self, i: usize) -> &'a [f64] {
+        let (t, s) = self.entries[i];
+        self.traces[t as usize].records_slice(s as usize, self.size)
+    }
+
+    /// Forecast target of window `i`: the record right after the window.
+    ///
+    /// # Panics
+    /// Panics unless the set was built by [`WindowSet::forecast_pooled`].
+    #[inline]
+    pub fn target(&self, i: usize) -> &'a [f64] {
+        assert!(self.forecast, "window set has no forecast targets");
+        let (t, s) = self.entries[i];
+        self.traces[t as usize].record(s as usize + self.size)
+    }
+
+    /// Start record of window `i` within its trace.
+    pub fn start(&self, i: usize) -> usize {
+        self.entries[i].1 as usize
+    }
+
+    /// Start indices of every window, in order (meaningful for
+    /// single-trace sets, where they feed [`record_scores_from_windows`]).
+    pub fn starts(&self) -> Vec<usize> {
+        self.entries.iter().map(|&(_, s)| s as usize).collect()
+    }
+
+    /// Keep exactly the windows at `indices`, in that order. Indices may
+    /// repeat.
+    pub fn select(&mut self, indices: &[usize]) {
+        self.entries = indices.iter().map(|&i| self.entries[i]).collect();
+    }
+
+    /// Evenly subsample down to at most `max` windows — the same
+    /// stride-selection rule as [`crate::sample::stride_subsample`], but
+    /// over `(trace, start)` entries instead of owned rows.
+    pub fn subsample(&mut self, max: usize) {
+        if self.entries.len() > max {
+            let picks = stride_indices(self.entries.len(), max);
+            self.select(&picks);
+        }
+    }
+
+    /// Materialize every window as an owned flattened row (the
+    /// pre-dataplane representation; used by the escape-hatch path).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.len()).map(|i| self.window(i).to_vec()).collect()
+    }
+}
 
 /// Iterator-free enumeration of the `[start, start + size)` record windows
 /// of a series with the given stride. Returns the start indices.
@@ -64,16 +228,30 @@ pub fn record_scores_from_windows(
     scores: &[f64],
 ) -> Vec<f64> {
     assert_eq!(window_starts.len(), scores.len(), "starts/scores length mismatch");
-    let mut sums = vec![0.0; len];
-    let mut counts = vec![0u32; len];
+    // Difference arrays + prefix sums: O(windows + len) instead of the
+    // O(windows * size) inner loop. Counts are integers, so they are exact;
+    // the running score sum reassociates the per-record additions, which is
+    // not bitwise identical to the old inner loop in general — the proptest
+    // in `tests/proptests.rs` pins it to the naive accumulation within
+    // tolerance, and both data-plane modes share this one implementation.
+    let mut sum_diff = vec![0.0; len + 1];
+    let mut count_diff = vec![0i64; len + 1];
     for (&start, &score) in window_starts.iter().zip(scores) {
-        for i in start..(start + size).min(len) {
-            sums[i] += score;
-            counts[i] += 1;
+        let end = (start + size).min(len);
+        if start >= end {
+            continue;
         }
+        sum_diff[start] += score;
+        sum_diff[end] -= score;
+        count_diff[start] += 1;
+        count_diff[end] -= 1;
     }
     let mut out = vec![f64::NAN; len];
-    for ((o, &sum), &count) in out.iter_mut().zip(&sums).zip(&counts) {
+    let mut sum = 0.0;
+    let mut count = 0i64;
+    for (o, (&ds, &dc)) in out.iter_mut().zip(sum_diff.iter().zip(&count_diff)) {
+        sum += ds;
+        count += dc;
         if count > 0 {
             *o = sum / count as f64;
         }
@@ -181,5 +359,72 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stride_panics() {
         let _ = window_starts(10, 2, 0);
+    }
+
+    #[test]
+    fn window_set_matches_flattened_windows() {
+        let ts = counting_series(7, 2);
+        let ws = WindowSet::from_series(&ts, 3, 2);
+        let owned = flattened_windows(&ts, 3, 2);
+        assert_eq!(ws.len(), owned.len());
+        assert_eq!(ws.flat_len(), 6);
+        for (i, row) in owned.iter().enumerate() {
+            assert_eq!(ws.window(i), &row[..]);
+        }
+        assert_eq!(ws.to_rows(), owned);
+        assert_eq!(ws.starts(), window_starts(7, 3, 2));
+    }
+
+    #[test]
+    fn window_set_pools_and_skips_short_traces() {
+        let a = counting_series(6, 2);
+        let b = counting_series(3, 2);
+        let ws = WindowSet::pooled(&[&a, &b], 5);
+        // Only `a` holds a 5-record window: starts 0 and 1.
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.window(0), &flatten_window(&a, 0, 5)[..]);
+        assert_eq!(ws.window(1), &flatten_window(&a, 1, 5)[..]);
+    }
+
+    #[test]
+    fn window_set_subsample_matches_stride_subsample() {
+        let ts = counting_series(40, 1);
+        let mut ws = WindowSet::from_series(&ts, 4, 1);
+        ws.subsample(10);
+        let owned = crate::sample::stride_subsample(&flattened_windows(&ts, 4, 1), 10);
+        assert_eq!(ws.len(), owned.len());
+        for (i, row) in owned.iter().enumerate() {
+            assert_eq!(ws.window(i), &row[..]);
+        }
+    }
+
+    #[test]
+    fn window_set_forecast_targets() {
+        let ts = counting_series(5, 2);
+        let ws = WindowSet::forecast_pooled(&[&ts], 2);
+        let pairs = forecast_pairs(&ts, 2, 1);
+        assert_eq!(ws.len(), pairs.len());
+        for (i, (input, target)) in pairs.iter().enumerate() {
+            assert_eq!(ws.window(i), &input[..]);
+            assert_eq!(ws.target(i), &target[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no forecast targets")]
+    fn non_forecast_target_panics() {
+        let ts = counting_series(5, 2);
+        let ws = WindowSet::from_series(&ts, 2, 1);
+        let _ = ws.target(0);
+    }
+
+    #[test]
+    fn window_set_select_reorders() {
+        let ts = counting_series(6, 1);
+        let mut ws = WindowSet::from_series(&ts, 2, 1);
+        ws.select(&[3, 0]);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.window(0), &[3.0, 4.0]);
+        assert_eq!(ws.window(1), &[0.0, 1.0]);
     }
 }

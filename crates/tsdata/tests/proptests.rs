@@ -1,10 +1,11 @@
 //! Property-based tests on the time-series transformations.
 
 use exathlon_tsdata::resample::resample_mean;
+use exathlon_tsdata::sample::stride_indices;
 use exathlon_tsdata::scale::{MinMaxScaler, StandardScaler};
 use exathlon_tsdata::series::{default_names, TimeSeries};
 use exathlon_tsdata::transform::{difference_features, fill_missing};
-use exathlon_tsdata::window::{record_scores_from_windows, window_starts};
+use exathlon_tsdata::window::{record_scores_from_windows, window_starts, WindowSet};
 use proptest::prelude::*;
 
 fn series(values: Vec<f64>) -> TimeSeries {
@@ -124,6 +125,89 @@ proptest! {
         let out = record_scores_from_windows(len, size, &starts, &scores);
         for v in out {
             prop_assert!((v - c).abs() < 1e-9);
+        }
+    }
+
+    /// Every window view of a `WindowSet` — and every `to_rows` row — is
+    /// bitwise identical to flattening the window's records by hand.
+    #[test]
+    fn windowset_views_match_flatten(
+        values in proptest::collection::vec(-1e6f64..1e6, 4..120),
+        dims in 1usize..4,
+        size in 1usize..6,
+        stride in 1usize..4,
+    ) {
+        let n = values.len() / dims;
+        prop_assume!(n >= size);
+        let records: Vec<Vec<f64>> =
+            (0..n).map(|i| values[i * dims..(i + 1) * dims].to_vec()).collect();
+        let ts = TimeSeries::from_records(default_names(dims), 0, &records);
+        let ws = WindowSet::from_series(&ts, size, stride);
+        let starts = window_starts(n, size, stride);
+        prop_assert_eq!(ws.len(), starts.len());
+        let rows = ws.to_rows();
+        for (i, &start) in starts.iter().enumerate() {
+            let flat: Vec<f64> =
+                records[start..start + size].iter().flatten().copied().collect();
+            prop_assert_eq!(ws.start(i), start);
+            prop_assert_eq!(ws.window(i).len(), flat.len());
+            for (a, b) in ws.window(i).iter().zip(&flat) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in rows[i].iter().zip(&flat) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// `WindowSet::subsample` keeps exactly the windows that
+    /// `stride_indices` selects over the entry list.
+    #[test]
+    fn windowset_subsample_matches_stride_indices(
+        len in 1usize..150, size in 1usize..8, max in 1usize..20,
+    ) {
+        prop_assume!(len >= size);
+        let records: Vec<Vec<f64>> = (0..len).map(|i| vec![i as f64]).collect();
+        let ts = TimeSeries::from_records(default_names(1), 0, &records);
+        let mut ws = WindowSet::from_series(&ts, size, 1);
+        let before = ws.starts();
+        ws.subsample(max);
+        let expect: Vec<usize> =
+            stride_indices(before.len(), max).into_iter().map(|i| before[i]).collect();
+        prop_assert_eq!(ws.starts(), expect);
+    }
+
+    /// The difference-array record scorer agrees with the naive
+    /// sum-over-covering-windows mean on every covered record.
+    #[test]
+    fn record_scores_match_naive_reference(
+        len in 2usize..80,
+        size in 1usize..10,
+        stride in 1usize..5,
+        pool in proptest::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let size = size.min(len);
+        let starts = window_starts(len, size, stride);
+        prop_assume!(!starts.is_empty());
+        let scores: Vec<f64> =
+            (0..starts.len()).map(|i| pool[i % pool.len()]).collect();
+        let out = record_scores_from_windows(len, size, &starts, &scores);
+        for (i, &got) in out.iter().enumerate() {
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            for (&s, &sc) in starts.iter().zip(&scores) {
+                if i >= s && i < s + size {
+                    sum += sc;
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                let expect = sum / cnt as f64;
+                prop_assert!(
+                    (got - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                    "record {}: {} vs naive {}", i, got, expect
+                );
+            }
         }
     }
 }

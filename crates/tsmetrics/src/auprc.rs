@@ -34,7 +34,10 @@ pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<PrPoint> {
     let scores: Vec<f64> =
         scores.iter().map(|&s| if s.is_nan() { f64::NEG_INFINITY } else { s }).collect();
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&i, &j| scores[j].partial_cmp(&scores[i]).expect("NaN sanitized"));
+    // total_cmp cannot fail on the sanitized scores and lets the sort be
+    // unstable: ties are consumed as one whole group below, so the order
+    // within a tie never affects the curve.
+    order.sort_unstable_by(|&i, &j| scores[j].total_cmp(&scores[i]));
 
     let mut curve = Vec::new();
     let mut tp = 0usize;

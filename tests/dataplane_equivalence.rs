@@ -1,0 +1,103 @@
+//! End-to-end numerics contract of the zero-copy window data plane:
+//! running the full pipeline on view-based windows, gathered batches,
+//! and the fused transform chain produces *bitwise identical* results
+//! to the materialized escape hatch (`EXATHLON_MATERIALIZED_WINDOWS=1`),
+//! which re-enacts the pre-dataplane copy behaviour.
+//!
+//! Unlike the kernel equivalence test (which tolerates the Gram
+//! expansion's reassociation), the data plane only moves bytes: gathered
+//! batches are byte-identical to the old row materialization, so every
+//! score, threshold, and metric must match to the bit.
+//!
+//! The toggle is process-global, so the whole comparison lives in one
+//! test binary and the variable is restored before the test returns.
+
+use exathlon_core::config::{AdMethod, ExperimentConfig};
+use exathlon_core::evaluate::evaluate_detection;
+use exathlon_core::experiment::{run_pipeline, PipelineRun};
+use exathlon_core::model::TrainingBudget;
+use exathlon_sparksim::dataset::DatasetBuilder;
+use exathlon_tsdata::window::MATERIALIZED_WINDOWS_ENV;
+use exathlon_tsmetrics::presets::AdLevel;
+
+/// The window-batch consumers (AE fit/score batches, LSTM forecast
+/// pairs) plus the record-view kNN path as a reference-set consumer.
+const METHODS: [AdMethod; 3] = [AdMethod::Ae, AdMethod::Lstm, AdMethod::Knn];
+
+fn pipeline() -> PipelineRun {
+    let ds = DatasetBuilder::tiny(11).build();
+    let config = ExperimentConfig { resample_interval: 2, ..ExperimentConfig::default() };
+    run_pipeline(&ds, &config, &METHODS, TrainingBudget::Quick)
+}
+
+#[test]
+fn pipeline_bitwise_identical_with_materialized_windows() {
+    // Zero-copy (default) run first, then the materialized re-enactment.
+    std::env::remove_var(MATERIALIZED_WINDOWS_ENV);
+    let zero_copy = pipeline();
+    std::env::set_var(MATERIALIZED_WINDOWS_ENV, "1");
+    let materialized = pipeline();
+    std::env::remove_var(MATERIALIZED_WINDOWS_ENV);
+
+    for (method, zc_run) in &zero_copy.methods {
+        let mat_run = materialized.method_run(*method);
+
+        // Per-record scores: bitwise identical, not merely close.
+        assert_eq!(zc_run.scored.len(), mat_run.scored.len(), "{method:?}: test count");
+        for (a, b) in zc_run.scored.iter().zip(&mat_run.scored) {
+            assert_eq!(a.trace_id, b.trace_id, "{method:?}: trace order");
+            assert_eq!(a.labels, b.labels, "{method:?}: labels");
+            assert_eq!(a.scores.len(), b.scores.len(), "{method:?}: score count");
+            for (i, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{method:?} trace {} score {i}: zero-copy {x} vs materialized {y}",
+                    a.trace_id
+                );
+            }
+        }
+
+        // Detection metrics: identical at every AD level and rule.
+        for level in AdLevel::ALL {
+            let from_zc = evaluate_detection(&zc_run.model, &zc_run.scored, level);
+            let from_mat = evaluate_detection(&mat_run.model, &mat_run.scored, level);
+            assert_eq!(from_zc.len(), from_mat.len(), "{method:?} {level:?}: rule count");
+            for (a, b) in from_zc.iter().zip(&from_mat) {
+                assert_eq!(a.rule, b.rule, "{method:?} {level:?}: rule order");
+                let ctx = format!("{method:?} {level:?} {}", a.rule);
+                assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "{ctx}: f1 {} vs {}", a.f1, b.f1);
+                assert_eq!(
+                    a.precision.to_bits(),
+                    b.precision.to_bits(),
+                    "{ctx}: precision {} vs {}",
+                    a.precision,
+                    b.precision
+                );
+                assert_eq!(
+                    a.recall.to_bits(),
+                    b.recall.to_bits(),
+                    "{ctx}: recall {} vs {}",
+                    a.recall,
+                    b.recall
+                );
+                assert_eq!(a.per_type_recall, b.per_type_recall, "{ctx}: per-type recall");
+            }
+        }
+
+        // Separation AUPRC rides the same scores, so it is bitwise too.
+        for (scope, a, b) in [
+            ("trace", &zc_run.separation.trace, &mat_run.separation.trace),
+            ("app", &zc_run.separation.app, &mat_run.separation.app),
+            ("global", &zc_run.separation.global, &mat_run.separation.global),
+        ] {
+            assert_eq!(
+                a.average.to_bits(),
+                b.average.to_bits(),
+                "{method:?} {scope} separation: zero-copy {} vs materialized {}",
+                a.average,
+                b.average
+            );
+        }
+    }
+}
