@@ -1,0 +1,295 @@
+//! Records the fused-training-step speedups behind the PR's acceptance
+//! criteria: SIMD elementwise kernels + reused workspaces against the
+//! naive escape hatch (`EXATHLON_NAIVE_ELEMENTWISE=1`), which re-enacts
+//! the old clone-heavy training loop for real.
+//!
+//! Runs single-threaded (`EXATHLON_THREADS=1` is forced up front) so the
+//! numbers measure the training step, not the worker pool. The two modes
+//! are *interleaved* rep-by-rep (naive, fused, naive, fused, ...) and
+//! the per-mode medians compared — on a shared one-core box, sequential
+//! per-mode runs pick up clock drift and throttling as phantom speedups
+//! or slowdowns; interleaving cancels them. A counting global allocator
+//! meters steady-state heap allocations per training step after warm-up
+//! — the fused path must be near-zero. Writes `results/BENCH_train.json`.
+
+use exathlon_linalg::elemwise::NAIVE_ELEMENTWISE_ENV;
+use exathlon_linalg::Matrix;
+use exathlon_nn::activation::Activation;
+use exathlon_nn::gan::BiGan;
+use exathlon_nn::lstm::Lstm;
+use exathlon_nn::mlp::Mlp;
+use exathlon_nn::optimizer::Optimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The AE/LSTM shape on `FS_custom`: 19 features, window 8.
+const DIMS: usize = 19;
+const WINDOW: usize = 8;
+/// Flattened AE window dimensionality.
+const AE_IN: usize = DIMS * WINDOW;
+/// Training-pool sizes, scaled down from the paper's 4,000-window cap so
+/// one epoch stays measurable in seconds on one core.
+const AE_SAMPLES: usize = 512;
+const LSTM_SAMPLES: usize = 128;
+const GAN_SAMPLES: usize = 256;
+const BATCH: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+/// Pass-through allocator that counts allocation events and bytes —
+/// the "allocation-free steady state" claim is measured, not asserted.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation events and bytes during `op`.
+fn count_allocs(mut op: impl FnMut()) -> (u64, u64) {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    op();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - calls0, ALLOC_BYTES.load(Ordering::Relaxed) - bytes0)
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+/// One measured naive/fused pair.
+struct Group {
+    name: String,
+    naive_ns: f64,
+    fused_ns: f64,
+}
+
+impl Group {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.fused_ns
+    }
+}
+
+/// Interleaved per-mode medians: one warm-up call per mode (sizes the
+/// workspaces), then `reps` alternating naive/fused timed pairs.
+fn mode_group(name: &str, reps: usize, mut op: impl FnMut()) -> Group {
+    assert!(reps > 0);
+    std::env::set_var(NAIVE_ELEMENTWISE_ENV, "1");
+    op();
+    std::env::remove_var(NAIVE_ELEMENTWISE_ENV);
+    op();
+    let mut naive = Vec::with_capacity(reps);
+    let mut fused = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        std::env::set_var(NAIVE_ELEMENTWISE_ENV, "1");
+        let start = Instant::now();
+        op();
+        naive.push(start.elapsed().as_nanos() as f64);
+        std::env::remove_var(NAIVE_ELEMENTWISE_ENV);
+        let start = Instant::now();
+        op();
+        fused.push(start.elapsed().as_nanos() as f64);
+    }
+    naive.sort_by(f64::total_cmp);
+    fused.sort_by(f64::total_cmp);
+    Group { name: name.to_string(), naive_ns: naive[reps / 2], fused_ns: fused[reps / 2] }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// Deterministic pseudo-window batch: `n` flattened windows of `dim`.
+fn sample_matrix(n: usize, dim: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(n, dim, |i, j| (((i + seed * 131) * 13 + j * 7) as f64 * 0.011).sin())
+}
+
+fn ae_net() -> Mlp {
+    // ReLU autoencoder: transcendental-free, so the epoch cost is the
+    // training-step machinery itself (GEMM epilogues, backprop buffers,
+    // optimizer) rather than a mode-identical libm floor.
+    let mut rng = StdRng::seed_from_u64(7);
+    Mlp::autoencoder(AE_IN, &[64], 10, Activation::Relu, &mut rng)
+}
+
+fn lstm_net() -> Lstm {
+    // The ad-crate forecaster shape: hidden 24 over the 19 raw features.
+    let mut rng = StdRng::seed_from_u64(11);
+    Lstm::new(DIMS, 24, DIMS, &mut rng)
+}
+
+fn gan_net() -> BiGan {
+    // The ad-crate BiGAN shape on flattened windows: latent 6, hidden 48.
+    let mut rng = StdRng::seed_from_u64(29);
+    BiGan::new(AE_IN, 6, 48, &mut rng)
+}
+
+/// LSTM forecast pairs: window-1 steps of input, last record as target.
+fn lstm_data(n: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+    (0..n)
+        .map(|s| {
+            let m = sample_matrix(WINDOW, DIMS, s);
+            let flat = m.as_slice();
+            (flat[..(WINDOW - 1) * DIMS].to_vec(), flat[(WINDOW - 1) * DIMS..].to_vec())
+        })
+        .collect()
+}
+
+fn to_json(groups: &[Group], allocs: &[(String, u64, u64, u64, u64)]) -> String {
+    let mut out =
+        String::from("{\n  \"threads\": 1,\n  \"unit\": \"ns/epoch (interleaved median)\",\n");
+    out.push_str("  \"groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"naive_ns\": {:.0}, \"fused_ns\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            g.name,
+            g.naive_ns,
+            g.fused_ns,
+            g.speedup(),
+            if i + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"steady_state_allocs_per_step\": [\n");
+    for (i, (name, fc, fb, nc, nb)) in allocs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"fused_allocs\": {fc}, \"fused_bytes\": {fb}, \
+             \"naive_allocs\": {nc}, \"naive_bytes\": {nb}}}{}\n",
+            if i + 1 < allocs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    // Single-core measurement: set before the first kernel call.
+    std::env::set_var(exathlon_linalg::par::THREADS_ENV, "1");
+    // Training counters are not needed here; keep profiling off so the
+    // loops measure arithmetic, not recording overhead.
+    std::env::remove_var(exathlon_linalg::obs::PROFILE_ENV);
+    exathlon_linalg::obs::refresh();
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 11 };
+
+    let opt = Optimizer::adam(1e-3);
+    let x = sample_matrix(AE_SAMPLES, AE_IN, 0);
+    let gx = sample_matrix(GAN_SAMPLES, AE_IN, 5);
+    let seqs = lstm_data(LSTM_SAMPLES);
+    let seq_views: Vec<(&[f64], &[f64])> = seqs.iter().map(|(s, t)| (&s[..], &t[..])).collect();
+
+    println!(
+        "Fused training-step benchmarks (single-threaded, {reps} interleaved reps, median):\n"
+    );
+
+    // Persistent networks: the workspaces warm up once, then every epoch
+    // reuses them — exactly the fit-loop steady state being measured.
+    let mut ae = ae_net();
+    let mut lstm = lstm_net();
+    let mut gan = gan_net();
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut grng = StdRng::seed_from_u64(31);
+    let groups = vec![
+        mode_group("ae_epoch", reps, || {
+            ae.fit(&x, &x, 1, BATCH, &opt, &mut rng);
+        }),
+        mode_group("lstm_epoch", reps, || {
+            lstm.fit_flat(&seq_views, 1, BATCH, &opt, &mut rng);
+        }),
+        mode_group("gan_epoch", reps, || {
+            gan.fit(&gx, 1, BATCH, &opt, &mut grng);
+        }),
+    ];
+
+    println!("{:<14} {:>14} {:>14} {:>9}", "group", "naive ns", "fused ns", "speedup");
+    for g in &groups {
+        println!("{:<14} {:>14.0} {:>14.0} {:>8.2}x", g.name, g.naive_ns, g.fused_ns, g.speedup());
+    }
+
+    // Steady-state allocations of one training step, after warm-up, per
+    // mode. The minibatch is prebuilt so the numbers isolate the step
+    // itself (forward, backward, optimizer), like the fit loop's
+    // steady state where batch scratch is already sized.
+    let xb = sample_matrix(BATCH, AE_IN, 3);
+    let gb = sample_matrix(BATCH, AE_IN, 4);
+    let step_batch: Vec<(&[f64], &[f64])> = seq_views[..BATCH.min(seq_views.len())].to_vec();
+    let mut allocs = Vec::new();
+    for (mode, toggle) in [("fused", false), ("naive", true)] {
+        if toggle {
+            std::env::set_var(NAIVE_ELEMENTWISE_ENV, "1");
+        } else {
+            std::env::remove_var(NAIVE_ELEMENTWISE_ENV);
+        }
+        let mut arng = StdRng::seed_from_u64(41);
+        for _ in 0..3 {
+            ae.train_batch(&xb, &xb, &opt); // warm the workspaces
+            lstm.train_batch_flat(&step_batch, &opt);
+            gan.train_batch(&gb, &opt, &mut arng);
+        }
+        let (ae_calls, ae_bytes) = count_allocs(|| {
+            ae.train_batch(&xb, &xb, &opt);
+        });
+        let (lstm_calls, lstm_bytes) = count_allocs(|| {
+            lstm.train_batch_flat(&step_batch, &opt);
+        });
+        let (gan_calls, gan_bytes) = count_allocs(|| {
+            gan.train_batch(&gb, &opt, &mut arng);
+        });
+        allocs.push((mode, ae_calls, ae_bytes, lstm_calls, lstm_bytes, gan_calls, gan_bytes));
+    }
+    std::env::remove_var(NAIVE_ELEMENTWISE_ENV);
+
+    println!("\nsteady-state allocations per training step (after warm-up):");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "mode", "ae allocs", "ae bytes", "lstm allocs", "lstm bytes", "gan allocs", "gan bytes"
+    );
+    for (mode, ac, ab, lc, lb, gc, gb) in &allocs {
+        println!("{mode:<8} {ac:>10} {ab:>12} {lc:>12} {lb:>12} {gc:>10} {gb:>12}");
+    }
+
+    // Reshape per-step rows into per-model fused/naive records.
+    let per_model: Vec<(String, u64, u64, u64, u64)> = vec![
+        ("ae_step".to_string(), allocs[0].1, allocs[0].2, allocs[1].1, allocs[1].2),
+        ("lstm_step".to_string(), allocs[0].3, allocs[0].4, allocs[1].3, allocs[1].4),
+        ("gan_step".to_string(), allocs[0].5, allocs[0].6, allocs[1].5, allocs[1].6),
+    ];
+
+    println!(
+        "\nworkspace bytes held: ae {} lstm {} gan {}",
+        ae.workspace_bytes(),
+        lstm.workspace_bytes(),
+        gan.workspace_bytes()
+    );
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_train.json");
+    std::fs::write(&path, to_json(&groups, &per_model)).expect("write BENCH_train.json");
+    println!("\nWrote {}", path.display());
+}

@@ -14,7 +14,6 @@ use exathlon_sparksim::deg::AnomalyType;
 use exathlon_tsmetrics::auprc::auprc;
 use exathlon_tsmetrics::presets::{evaluate_at_level, AdLevel};
 use exathlon_tsmetrics::range_pr::range_recall;
-use exathlon_tsmetrics::ranges::ranges_from_flags;
 use exathlon_tsmetrics::Range;
 
 /// A test trace with its outlier scores (AD inference output).
@@ -170,38 +169,77 @@ pub struct DetectionOutcome {
     pub per_type_recall: [Option<f64>; 6],
 }
 
-/// Pool the real/predicted ranges of all traces into one timeline by
-/// offsetting each trace with a gap, so that cross-trace ranges never
-/// interact.
-fn pooled_ranges(
-    tests: &[ScoredTest],
-    flags_per_test: &[Vec<bool>],
-) -> (Vec<Range>, Vec<Range>, Vec<(AnomalyType, Range)>) {
+/// The threshold-independent half of a detection evaluation, computed
+/// once per sweep instead of once per rule: the real anomaly ranges on
+/// the pooled timeline, their per-type subsets, and each trace's start
+/// offset. Traces are separated by a one-tick gap so cross-trace ranges
+/// never interact.
+#[derive(Debug, Clone)]
+struct PooledTruth {
+    /// All real anomaly ranges on the pooled timeline.
+    real: Vec<Range>,
+    /// Real ranges restricted to each anomaly type T1..T6, in pooled
+    /// order (the same order the old per-rule filter produced).
+    per_type: [Vec<Range>; 6],
+    /// Pooled-timeline start offset of each test trace.
+    offsets: Vec<u64>,
+}
+
+fn pooled_truth(tests: &[ScoredTest]) -> PooledTruth {
     let mut real = Vec::new();
-    let mut predicted = Vec::new();
-    let mut typed = Vec::new();
+    let mut per_type: [Vec<Range>; 6] = Default::default();
+    let mut offsets = Vec::with_capacity(tests.len());
     let mut offset = 0u64;
-    for (t, flags) in tests.iter().zip(flags_per_test) {
+    for t in tests {
+        offsets.push(offset);
         for (atype, r) in &t.typed_ranges {
             let shifted = Range::new(r.start + offset, r.end + offset);
             real.push(shifted);
-            typed.push((*atype, shifted));
-        }
-        for r in ranges_from_flags(flags, offset) {
-            predicted.push(r);
+            if let Some(i) = AnomalyType::ALL.iter().position(|a| a == atype) {
+                per_type[i].push(shifted);
+            }
         }
         offset += t.scores.len() as u64 + 1;
     }
-    (real, predicted, typed)
+    PooledTruth { real, per_type, offsets }
+}
+
+/// Predicted ranges for one threshold, derived directly from the scores:
+/// one range per maximal run of `score >= threshold` per trace, shifted
+/// to the pooled timeline. Exactly the ranges
+/// `ranges_from_flags(ThresholdRule::apply(threshold, scores), offset)`
+/// produces, without materializing a per-record flag vector per rule.
+fn predicted_ranges(tests: &[ScoredTest], offsets: &[u64], threshold: f64) -> Vec<Range> {
+    let mut predicted = Vec::new();
+    for (t, &offset) in tests.iter().zip(offsets) {
+        let mut open: Option<u64> = None;
+        for (i, &s) in t.scores.iter().enumerate() {
+            let tick = offset + i as u64;
+            match (s >= threshold, open) {
+                (true, None) => open = Some(tick),
+                (false, Some(start)) => {
+                    predicted.push(Range::new(start, tick));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            predicted.push(Range::new(start, offset + t.scores.len() as u64));
+        }
+    }
+    predicted
 }
 
 /// Evaluate a model's detection ability at one AD level across all 24
 /// thresholding rules.
 ///
-/// The rule grid fans out on the shared worker pool ([`crate::par`]);
-/// every rule evaluation is independent and output order matches
-/// `ThresholdRule::all_rules()`, so results are identical to the
-/// sequential sweep.
+/// The pooled ground truth (real ranges, typed subsets, trace offsets)
+/// is computed once and shared by every rule; only the predicted ranges
+/// depend on the threshold. The rule grid fans out on the shared worker
+/// pool ([`crate::par`]); every rule evaluation is independent and
+/// output order matches `ThresholdRule::all_rules()`, so results are
+/// identical to the sequential sweep.
 pub fn evaluate_detection(
     model: &TrainedModel,
     tests: &[ScoredTest],
@@ -209,10 +247,11 @@ pub fn evaluate_detection(
 ) -> Vec<DetectionOutcome> {
     let _stage = crate::obs::stage("threshold");
     let rules = ThresholdRule::all_rules();
+    let truth = pooled_truth(tests);
     crate::par::par_map(&rules, |rule| {
         let _sp = crate::obs::span("threshold", "rule");
         let threshold = rule.fit(&model.d2_scores);
-        detection_with_threshold(&rule.label(), threshold, tests, level)
+        detection_core(&rule.label(), threshold, tests, &truth, level)
     })
 }
 
@@ -224,15 +263,24 @@ pub fn detection_with_threshold(
     tests: &[ScoredTest],
     level: AdLevel,
 ) -> DetectionOutcome {
-    let flags: Vec<Vec<bool>> =
-        tests.iter().map(|t| ThresholdRule::apply(threshold, &t.scores)).collect();
-    let (real, predicted, typed) = pooled_ranges(tests, &flags);
-    let scores = evaluate_at_level(&real, &predicted, level);
+    detection_core(rule_label, threshold, tests, &pooled_truth(tests), level)
+}
+
+/// The per-rule half of a detection evaluation against a precomputed
+/// [`PooledTruth`].
+fn detection_core(
+    rule_label: &str,
+    threshold: f64,
+    tests: &[ScoredTest],
+    truth: &PooledTruth,
+    level: AdLevel,
+) -> DetectionOutcome {
+    let predicted = predicted_ranges(tests, &truth.offsets, threshold);
+    let scores = evaluate_at_level(&truth.real, &predicted, level);
     let mut per_type_recall = [None; 6];
-    for (i, t) in AnomalyType::ALL.iter().enumerate() {
-        let subset: Vec<Range> = typed.iter().filter(|(a, _)| a == t).map(|(_, r)| *r).collect();
+    for (i, subset) in truth.per_type.iter().enumerate() {
         if !subset.is_empty() {
-            per_type_recall[i] = Some(range_recall(&subset, &predicted, &level.recall_params()));
+            per_type_recall[i] = Some(range_recall(subset, &predicted, &level.recall_params()));
         }
     }
     DetectionOutcome {
@@ -382,10 +430,41 @@ mod tests {
             perfect_test(0, 0, AnomalyType::BurstyInput),
             perfect_test(1, 0, AnomalyType::BurstyInput),
         ];
-        let flags: Vec<Vec<bool>> = tests.iter().map(|t| t.labels.clone()).collect();
-        let (real, predicted, _) = pooled_ranges(&tests, &flags);
-        assert_eq!(real.len(), 2);
+        let truth = pooled_truth(&tests);
+        let predicted = predicted_ranges(&tests, &truth.offsets, 0.5);
+        assert_eq!(truth.real.len(), 2);
         assert_eq!(predicted.len(), 2);
-        assert!(real[1].start > real[0].end, "trace offsets must separate ranges");
+        assert!(truth.real[1].start > truth.real[0].end, "trace offsets must separate ranges");
+    }
+
+    /// The direct score-run derivation must produce exactly the ranges the
+    /// historical `ranges_from_flags(ThresholdRule::apply(..))` composition
+    /// did, for every threshold position — including all-above (trailing
+    /// open run), all-below (no ranges), and runs touching both ends.
+    #[test]
+    fn predicted_ranges_match_flags_composition() {
+        use exathlon_tsmetrics::ranges::ranges_from_flags;
+        let mut edge = perfect_test(2, 1, AnomalyType::CpuContention);
+        // Runs touching both ends of the trace plus an interior run.
+        for (i, s) in edge.scores.iter_mut().enumerate() {
+            *s = if i < 5 || (30..33).contains(&i) || i >= 95 { 1.0 } else { 0.0 };
+        }
+        let tests = vec![
+            perfect_test(0, 0, AnomalyType::BurstyInput),
+            random_test(1, 0, AnomalyType::StalledInput),
+            edge,
+        ];
+        let truth = pooled_truth(&tests);
+        for &threshold in &[-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            let direct = predicted_ranges(&tests, &truth.offsets, threshold);
+            let mut expected = Vec::new();
+            let mut offset = 0u64;
+            for t in &tests {
+                let flags = ThresholdRule::apply(threshold, &t.scores);
+                expected.extend(ranges_from_flags(&flags, offset));
+                offset += t.scores.len() as u64 + 1;
+            }
+            assert_eq!(direct, expected, "threshold {threshold}");
+        }
     }
 }

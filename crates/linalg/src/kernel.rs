@@ -233,6 +233,14 @@ fn isa() -> Isa {
     })
 }
 
+/// True when a SIMD family (AVX2 or AVX-512) survived detection and the
+/// `EXATHLON_ISA` cap. The elemwise layer ([`crate::elemwise`]) keys its
+/// 4-lane AVX2 paths off the same switch so one environment variable
+/// controls every vector path in the crate.
+pub(crate) fn simd_active() -> bool {
+    isa() != Isa::Scalar
+}
+
 /// SIMD micro-tiles. Only the `j`-contiguous variants ([`gemm::AB`],
 /// [`gemm::ATB`]) reach them — both index `B` as `b[k·ldb + j]`, so the
 /// tiles are variant-free; `A·Bᵀ` goes through an explicit blocked
@@ -449,69 +457,82 @@ fn gemm_serial<const V: u8>(
     let m_wide = m - m % tm;
     // Scratch for the packed `A` panel (`tm` output rows × `KC` depths,
     // depth-major): filled once per (kc, ir), reused across all `jr`
-    // tiles of the column block.
-    let mut apack = if isa == Isa::Scalar { Vec::new() } else { vec![0.0; tm * KC] };
-    for jc in (0..n).step_by(NC) {
-        let jc_end = (jc + NC).min(n);
-        let j_wide_end = jc + (jc_end - jc) - (jc_end - jc) % tn;
-        for kc in (0..kdim).step_by(KC) {
-            let kc_end = (kc + KC).min(kdim);
-            match isa {
-                Isa::Scalar => {
-                    scalar_block::<V>(a, lda, b, ldb, out, ldo, 0, m, jc, jc_end, kc, kc_end);
-                }
-                #[cfg(target_arch = "x86_64")]
-                Isa::Avx512 | Isa::Avx2 => {
-                    let kn = kc_end - kc;
-                    for ir in (0..m_wide).step_by(tm) {
-                        for (t, quad) in apack.chunks_exact_mut(tm).enumerate().take(kn) {
-                            for (r, slot) in quad.iter_mut().enumerate() {
-                                *slot = a[a_idx::<V>(ir + r, kc + t, lda)];
-                            }
-                        }
-                        for jr in (jc..j_wide_end).step_by(tn) {
-                            // SAFETY: the detected ISA guarantees the
-                            // feature; tile bounds hold by construction
-                            // (`ir + tm ≤ m`, `jr + tn ≤ n`, panel
-                            // holds `kn·tm` elements).
-                            unsafe {
-                                if isa == Isa::Avx512 {
-                                    wide::tile_8x16_avx512(
-                                        &apack, b, ldb, out, ldo, ir, jr, kc, kn,
-                                    );
-                                } else {
-                                    wide::tile_4x8_avx2(&apack, b, ldb, out, ldo, ir, jr, kc, kn);
+    // tiles of the column block. The buffer is thread-local so a
+    // steady-state training step performs no heap allocation; reuse is
+    // safe because the microkernel only reads panel depths written this
+    // pass (`t < kn`), never stale contents.
+    thread_local! {
+        static APACK: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    APACK.with(|cell| {
+        let mut apack = cell.borrow_mut();
+        if isa != Isa::Scalar && apack.len() < tm * KC {
+            apack.resize(tm * KC, 0.0);
+        }
+        for jc in (0..n).step_by(NC) {
+            let jc_end = (jc + NC).min(n);
+            let j_wide_end = jc + (jc_end - jc) - (jc_end - jc) % tn;
+            for kc in (0..kdim).step_by(KC) {
+                let kc_end = (kc + KC).min(kdim);
+                match isa {
+                    Isa::Scalar => {
+                        scalar_block::<V>(a, lda, b, ldb, out, ldo, 0, m, jc, jc_end, kc, kc_end);
+                    }
+                    #[cfg(target_arch = "x86_64")]
+                    Isa::Avx512 | Isa::Avx2 => {
+                        let kn = kc_end - kc;
+                        for ir in (0..m_wide).step_by(tm) {
+                            for (t, quad) in apack.chunks_exact_mut(tm).enumerate().take(kn) {
+                                for (r, slot) in quad.iter_mut().enumerate() {
+                                    *slot = a[a_idx::<V>(ir + r, kc + t, lda)];
                                 }
                             }
+                            for jr in (jc..j_wide_end).step_by(tn) {
+                                // SAFETY: the detected ISA guarantees the
+                                // feature; tile bounds hold by construction
+                                // (`ir + tm ≤ m`, `jr + tn ≤ n`, panel
+                                // holds `kn·tm` elements).
+                                unsafe {
+                                    if isa == Isa::Avx512 {
+                                        wide::tile_8x16_avx512(
+                                            &apack, b, ldb, out, ldo, ir, jr, kc, kn,
+                                        );
+                                    } else {
+                                        wide::tile_4x8_avx2(
+                                            &apack, b, ldb, out, ldo, ir, jr, kc, kn,
+                                        );
+                                    }
+                                }
+                            }
+                            if j_wide_end < jc_end {
+                                scalar_block::<V>(
+                                    a,
+                                    lda,
+                                    b,
+                                    ldb,
+                                    out,
+                                    ldo,
+                                    ir,
+                                    ir + tm,
+                                    j_wide_end,
+                                    jc_end,
+                                    kc,
+                                    kc_end,
+                                );
+                            }
                         }
-                        if j_wide_end < jc_end {
+                        if m_wide < m {
                             scalar_block::<V>(
-                                a,
-                                lda,
-                                b,
-                                ldb,
-                                out,
-                                ldo,
-                                ir,
-                                ir + tm,
-                                j_wide_end,
-                                jc_end,
-                                kc,
-                                kc_end,
+                                a, lda, b, ldb, out, ldo, m_wide, m, jc, jc_end, kc, kc_end,
                             );
                         }
                     }
-                    if m_wide < m {
-                        scalar_block::<V>(
-                            a, lda, b, ldb, out, ldo, m_wide, m, jc, jc_end, kc, kc_end,
-                        );
-                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    _ => unreachable!("non-scalar ISA detected on non-x86_64"),
                 }
-                #[cfg(not(target_arch = "x86_64"))]
-                _ => unreachable!("non-scalar ISA detected on non-x86_64"),
             }
         }
-    }
+    });
 }
 
 /// Dispatch a GEMM: serial for small problems, fixed-size row blocks of
@@ -631,6 +652,117 @@ pub fn transpose_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     Matrix::from_vec(m, n, data)
 }
 
+/// Drive a GEMM into a caller-reused output buffer: `out` is reshaped in
+/// place (reusing its allocation), zero-filled, and written with the same
+/// dispatch rule as [`gemm_dispatch`] — serial below the fan-out
+/// threshold, fixed `ROW_BLOCK` slabs above it. The slab copies in the
+/// parallel branch are the only transient allocations, and training-shape
+/// problems (tens of rows) never reach it.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style gemm_serial signature
+fn gemm_into<const V: u8>(
+    m: usize,
+    n: usize,
+    kdim: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    out: &mut Matrix,
+) {
+    crate::obs::counter("kernel.gemm", 1);
+    out.reset(m, n);
+    out.as_mut_slice().fill(0.0);
+    if m < 2 * ROW_BLOCK || m * n * kdim < 131_072 || crate::par::max_threads() <= 1 {
+        gemm_serial::<V>(m, n, kdim, a, lda, b, ldb, out.as_mut_slice(), n.max(1));
+        return;
+    }
+    crate::obs::counter("kernel.gemm_parallel", 1);
+    let blocks: Vec<(usize, usize)> =
+        (0..m).step_by(ROW_BLOCK).map(|s| (s, (s + ROW_BLOCK).min(m))).collect();
+    let slabs: Vec<Vec<f64>> = crate::par::par_map(&blocks, |&(start, end)| {
+        let rows = end - start;
+        let mut slab = vec![0.0; rows * n];
+        let a_block = if V == gemm::ATB { &a[start..] } else { &a[start * lda..] };
+        gemm_serial::<V>(rows, n, kdim, a_block, lda, b, ldb, &mut slab, n);
+        slab
+    });
+    let data = out.as_mut_slice();
+    let mut off = 0;
+    for slab in slabs {
+        data[off..off + slab.len()].copy_from_slice(&slab);
+        off += slab.len();
+    }
+}
+
+/// [`matmul`] into a caller-reused buffer — bitwise-identical contents,
+/// no fresh allocation once `out` has grown to the steady-state shape.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    gemm_into::<{ gemm::AB }>(m, n, k, a.as_slice(), k, b.as_slice(), n, out);
+}
+
+/// [`matmul_transpose`] into a caller-reused buffer. With a SIMD family
+/// active the kernel materializes `Bᵀ` — here it lands in the
+/// caller-reused `bt` scratch instead of a fresh allocation (untouched on
+/// the scalar path, which walks `A·Bᵀ` directly). Bitwise identical to
+/// [`matmul_transpose`] under every ISA.
+///
+/// # Panics
+/// Panics unless `a.cols() == b.cols()`.
+pub fn matmul_transpose_into(a: &Matrix, b: &Matrix, bt: &mut Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose dimension mismatch: {}x{} * ({}x{})^T",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    if isa() == Isa::Scalar {
+        gemm_into::<{ gemm::ABT }>(m, n, k, a.as_slice(), k, b.as_slice(), k, out);
+    } else {
+        b.transpose_into(bt);
+        gemm_into::<{ gemm::AB }>(m, n, k, a.as_slice(), k, bt.as_slice(), n, out);
+    }
+}
+
+/// [`transpose_matmul`] into a caller-reused buffer — bitwise-identical
+/// contents, no fresh allocation at steady state (the `dzᵀ·x` gradient
+/// shape of dense-layer backprop, accumulated without an intermediate).
+///
+/// # Panics
+/// Panics unless `a.rows() == b.rows()`.
+pub fn transpose_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "transpose_matmul dimension mismatch: ({}x{})^T * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (kdim, m) = a.shape();
+    let n = b.cols();
+    gemm_into::<{ gemm::ATB }>(m, n, kdim, a.as_slice(), m, b.as_slice(), n, out);
+}
+
 // ---------------------------------------------------------------------------
 // Vector kernels
 // ---------------------------------------------------------------------------
@@ -702,6 +834,75 @@ pub fn transpose_matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
         }
     }
     out
+}
+
+/// [`matvec`] into a caller-reused vector: `clear` + the identical
+/// quad-row loop, so contents are bitwise equal and the allocation is
+/// reused once it has grown to the steady-state length.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matvec_into(a: &Matrix, v: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.cols(), v.len(), "matvec dimension mismatch");
+    let (m, k) = a.shape();
+    let data = a.as_slice();
+    out.clear();
+    out.reserve(m);
+    let m_full = m - m % MR;
+    for i in (0..m_full).step_by(MR) {
+        let r0 = &data[i * k..(i + 1) * k];
+        let r1 = &data[(i + 1) * k..(i + 2) * k];
+        let r2 = &data[(i + 2) * k..(i + 3) * k];
+        let r3 = &data[(i + 3) * k..(i + 4) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+        for (j, &vj) in v.iter().enumerate() {
+            s0 += r0[j] * vj;
+            s1 += r1[j] * vj;
+            s2 += r2[j] * vj;
+            s3 += r3[j] * vj;
+        }
+        out.extend_from_slice(&[s0, s1, s2, s3]);
+    }
+    for i in m_full..m {
+        out.push(dot(&data[i * k..(i + 1) * k], v));
+    }
+}
+
+/// [`transpose_matvec`] into a caller-reused vector — bitwise-identical
+/// contents (same quad folds, same row-order adds), no fresh allocation
+/// at steady state.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn transpose_matvec_into(a: &Matrix, v: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.rows(), v.len(), "transpose_matvec dimension mismatch");
+    let (m, n) = a.shape();
+    let data = a.as_slice();
+    out.clear();
+    out.resize(n, 0.0);
+    let m_full = m - m % MR;
+    for i in (0..m_full).step_by(MR) {
+        let (v0, v1, v2, v3) = (v[i], v[i + 1], v[i + 2], v[i + 3]);
+        let r0 = &data[i * n..(i + 1) * n];
+        let r1 = &data[(i + 1) * n..(i + 2) * n];
+        let r2 = &data[(i + 2) * n..(i + 3) * n];
+        let r3 = &data[(i + 3) * n..(i + 4) * n];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = *o;
+            acc += v0 * r0[j];
+            acc += v1 * r1[j];
+            acc += v2 * r2[j];
+            acc += v3 * r3[j];
+            *o = acc;
+        }
+    }
+    for i in m_full..m {
+        let vi = v[i];
+        let row = &data[i * n..(i + 1) * n];
+        for (o, &r) in out.iter_mut().zip(row) {
+            *o += vi * r;
+        }
+    }
 }
 
 /// Plain ordered dot product — the shared inner product of the lasso

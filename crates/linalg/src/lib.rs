@@ -22,6 +22,7 @@
 //! no external BLAS or ndarray dependency.
 
 pub mod eigen;
+pub mod elemwise;
 pub mod kernel;
 pub mod matrix;
 pub mod obs;

@@ -213,6 +213,35 @@ impl Matrix {
         crate::kernel::transpose_matvec(self, v)
     }
 
+    /// [`Matrix::transpose`] into a caller-reused buffer: same cache-tiled
+    /// permutation, no fresh allocation once `out` has grown to the
+    /// steady-state shape. Every output cell is written, so the
+    /// unspecified contents left by [`Matrix::reset`] never leak through.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TILE: usize = 32;
+        out.reset(self.cols, self.rows);
+        for ib in (0..self.rows).step_by(TILE) {
+            let i_end = (ib + TILE).min(self.rows);
+            for jb in (0..self.cols).step_by(TILE) {
+                let j_end = (jb + TILE).min(self.cols);
+                for i in ib..i_end {
+                    let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, &v) in row.iter().enumerate().take(j_end).skip(jb) {
+                        out.data[j * self.rows + i] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copy another matrix into this one, reusing the allocation
+    /// (`reset` + one `copy_from_slice`) — the workspace-staging
+    /// replacement for `x.clone()` in the training hot loops.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.reset(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
@@ -318,6 +347,14 @@ impl Matrix {
             }
         }
         Matrix { rows: self.rows, cols: indices.len(), data }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the placeholder shape of workspace
+    /// buffers before their first `reset`.
+    fn default() -> Self {
+        Self::zeros(0, 0)
     }
 }
 

@@ -1,0 +1,173 @@
+//! Property-based regression tests for the fused elementwise layer and
+//! the `*_into` GEMM variants: every fused/SIMD path must be bitwise
+//! identical to its retained naive reference across arbitrary shapes —
+//! including degenerate ones (empty buffers, zero rows, zero cols) —
+//! and across special values (±0, subnormals, NaN, ±∞ where the
+//! contract covers them).
+
+use exathlon_linalg::elemwise::{
+    self, naive_accumulate, naive_act_backward, naive_adam_update, naive_axpy, naive_bias_act,
+    naive_outer_acc, naive_scale, naive_sgd_update, Act,
+};
+use exathlon_linalg::kernel;
+use exathlon_linalg::Matrix;
+use proptest::prelude::*;
+
+const ACTS: [Act; 5] = [Act::Relu, Act::LeakyRelu, Act::Tanh, Act::Sigmoid, Act::Identity];
+
+/// Values laced with signed zeros and subnormals — the cases where a
+/// branch-shaped SIMD rewrite (blendv vs `if`) could drift from the
+/// scalar expression without a plain-magnitude test noticing.
+fn arb_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        -1e-3f64..1e-3,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE / 2.0),
+        Just(-f64::MIN_POSITIVE / 2.0),
+    ]
+}
+
+fn arb_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(arb_value(), 0..max_len)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// `bias_act` (SIMD or not) matches the scalar reference bitwise for
+    /// every activation, including empty and single-column shapes.
+    #[test]
+    fn bias_act_is_bitwise_naive(rows in 0usize..12, cols in 0usize..20,
+                                 seed in proptest::collection::vec(arb_value(), 0..260)) {
+        prop_assume!(seed.len() >= rows * cols + cols);
+        let bias = &seed[..cols];
+        for act in ACTS {
+            let mut fast = seed[cols..cols + rows * cols].to_vec();
+            let mut slow = fast.clone();
+            elemwise::bias_act(&mut fast, rows, cols, bias, act);
+            naive_bias_act(&mut slow, rows, cols, bias, act);
+            prop_assert_eq!(bits(&fast), bits(&slow), "act {:?}", act);
+        }
+    }
+
+    /// `act_backward` matches the scalar derivative-then-multiply pair
+    /// bitwise for every activation.
+    #[test]
+    fn act_backward_is_bitwise_naive(y in arb_vec(64), seed in arb_vec(64)) {
+        prop_assume!(seed.len() >= y.len());
+        let grad = &seed[..y.len()];
+        for act in ACTS {
+            let mut fast = vec![0.0; y.len()];
+            let mut slow = vec![0.0; y.len()];
+            elemwise::act_backward(&y, grad, &mut fast, act);
+            naive_act_backward(&y, grad, &mut slow, act);
+            prop_assert_eq!(bits(&fast), bits(&slow), "act {:?}", act);
+        }
+    }
+
+    /// `accumulate`, `axpy` and `scale` match their scalar loops bitwise.
+    #[test]
+    fn vector_ops_are_bitwise_naive(x in arb_vec(96), seed in arb_vec(96), alpha in arb_value()) {
+        prop_assume!(seed.len() >= x.len());
+        let y0 = &seed[..x.len()];
+
+        let mut fast = y0.to_vec();
+        let mut slow = y0.to_vec();
+        elemwise::accumulate(&mut fast, &x);
+        naive_accumulate(&mut slow, &x);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+
+        let mut fast = y0.to_vec();
+        let mut slow = y0.to_vec();
+        elemwise::axpy(alpha, &x, &mut fast);
+        naive_axpy(alpha, &x, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+
+        let mut fast = x.clone();
+        let mut slow = x.clone();
+        elemwise::scale(&mut fast, alpha);
+        naive_scale(&mut slow, alpha);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// `outer_acc` matches the scalar rank-1 accumulation bitwise,
+    /// including the `a[i] == 0.0` row-skip (which must also skip for
+    /// `-0.0`, like `Matrix::outer`).
+    #[test]
+    fn outer_acc_is_bitwise_naive(a in arb_vec(16), seed in arb_vec(16)) {
+        let b = seed;
+        let mut fast = vec![0.1f64; a.len() * b.len()];
+        let mut slow = fast.clone();
+        elemwise::outer_acc(&a, &b, &mut fast);
+        naive_outer_acc(&a, &b, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// The fused SGD and Adam updates match the scalar references
+    /// bitwise, moments included, across step counts.
+    #[test]
+    fn optimizer_updates_are_bitwise_naive(value in arb_vec(80), seed in arb_vec(80),
+                                           lr in 1e-5f64..0.5, t in 1u64..200) {
+        prop_assume!(seed.len() >= value.len());
+        let grad = &seed[..value.len()];
+
+        let mut fast = value.clone();
+        let mut slow = value.clone();
+        elemwise::sgd_update(&mut fast, grad, lr);
+        naive_sgd_update(&mut slow, grad, lr);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+
+        let (mut fv, mut fm, mut fvv) = (value.clone(), vec![0.01; value.len()], vec![0.02; value.len()]);
+        let (mut sv, mut sm, mut svv) = (value.clone(), fm.clone(), fvv.clone());
+        elemwise::adam_update(&mut fv, grad, &mut fm, &mut fvv, lr, 0.9, 0.999, 1e-8, t);
+        naive_adam_update(&mut sv, grad, &mut sm, &mut svv, lr, 0.9, 0.999, 1e-8, t);
+        prop_assert_eq!(bits(&fv), bits(&sv), "value");
+        prop_assert_eq!(bits(&fm), bits(&sm), "first moment");
+        prop_assert_eq!(bits(&fvv), bits(&svv), "second moment");
+    }
+
+    /// The workspace-reusing `*_into` GEMM/matvec variants are bitwise
+    /// identical to their allocating counterparts even when the output
+    /// buffers arrive dirty and wrongly shaped.
+    #[test]
+    fn into_variants_match_allocating_bitwise(rows in 0usize..10, k in 0usize..10,
+                                              cols in 0usize..10,
+                                              seed in proptest::collection::vec(-40.0f64..40.0, 0..300)) {
+        prop_assume!(seed.len() >= rows * k + k * cols + k);
+        let a = Matrix::from_vec(rows, k, seed[..rows * k].to_vec());
+        let b = Matrix::from_vec(k, cols, seed[rows * k..rows * k + k * cols].to_vec());
+        let v = &seed[rows * k + k * cols..rows * k + k * cols + k];
+
+        let mut out = Matrix::from_vec(1, 2, vec![7.0, 7.0]); // dirty, wrong shape
+        kernel::matmul_into(&a, &b, &mut out);
+        let reference = a.matmul(&b);
+        prop_assert_eq!(bits(out.as_slice()), bits(reference.as_slice()));
+
+        let bt_src = b.transpose(); // A·(Bᵀ)ᵀ = A·B via the transpose kernel
+        let mut bt = Matrix::from_vec(1, 1, vec![3.0]);
+        let mut out = Matrix::from_vec(2, 1, vec![5.0, 5.0]);
+        kernel::matmul_transpose_into(&a, &bt_src, &mut bt, &mut out);
+        let reference = a.matmul_transpose(&bt_src);
+        prop_assert_eq!(bits(out.as_slice()), bits(reference.as_slice()));
+
+        let at = a.transpose();
+        let mut out = Matrix::from_vec(1, 1, vec![9.0]);
+        kernel::transpose_matmul_into(&at, &b, &mut out);
+        let reference = at.transpose_matmul(&b);
+        prop_assert_eq!(bits(out.as_slice()), bits(reference.as_slice()));
+
+        let mut out = vec![4.0; 3]; // dirty, wrong length
+        kernel::matvec_into(&a, v, &mut out);
+        prop_assert_eq!(bits(&out), bits(&a.matvec(v)));
+
+        let va: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut out = vec![6.0; 5];
+        kernel::transpose_matvec_into(&a, &va, &mut out);
+        prop_assert_eq!(bits(&out), bits(&a.transpose_matvec(&va)));
+    }
+}

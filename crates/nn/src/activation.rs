@@ -1,5 +1,11 @@
 //! Element-wise activation functions and their derivatives.
+//!
+//! The canonical per-element expressions live in
+//! [`exathlon_linalg::elemwise::Act`] (shared with the fused SIMD
+//! training kernels); the allocating matrix forms here are the retained
+//! naive path that `EXATHLON_NAIVE_ELEMENTWISE=1` re-enacts.
 
+use exathlon_linalg::elemwise::Act;
 use exathlon_linalg::Matrix;
 
 /// Supported activations.
@@ -18,14 +24,28 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Apply the activation element-wise.
+    /// The elemwise-kernel activation kind this maps onto.
+    pub fn kind(self) -> Act {
+        match self {
+            Activation::Relu => Act::Relu,
+            Activation::LeakyRelu => Act::LeakyRelu,
+            Activation::Tanh => Act::Tanh,
+            Activation::Sigmoid => Act::Sigmoid,
+            Activation::Identity => Act::Identity,
+        }
+    }
+
+    /// Apply the activation element-wise (allocating map — the naive
+    /// reference path; training fuses this into the GEMM epilogue).
+    /// ReLU uses the explicit `if v > 0` branch rather than `f64::max`
+    /// so scalar and SIMD paths agree on the sign of zero.
     pub fn forward(self, x: &Matrix) -> Matrix {
         match self {
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::LeakyRelu => x.map(|v| if v > 0.0 { v } else { 0.2 * v }),
-            Activation::Tanh => x.map(f64::tanh),
-            Activation::Sigmoid => x.map(sigmoid),
             Activation::Identity => x.clone(),
+            _ => {
+                let kind = self.kind();
+                x.map(|v| kind.apply(v))
+            }
         }
     }
 
@@ -33,23 +53,20 @@ impl Activation {
     /// the *output* `y = forward(x)` (cheapest form for all five).
     pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
         match self {
-            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
-            Activation::LeakyRelu => y.map(|v| if v > 0.0 { 1.0 } else { 0.2 }),
-            Activation::Tanh => y.map(|v| 1.0 - v * v),
-            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
             Activation::Identity => Matrix::filled(y.rows(), y.cols(), 1.0),
+            _ => {
+                let kind = self.kind();
+                y.map(|v| kind.deriv_from_output(v))
+            }
         }
     }
 }
 
-/// Numerically-stable logistic sigmoid.
+/// Numerically-stable logistic sigmoid (the canonical implementation
+/// lives in [`exathlon_linalg::elemwise::sigmoid`]).
+#[inline]
 pub fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    exathlon_linalg::elemwise::sigmoid(x)
 }
 
 #[cfg(test)]

@@ -1,9 +1,51 @@
 //! Fully-connected layers with explicit backpropagation.
+//!
+//! Training runs through a per-layer workspace: forward stages the batch
+//! input and GEMM output into reused buffers (bias + activation fused
+//! into the epilogue via [`exathlon_linalg::elemwise::bias_act`]),
+//! backward consumes them in place, and gradients accumulate through a
+//! reused `dw` scratch — zero allocations per minibatch once the buffers
+//! reach the steady batch shape. Setting `EXATHLON_NAIVE_ELEMENTWISE=1`
+//! re-enacts the historical clone-per-step path (fresh `z`, activation,
+//! derivative and gradient matrices every call) with bitwise-identical
+//! results — the baseline `bench_train` measures and
+//! `tests/trainstep_equivalence.rs` pins.
 
 use crate::activation::Activation;
 use crate::param::Param;
-use exathlon_linalg::Matrix;
+use exathlon_linalg::elemwise::{self, naive_elementwise_mode};
+use exathlon_linalg::{kernel, obs, Matrix};
 use rand::rngs::StdRng;
+
+/// Reused training buffers of one dense layer. Sized on first use per
+/// batch shape and reused across minibatches and epochs; `reset` only
+/// reallocates when a larger batch arrives.
+#[derive(Debug, Clone, Default)]
+struct DenseWorkspace {
+    /// Whether a forward pass has populated the caches.
+    cached: bool,
+    /// Staged copy of the last forward input (`n x in_dim`).
+    input: Matrix,
+    /// Last forward output `y = act(x Wᵀ + b)` (`n x out_dim`).
+    output: Matrix,
+    /// Weight-transpose scratch for the SIMD GEMM path.
+    wt: Matrix,
+    /// `dL/dz` scratch for backward.
+    dz: Matrix,
+    /// `dzᵀ·x` gradient scratch, accumulated into `weight.grad`.
+    dw: Matrix,
+}
+
+impl DenseWorkspace {
+    /// Total bytes currently held by the workspace buffers.
+    fn bytes(&self) -> usize {
+        8 * (self.input.as_slice().len()
+            + self.output.as_slice().len()
+            + self.wt.as_slice().len()
+            + self.dz.as_slice().len()
+            + self.dw.as_slice().len())
+    }
+}
 
 /// A dense layer `y = act(x W^T + b)` operating on batches (rows = samples).
 #[derive(Debug, Clone)]
@@ -14,10 +56,8 @@ pub struct Dense {
     pub bias: Param,
     /// Activation applied after the affine map.
     pub activation: Activation,
-    /// Cached input of the last forward pass (for backprop).
-    cached_input: Option<Matrix>,
-    /// Cached output of the last forward pass.
-    cached_output: Option<Matrix>,
+    /// Reused training buffers (forward caches + backward scratch).
+    ws: DenseWorkspace,
 }
 
 impl Dense {
@@ -27,13 +67,7 @@ impl Dense {
             Activation::Relu | Activation::LeakyRelu => Param::he(out_dim, in_dim, in_dim, rng),
             _ => Param::xavier(out_dim, in_dim, in_dim, out_dim, rng),
         };
-        Self {
-            weight,
-            bias: Param::zeros(1, out_dim),
-            activation,
-            cached_input: None,
-            cached_output: None,
-        }
+        Self { weight, bias: Param::zeros(1, out_dim), activation, ws: DenseWorkspace::default() }
     }
 
     /// Input dimensionality.
@@ -46,51 +80,159 @@ impl Dense {
         self.weight.value.rows()
     }
 
+    /// Bytes currently held by the layer's training workspace.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
+    }
+
     /// Forward pass for a batch (`n x in_dim`), caching activations for a
-    /// subsequent [`Dense::backward`].
+    /// subsequent [`Dense::backward`]. Returns a copy of the output; the
+    /// allocation-free training loops use [`Dense::forward_cached`] +
+    /// [`Dense::output`] instead.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let out = self.forward_inference(x);
-        self.cached_input = Some(x.clone());
-        self.cached_output = Some(out.clone());
-        out
+        self.forward_cached(x);
+        self.ws.output.clone()
+    }
+
+    /// Forward pass into the layer workspace: input staged with one copy,
+    /// GEMM into the reused output buffer, bias + activation fused into
+    /// the epilogue. No allocation at steady state; bitwise identical to
+    /// the historical clone-per-call path, which
+    /// `EXATHLON_NAIVE_ELEMENTWISE=1` re-enacts.
+    pub fn forward_cached(&mut self, x: &Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "dense input dimension mismatch");
+        if naive_elementwise_mode() {
+            // Historical path: fresh z + activation matrices inside
+            // `forward_inference`, then cloned input/output caches.
+            let out = self.forward_inference(x);
+            obs::counter(
+                "train.alloc_bytes",
+                (8 * (x.as_slice().len() + 3 * out.as_slice().len())) as u64,
+            );
+            self.ws.input = x.clone();
+            self.ws.output = out;
+            self.ws.cached = true;
+            return;
+        }
+        let ws = &mut self.ws;
+        ws.input.copy_from(x);
+        kernel::matmul_transpose_into(x, &self.weight.value, &mut ws.wt, &mut ws.output);
+        elemwise::bias_act(
+            ws.output.as_mut_slice(),
+            x.rows(),
+            self.weight.value.rows(),
+            self.bias.value.row(0),
+            self.activation.kind(),
+        );
+        ws.cached = true;
+        obs::counter(
+            "train.workspace_bytes",
+            (8 * (ws.input.as_slice().len() + ws.output.as_slice().len())) as u64,
+        );
+    }
+
+    /// The cached output of the last [`Dense::forward_cached`].
+    ///
+    /// # Panics
+    /// Panics if no forward pass has run.
+    pub fn output(&self) -> &Matrix {
+        assert!(self.ws.cached, "output before forward");
+        &self.ws.output
     }
 
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "dense input dimension mismatch");
         let mut z = x.matmul_transpose(&self.weight.value);
-        for i in 0..z.rows() {
-            let row = z.row_mut(i);
-            for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
-                *v += b;
+        if naive_elementwise_mode() {
+            // Historical path: scalar bias loop + allocating activation map.
+            for i in 0..z.rows() {
+                let row = z.row_mut(i);
+                for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
+                    *v += b;
+                }
             }
+            return self.activation.forward(&z);
         }
-        self.activation.forward(&z)
+        let rows = z.rows();
+        elemwise::bias_act(
+            z.as_mut_slice(),
+            rows,
+            self.weight.value.rows(),
+            self.bias.value.row(0),
+            self.activation.kind(),
+        );
+        z
     }
 
     /// Backward pass: takes `dL/dy` for the cached batch, accumulates
-    /// parameter gradients, and returns `dL/dx`.
+    /// parameter gradients, and returns `dL/dx`. The allocation-free
+    /// training loops use [`Dense::backward_into`] instead.
     ///
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self.cached_input.as_ref().expect("backward before forward");
-        let y = self.cached_output.as_ref().expect("backward before forward");
-        assert_eq!(grad_out.shape(), y.shape(), "grad shape mismatch");
+        let mut dx = Matrix::default();
+        self.backward_into(grad_out, &mut dx);
+        dx
+    }
 
-        // dL/dz = dL/dy * act'(z)
-        let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
-        // dL/dW = dz^T x ; dL/db = column sums of dz
-        let dw = dz.transpose_matmul(x);
-        self.weight.grad += &dw;
-        for i in 0..dz.rows() {
-            let row = dz.row(i);
-            for (g, &d) in self.bias.grad.row_mut(0).iter_mut().zip(row) {
-                *g += d;
+    /// [`Dense::backward`] into a caller-reused `dx` buffer: `dz` lands in
+    /// workspace scratch via the fused activation-derivative kernel, the
+    /// weight gradient accumulates through the reused `dw` scratch (the
+    /// two-step `materialize + add` keeps the historical accumulation
+    /// order bitwise), and bias gradients accumulate row by row in place.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Matrix, dx: &mut Matrix) {
+        assert!(self.ws.cached, "backward before forward");
+        assert_eq!(grad_out.shape(), self.ws.output.shape(), "grad shape mismatch");
+        if naive_elementwise_mode() {
+            // Historical path: derivative matrix + hadamard + fresh dw/dx.
+            let x = &self.ws.input;
+            let y = &self.ws.output;
+            let dz = grad_out.hadamard(&self.activation.derivative_from_output(y));
+            let dw = dz.transpose_matmul(x);
+            self.weight.grad += &dw;
+            for i in 0..dz.rows() {
+                let row = dz.row(i);
+                for (g, &d) in self.bias.grad.row_mut(0).iter_mut().zip(row) {
+                    *g += d;
+                }
             }
+            let out = dz.matmul(&self.weight.value);
+            obs::counter(
+                "train.alloc_bytes",
+                (8 * (2 * dz.as_slice().len() + dw.as_slice().len() + out.as_slice().len())) as u64,
+            );
+            *dx = out;
+            return;
+        }
+        let ws = &mut self.ws;
+        let act = self.activation.kind();
+        ws.dz.reset(grad_out.rows(), grad_out.cols());
+        elemwise::act_backward(
+            ws.output.as_slice(),
+            grad_out.as_slice(),
+            ws.dz.as_mut_slice(),
+            act,
+        );
+        // dL/dW = dzᵀ x, materialized into reused scratch and then added:
+        // a direct GEMM-accumulate into a non-zero `grad` would change the
+        // per-element rounding order when backward runs more than once
+        // between `zero_grad`s (the BiGAN discriminator does exactly that).
+        kernel::transpose_matmul_into(&ws.dz, &ws.input, &mut ws.dw);
+        elemwise::accumulate(self.weight.grad.as_mut_slice(), ws.dw.as_slice());
+        for i in 0..ws.dz.rows() {
+            elemwise::accumulate(self.bias.grad.row_mut(0), ws.dz.row(i));
         }
         // dL/dx = dz W
-        dz.matmul(&self.weight.value)
+        kernel::matmul_into(&ws.dz, &self.weight.value, dx);
+        obs::counter(
+            "train.workspace_bytes",
+            (8 * (ws.dz.as_slice().len() + ws.dw.as_slice().len() + dx.as_slice().len())) as u64,
+        );
     }
 
     /// Mutable access to the layer's parameters, for the optimizer.
@@ -195,5 +337,24 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng());
         let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    /// The workspace survives batch-shape changes (last chunk of an epoch
+    /// is smaller) and still backprops correctly.
+    #[test]
+    fn shrinking_batch_reuses_workspace() {
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng());
+        layer.zero_grad();
+        let big = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f64 * 0.21).sin());
+        layer.forward_cached(&big);
+        let mut dx = Matrix::default();
+        layer.backward_into(&Matrix::filled(8, 2, 0.5), &mut dx);
+        assert_eq!(dx.shape(), (8, 3));
+        let small = Matrix::from_fn(3, 3, |i, j| ((i + j) as f64 * 0.4).cos());
+        layer.forward_cached(&small);
+        assert_eq!(layer.output().shape(), (3, 2));
+        layer.backward_into(&Matrix::filled(3, 2, 0.5), &mut dx);
+        assert_eq!(dx.shape(), (3, 3));
+        assert!(layer.workspace_bytes() > 0);
     }
 }

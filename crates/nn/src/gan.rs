@@ -5,15 +5,66 @@
 //! over `(x, z)` pairs. At test time the outlier score of a window is the
 //! average of its reconstruction error through `(E, G)` and its feature
 //! loss under `D`, as defined by Zenati et al. (Efficient GAN-based AD).
+//!
+//! Training stages every per-batch intermediate — latent draws, label
+//! matrices, pair concatenations and split gradients — in a reusable
+//! [`GanWorkspace`], so steady-state steps stop allocating. The
+//! historical allocating step is retained verbatim as the
+//! `EXATHLON_NAIVE_ELEMENTWISE=1` reference; both paths consume the same
+//! RNG stream and evaluate the same expressions in the same order, so
+//! they are bitwise identical.
 
 use crate::activation::Activation;
 use crate::dense::Dense;
-use crate::loss::{bce, bce_grad, row_squared_errors};
+use crate::loss::{bce, bce_grad, bce_grad_into, row_squared_errors};
 use crate::mlp::Mlp;
 use crate::optimizer::Optimizer;
-use exathlon_linalg::Matrix;
+use exathlon_linalg::elemwise::naive_elementwise_mode;
+use exathlon_linalg::{obs, Matrix};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Reused per-batch buffers for the fused training step, sized once per
+/// batch shape and reused across minibatches and epochs.
+#[derive(Debug, Clone, Default)]
+struct GanWorkspace {
+    /// Latent draws, `n x latent`.
+    z: Matrix,
+    /// All-ones labels, `n x 1`.
+    ones: Matrix,
+    /// All-zeros labels, `n x 1`.
+    zeros: Matrix,
+    /// `(x, z)` pair concatenation, `n x (in + latent)`.
+    pair: Matrix,
+    /// BCE gradient at the discriminator head, `n x 1`.
+    head_grad: Matrix,
+    /// Gradient at the discriminator feature output, `n x hidden/2`.
+    feat_grad: Matrix,
+    /// Gradient at the discriminator input pair, `n x (in + latent)`.
+    g_in: Matrix,
+    /// `x`-slot slice of [`GanWorkspace::g_in`], `n x in`.
+    gx: Matrix,
+    /// `z`-slot slice of [`GanWorkspace::g_in`], `n x latent`.
+    gz: Matrix,
+    /// Sink for encoder/generator input gradients (unused downstream).
+    eg_sink: Matrix,
+}
+
+impl GanWorkspace {
+    /// Bytes currently staged in the workspace buffers.
+    fn bytes(&self) -> usize {
+        8 * (self.z.as_slice().len()
+            + self.ones.as_slice().len()
+            + self.zeros.as_slice().len()
+            + self.pair.as_slice().len()
+            + self.head_grad.as_slice().len()
+            + self.feat_grad.as_slice().len()
+            + self.g_in.as_slice().len()
+            + self.gx.as_slice().len()
+            + self.gz.as_slice().len()
+            + self.eg_sink.as_slice().len())
+    }
+}
 
 /// A trained (or training) BiGAN.
 #[derive(Debug, Clone)]
@@ -30,6 +81,7 @@ pub struct BiGan {
     latent: usize,
     /// Global step counter for the discriminator head's Adam state.
     step: u64,
+    ws: GanWorkspace,
 }
 
 /// Losses from one adversarial training step.
@@ -61,7 +113,16 @@ impl BiGan {
             rng,
         );
         let d_head = Dense::new(hidden / 2, 1, Activation::Sigmoid, rng);
-        Self { encoder, generator, d_features, d_head, in_dim, latent, step: 0 }
+        Self {
+            encoder,
+            generator,
+            d_features,
+            d_head,
+            in_dim,
+            latent,
+            step: 0,
+            ws: GanWorkspace::default(),
+        }
     }
 
     /// Input dimensionality.
@@ -72,6 +133,16 @@ impl BiGan {
     /// Latent dimensionality.
     pub fn latent_dim(&self) -> usize {
         self.latent
+    }
+
+    /// Bytes currently held by the reusable training workspaces (the
+    /// GAN-level buffers plus each sub-network's).
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
+            + self.encoder.workspace_bytes()
+            + self.generator.workspace_bytes()
+            + self.d_features.workspace_bytes()
+            + self.d_head.workspace_bytes()
     }
 
     fn concat(x: &Matrix, z: &Matrix) -> Matrix {
@@ -87,10 +158,35 @@ impl BiGan {
         out
     }
 
+    /// [`BiGan::concat`] into a caller-reused buffer — same row copies,
+    /// no fresh allocation once `out` has grown to the batch shape.
+    fn concat_into(x: &Matrix, z: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.rows(), z.rows(), "pair batch mismatch");
+        out.reset(x.rows(), x.cols() + z.cols());
+        for i in 0..x.rows() {
+            let row = out.row_mut(i);
+            row[..x.cols()].copy_from_slice(x.row(i));
+            row[x.cols()..].copy_from_slice(z.row(i));
+        }
+    }
+
     fn split_grad(&self, g: &Matrix) -> (Matrix, Matrix) {
         let gx = g.select_cols(&(0..self.in_dim).collect::<Vec<_>>());
         let gz = g.select_cols(&(self.in_dim..self.in_dim + self.latent).collect::<Vec<_>>());
         (gx, gz)
+    }
+
+    /// [`BiGan::split_grad`] into caller-reused buffers — the column
+    /// ranges are contiguous, so each row splits with two slice copies
+    /// (bitwise identical to the `select_cols` path).
+    fn split_grad_into(&self, g: &Matrix, gx: &mut Matrix, gz: &mut Matrix) {
+        gx.reset(g.rows(), self.in_dim);
+        gz.reset(g.rows(), self.latent);
+        for i in 0..g.rows() {
+            let row = g.row(i);
+            gx.row_mut(i).copy_from_slice(&row[..self.in_dim]);
+            gz.row_mut(i).copy_from_slice(&row[self.in_dim..self.in_dim + self.latent]);
+        }
     }
 
     /// Discriminator probability for a batch of `(x, z)` pairs (inference).
@@ -121,6 +217,130 @@ impl BiGan {
 
     /// One adversarial training step on a batch of real samples.
     pub fn train_batch(&mut self, x: &Matrix, opt: &Optimizer, rng: &mut StdRng) -> GanLosses {
+        if naive_elementwise_mode() {
+            return self.train_batch_naive(x, opt, rng);
+        }
+        let mut ws = std::mem::take(&mut self.ws);
+        let losses = self.train_batch_ws(x, opt, rng, &mut ws);
+        self.ws = ws;
+        losses
+    }
+
+    /// One discriminator forward/backward pass over the pair staged in
+    /// `ws.pair` against `target`; returns the BCE loss. Gradients
+    /// accumulate into `d_features`/`d_head` (the caller zeroes them).
+    fn d_pass(&mut self, target: &Matrix, ws: &mut GanWorkspace) -> f64 {
+        self.d_features.forward_cached(&ws.pair);
+        self.d_head.forward_cached(self.d_features.output());
+        let loss = bce(self.d_head.output(), target);
+        bce_grad_into(self.d_head.output(), target, &mut ws.head_grad);
+        self.d_head.backward_into(&ws.head_grad, &mut ws.feat_grad);
+        self.d_features.backward_into(&ws.feat_grad, &mut ws.g_in);
+        loss
+    }
+
+    /// The fused training step: all intermediates staged in `ws`, one
+    /// encoder and one generator forward per batch (their cached
+    /// activations stay valid across the D and E/G passes because their
+    /// weights only update at the end). Bitwise identical to
+    /// [`BiGan::train_batch_naive`].
+    fn train_batch_ws(
+        &mut self,
+        x: &Matrix,
+        opt: &Optimizer,
+        rng: &mut StdRng,
+        ws: &mut GanWorkspace,
+    ) -> GanLosses {
+        let n = x.rows();
+        // Latent draws in the exact `Matrix::from_fn` order (row-major),
+        // so the RNG stream matches the naive path draw for draw.
+        ws.z.reset(n, self.latent);
+        for v in ws.z.as_mut_slice().iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        ws.ones.reset(n, 1);
+        ws.ones.as_mut_slice().fill(1.0);
+        ws.zeros.reset(n, 1);
+        ws.zeros.as_mut_slice().fill(0.0);
+
+        // --- Discriminator step: real (x, E(x)) -> 1, fake (G(z), z) -> 0.
+        // These forwards double as the cached activations for the E/G
+        // step below: E and G only update at the end of the batch, so the
+        // caches stay bitwise-valid and one forward per network is saved.
+        self.encoder.forward_cached(x);
+        self.generator.forward_cached(&ws.z);
+        self.d_features.zero_grad();
+        self.d_head.zero_grad();
+        let mut d_loss = 0.0;
+        Self::concat_into(x, self.encoder.output(), &mut ws.pair);
+        d_loss += {
+            let ones = std::mem::take(&mut ws.ones);
+            let l = self.d_pass(&ones, ws);
+            ws.ones = ones;
+            l
+        };
+        Self::concat_into(self.generator.output(), &ws.z, &mut ws.pair);
+        d_loss += {
+            let zeros = std::mem::take(&mut ws.zeros);
+            let l = self.d_pass(&zeros, ws);
+            ws.zeros = zeros;
+            l
+        };
+        self.d_features.apply_step(opt);
+        self.step += 1;
+        {
+            let step = self.step;
+            let mut head_params = self.d_head.params_mut();
+            opt.step(&mut head_params, step);
+        }
+
+        // --- Encoder+generator step: swap labels to fool D.
+        self.encoder.zero_grad();
+        self.generator.zero_grad();
+        let mut eg_loss = 0.0;
+
+        // Real pair should look fake to D: gradient flows into E via z slot.
+        {
+            self.d_features.zero_grad();
+            self.d_head.zero_grad();
+            Self::concat_into(x, self.encoder.output(), &mut ws.pair);
+            eg_loss += {
+                let zeros = std::mem::take(&mut ws.zeros);
+                let l = self.d_pass(&zeros, ws);
+                ws.zeros = zeros;
+                l
+            };
+            self.split_grad_into(&ws.g_in, &mut ws.gx, &mut ws.gz);
+            self.encoder.backward_into(&ws.gz, &mut ws.eg_sink);
+        }
+        // Fake pair should look real to D: gradient flows into G via x slot.
+        {
+            self.d_features.zero_grad();
+            self.d_head.zero_grad();
+            Self::concat_into(self.generator.output(), &ws.z, &mut ws.pair);
+            eg_loss += {
+                let ones = std::mem::take(&mut ws.ones);
+                let l = self.d_pass(&ones, ws);
+                ws.ones = ones;
+                l
+            };
+            self.split_grad_into(&ws.g_in, &mut ws.gx, &mut ws.gz);
+            self.generator.backward_into(&ws.gx, &mut ws.eg_sink);
+        }
+        // Discard the D gradients accumulated while backpropagating through
+        // it; only E and G update here.
+        self.d_features.zero_grad();
+        self.d_head.zero_grad();
+        self.encoder.apply_step(opt);
+        self.generator.apply_step(opt);
+
+        obs::counter("train.workspace_bytes", ws.bytes() as u64);
+        GanLosses { d_loss: d_loss / 2.0, eg_loss: eg_loss / 2.0 }
+    }
+
+    /// The historical allocating training step, retained as the
+    /// `EXATHLON_NAIVE_ELEMENTWISE=1` reference.
+    fn train_batch_naive(&mut self, x: &Matrix, opt: &Optimizer, rng: &mut StdRng) -> GanLosses {
         let n = x.rows();
         let z = Matrix::from_fn(n, self.latent, |_, _| rng.gen_range(-1.0..1.0));
         let ones = Matrix::filled(n, 1, 1.0);
@@ -185,6 +405,14 @@ impl BiGan {
         self.encoder.apply_step(opt);
         self.generator.apply_step(opt);
 
+        // Meter the dominant GAN-level fresh allocations of this
+        // historical path (latent draws, labels, pair concats and split
+        // gradients); the naive layer internals meter their own.
+        let pair = self.in_dim + self.latent;
+        obs::counter(
+            "train.alloc_bytes",
+            (8 * n * (2 * self.latent + 2 * self.in_dim + 2 + 6 * pair + 4)) as u64,
+        );
         GanLosses { d_loss: d_loss / 2.0, eg_loss: eg_loss / 2.0 }
     }
 
@@ -205,11 +433,14 @@ impl BiGan {
         // Reused minibatch scratch, as in `Mlp::fit`.
         let mut xb = Matrix::zeros(0, 0);
         for _ in 0..epochs {
+            let _sp = obs::span("train", "BiGan.epoch");
             order.shuffle(rng);
             for chunk in order.chunks(batch_size) {
                 data.select_rows_into(chunk, &mut xb);
                 last = self.train_batch(&xb, opt, rng);
             }
+            obs::counter("train.samples", data.rows() as u64);
+            obs::add_records("train", data.rows() as u64);
         }
         last
     }
@@ -272,6 +503,37 @@ mod tests {
         let losses = gan.train_batch(&x, &Optimizer::adam(0.001), &mut r);
         assert!(losses.d_loss.is_finite());
         assert!(losses.eg_loss.is_finite());
+    }
+
+    /// The fused workspace step must match the retained allocating step
+    /// bitwise: same losses, same updated parameters, same RNG stream.
+    #[test]
+    fn fused_step_matches_allocating_reference_bitwise() {
+        let mut r = rng();
+        let mut fused = BiGan::new(2, 2, 8, &mut r);
+        let mut reference = fused.clone();
+        let opt = Optimizer::adam(0.001);
+
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        for round in 0..3 {
+            let x = normal_batch(9, &mut r);
+            let mut ws = std::mem::take(&mut fused.ws);
+            let la = fused.train_batch_ws(&x, &opt, &mut rng_a, &mut ws);
+            fused.ws = ws;
+            let lb = reference.train_batch_naive(&x, &opt, &mut rng_b);
+            assert_eq!(la.d_loss.to_bits(), lb.d_loss.to_bits(), "d_loss round {round}");
+            assert_eq!(la.eg_loss.to_bits(), lb.eg_loss.to_bits(), "eg_loss round {round}");
+        }
+        // Same RNG position afterwards (same number of draws consumed).
+        assert_eq!(rng_a.gen_range(0.0..1.0_f64), rng_b.gen_range(0.0..1.0_f64));
+        // Identical trained weights -> identical scores.
+        let probe = normal_batch(7, &mut r);
+        let sa = fused.outlier_scores(&probe);
+        let sb = reference.outlier_scores(&probe);
+        for (a, b) in sa.iter().zip(&sb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
     )
 }
 
+/// [`mse_grad`] into a caller-reused buffer — bitwise-identical contents,
+/// no fresh allocation once `out` has grown to the steady batch shape.
+pub fn mse_grad_into(pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    out.reset(pred.rows(), pred.cols());
+    for ((o, p), t) in out.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice()) {
+        *o = 2.0 * (p - t) / n;
+    }
+}
+
 /// Per-row squared error (useful for per-sample outlier scores).
 pub fn row_squared_errors(pred: &Matrix, target: &Matrix) -> Vec<f64> {
     assert_eq!(pred.shape(), target.shape(), "row error shape mismatch");
@@ -65,6 +76,18 @@ pub fn bce_grad(pred: &Matrix, target: &Matrix) -> Matrix {
             })
             .collect(),
     )
+}
+
+/// [`bce_grad`] into a caller-reused buffer — bitwise-identical contents,
+/// no fresh allocation once `out` has grown to the steady batch shape.
+pub fn bce_grad_into(pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    out.reset(pred.rows(), pred.cols());
+    for ((o, &p), &t) in out.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice()) {
+        let p = p.clamp(1e-7, 1.0 - 1e-7);
+        *o = ((1.0 - t) / (1.0 - p) - t / p) / n;
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +147,17 @@ mod tests {
             let numeric = (bce(&p2, &t) - bce(&p, &t)) / eps;
             assert!((numeric - g[(0, j)]).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn grad_into_matches_allocating_grads() {
+        let p = Matrix::from_vec(2, 2, vec![0.3, 0.8, -0.4, 1.2]);
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.5, 1.0]);
+        let mut buf = Matrix::zeros(0, 0);
+        mse_grad_into(&p, &t, &mut buf);
+        assert_eq!(buf, mse_grad(&p, &t));
+        bce_grad_into(&p, &t, &mut buf);
+        assert_eq!(buf, bce_grad(&p, &t));
     }
 
     #[test]

@@ -4,18 +4,87 @@
 //! This backs the paper's LSTM forecaster (Appendix D.2, following
 //! Bontemps et al.): given a window of consecutive records, predict the
 //! next record; the relative forecast error becomes the outlier score.
+//!
+//! Training runs through a reusable [`LstmWorkspace`]: the per-step gate
+//! activations, cell and hidden states are staged row-per-step in
+//! pre-sized buffers (the same values the historical `StepCache` held)
+//! and reused across samples, minibatches and epochs, so steady-state
+//! epochs perform no per-step allocation. The `StepCache` path is
+//! retained verbatim as the naive reference that
+//! `EXATHLON_NAIVE_ELEMENTWISE=1` re-enacts; both paths evaluate the
+//! same expressions in the same order and are bitwise identical.
 
 use crate::activation::sigmoid;
 use crate::loss::{mse, mse_grad};
 use crate::optimizer::{clip_grad_norm, Optimizer};
 use crate::param::Param;
-use exathlon_linalg::Matrix;
+use exathlon_linalg::elemwise::{self, naive_elementwise_mode};
+use exathlon_linalg::{kernel, obs, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 /// Gate layout inside the stacked `4h` dimension: input, forget, output,
 /// candidate.
 const GATES: usize = 4;
+
+/// Reused buffers for the fused training path, sized once per
+/// (sequence-length, layer) shape. The per-step state matrices store one
+/// row per time step so BPTT reads them back without any per-step
+/// allocation or clone.
+#[derive(Debug, Clone, Default)]
+struct LstmWorkspace {
+    /// Record-major input copy, `t x in_dim` (the input-side GEMM operand).
+    x_mat: Matrix,
+    /// `Wxᵀ` scratch for [`kernel::matmul_transpose_into`].
+    wxt: Matrix,
+    /// Input-side gate pre-activations `Wx·x_t`, `t x 4h`.
+    wxx: Matrix,
+    /// Post-nonlinearity gates per step, `t x 4h` (`i, f, o, g` blocks).
+    gates: Matrix,
+    /// Cell states per step, `t x h`.
+    c: Matrix,
+    /// `tanh(c)` per step, `t x h`.
+    tanh_c: Matrix,
+    /// Hidden states per step, `t x h`.
+    h: Matrix,
+    /// Recurrent pre-activation `Wh·h_{t-1}`, `4h`.
+    zh: Vec<f64>,
+    /// Gate pre-activation accumulator, `4h`.
+    z: Vec<f64>,
+    /// Readout prediction, `out`.
+    y: Vec<f64>,
+    /// Loss gradient at the readout, `out`.
+    dy: Vec<f64>,
+    /// Hidden-state gradient carried backwards, `h`.
+    dh: Vec<f64>,
+    /// Cell-state gradient carried backwards, `h`.
+    dc: Vec<f64>,
+    /// Gate pre-activation gradient, `4h`.
+    dz: Vec<f64>,
+    /// All-zero `t = 0` initial-state stand-in, `h`.
+    zero_h: Vec<f64>,
+}
+
+impl LstmWorkspace {
+    /// Bytes currently staged in the workspace buffers.
+    fn bytes(&self) -> usize {
+        8 * (self.x_mat.as_slice().len()
+            + self.wxt.as_slice().len()
+            + self.wxx.as_slice().len()
+            + self.gates.as_slice().len()
+            + self.c.as_slice().len()
+            + self.tanh_c.as_slice().len()
+            + self.h.as_slice().len()
+            + self.zh.len()
+            + self.z.len()
+            + self.y.len()
+            + self.dy.len()
+            + self.dh.len()
+            + self.dc.len()
+            + self.dz.len()
+            + self.zero_h.len())
+    }
+}
 
 /// A single-layer LSTM network with linear readout from the final hidden
 /// state.
@@ -35,9 +104,12 @@ pub struct Lstm {
     /// Readout bias, `out x 1`.
     by: Param,
     step: u64,
+    ws: LstmWorkspace,
 }
 
-/// Per-step forward cache for BPTT.
+/// Per-step forward cache for BPTT — the retained naive path
+/// (`EXATHLON_NAIVE_ELEMENTWISE=1`) allocates one per step, exactly as
+/// the historical implementation did.
 struct StepCache {
     x: Vec<f64>,
     i: Vec<f64>,
@@ -63,6 +135,7 @@ impl Lstm {
             wy: Param::xavier(out_dim, hidden, hidden, out_dim, rng),
             by: Param::zeros(out_dim, 1),
             step: 0,
+            ws: LstmWorkspace::default(),
         };
         // Forget-gate bias init to 1: the standard trick to let gradients
         // flow early in training.
@@ -85,6 +158,11 @@ impl Lstm {
     /// Total scalar parameter count.
     pub fn param_count(&self) -> usize {
         self.wx.count() + self.wh.count() + self.b.count() + self.wy.count() + self.by.count()
+    }
+
+    /// Bytes currently held by the reusable training workspace.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
     }
 
     /// Number of steps in a flat record-major sequence buffer.
@@ -110,6 +188,72 @@ impl Lstm {
         flat
     }
 
+    /// Fused forward pass staged in `ws`; returns the step count, with
+    /// the prediction left in `ws.y`. Same arithmetic as
+    /// [`Lstm::forward_sequence`] expression for expression (one GEMM for
+    /// the input-side pre-activations, single-accumulator matvec for the
+    /// recurrent side), so every stored value is bitwise identical to the
+    /// `StepCache` path — without per-step allocation once warm.
+    fn forward_ws(&self, seq: &[f64], ws: &mut LstmWorkspace) -> usize {
+        let h_dim = self.hidden;
+        let t_len = self.steps_of(seq);
+        ws.zero_h.clear();
+        ws.zero_h.resize(h_dim, 0.0);
+        if t_len == 0 {
+            ws.wxx.reset(0, GATES * h_dim);
+        } else {
+            ws.x_mat.reset(t_len, self.in_dim);
+            ws.x_mat.as_mut_slice().copy_from_slice(seq);
+            kernel::matmul_transpose_into(&ws.x_mat, &self.wx.value, &mut ws.wxt, &mut ws.wxx);
+        }
+        ws.gates.reset(t_len, GATES * h_dim);
+        ws.c.reset(t_len, h_dim);
+        ws.tanh_c.reset(t_len, h_dim);
+        ws.h.reset(t_len, h_dim);
+        for t in 0..t_len {
+            // z = Wx x + Wh h + b, reading the previous stored hidden row.
+            let h_prev: &[f64] = if t == 0 { &ws.zero_h } else { ws.h.row(t - 1) };
+            kernel::matvec_into(&self.wh.value, h_prev, &mut ws.zh);
+            ws.z.clear();
+            ws.z.extend_from_slice(ws.wxx.row(t));
+            for (zi, (zhi, bi)) in ws.z.iter_mut().zip(ws.zh.iter().zip(self.b.value.as_slice())) {
+                *zi += zhi + bi;
+            }
+            let gates_row = ws.gates.row_mut(t);
+            for j in 0..h_dim {
+                gates_row[j] = sigmoid(ws.z[j]);
+                gates_row[h_dim + j] = sigmoid(ws.z[h_dim + j]);
+                gates_row[2 * h_dim + j] = sigmoid(ws.z[2 * h_dim + j]);
+                gates_row[3 * h_dim + j] = ws.z[3 * h_dim + j].tanh();
+            }
+            // Split the cell-state matrix so the previous row stays
+            // readable while the current row is written.
+            let (c_done, c_rest) = ws.c.as_mut_slice().split_at_mut(t * h_dim);
+            let c_prev: &[f64] = if t == 0 { &ws.zero_h } else { &c_done[(t - 1) * h_dim..] };
+            let c_cur = &mut c_rest[..h_dim];
+            let tanh_row = ws.tanh_c.row_mut(t);
+            let h_row = ws.h.row_mut(t);
+            let g_row = ws.gates.row(t);
+            for j in 0..h_dim {
+                let i_g = g_row[j];
+                let f_g = g_row[h_dim + j];
+                let o_g = g_row[2 * h_dim + j];
+                let g_g = g_row[3 * h_dim + j];
+                c_cur[j] = f_g * c_prev[j] + i_g * g_g;
+                tanh_row[j] = c_cur[j].tanh();
+                h_row[j] = o_g * tanh_row[j];
+            }
+        }
+        let h_last: &[f64] = if t_len == 0 { &ws.zero_h } else { ws.h.row(t_len - 1) };
+        kernel::matvec_into(&self.wy.value, h_last, &mut ws.y);
+        for (yi, bi) in ws.y.iter_mut().zip(self.by.value.as_slice()) {
+            *yi += bi;
+        }
+        t_len
+    }
+
+    /// Naive forward pass: the historical `StepCache`-allocating path,
+    /// retained as the `EXATHLON_NAIVE_ELEMENTWISE=1` reference.
     fn forward_sequence(&self, seq: &[f64]) -> (Vec<StepCache>, Vec<f64>) {
         let h_dim = self.hidden;
         let t_len = self.steps_of(seq);
@@ -184,12 +328,99 @@ impl Lstm {
     /// # Panics
     /// Panics if `seq.len()` is not a multiple of the input dimension.
     pub fn predict_flat(&self, seq: &[f64]) -> Vec<f64> {
-        self.forward_sequence(seq).1
+        if naive_elementwise_mode() {
+            return self.forward_sequence(seq).1;
+        }
+        // Inference takes `&self` (scoring fans out over shared
+        // references), so it stages through a fresh local workspace.
+        let mut ws = LstmWorkspace::default();
+        self.forward_ws(seq, &mut ws);
+        ws.y
     }
 
     /// Accumulate gradients for one `(sequence, target)` pair; returns the
     /// sample loss.
     fn backward_sequence(&mut self, seq: &[f64], target: &[f64]) -> f64 {
+        if naive_elementwise_mode() {
+            return self.backward_sequence_naive(seq, target);
+        }
+        let mut ws = std::mem::take(&mut self.ws);
+        let loss = self.backward_ws(seq, target, &mut ws);
+        self.ws = ws;
+        loss
+    }
+
+    /// Fused-path gradient accumulation for one sample: every
+    /// intermediate staged in `ws`, gradients accumulated through the
+    /// vectorized [`elemwise`] kernels. Bitwise identical to
+    /// [`Lstm::backward_sequence_naive`].
+    fn backward_ws(&mut self, seq: &[f64], target: &[f64], ws: &mut LstmWorkspace) -> f64 {
+        let h_dim = self.hidden;
+        let t_len = self.forward_ws(seq, ws);
+        assert!(t_len > 0, "empty sequence");
+
+        // Loss and readout gradient, replicating the `mse`/`mse_grad`
+        // formulas (and the shape assert) element for element.
+        assert_eq!(ws.y.len(), target.len(), "mse shape mismatch");
+        let n = ws.y.len().max(1) as f64;
+        let loss = ws.y.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n;
+        ws.dy.clear();
+        ws.dy.extend(ws.y.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / n));
+
+        // Readout gradients.
+        let h_last: &[f64] = ws.h.row(t_len - 1);
+        elemwise::outer_acc(&ws.dy, h_last, self.wy.grad.as_mut_slice());
+        elemwise::accumulate(self.by.grad.as_mut_slice(), &ws.dy);
+
+        // BPTT.
+        kernel::transpose_matvec_into(&self.wy.value, &ws.dy, &mut ws.dh);
+        ws.dc.clear();
+        ws.dc.resize(h_dim, 0.0);
+        ws.dz.clear();
+        ws.dz.resize(GATES * h_dim, 0.0);
+        for t in (0..t_len).rev() {
+            let g_row = ws.gates.row(t);
+            let tanh_row = ws.tanh_c.row(t);
+            let c_prev: &[f64] = if t == 0 { &ws.zero_h } else { ws.c.row(t - 1) };
+            let h_prev: &[f64] = if t == 0 { &ws.zero_h } else { ws.h.row(t - 1) };
+
+            // dL/dc += dL/dh * o * (1 - tanh(c)^2); every `dz` slot is
+            // rewritten each step, so the buffer reuse is stateless.
+            for j in 0..h_dim {
+                let i_g = g_row[j];
+                let f_g = g_row[h_dim + j];
+                let o_g = g_row[2 * h_dim + j];
+                let g_g = g_row[3 * h_dim + j];
+                let dtanh = 1.0 - tanh_row[j] * tanh_row[j];
+                let dcj = ws.dc[j] + ws.dh[j] * o_g * dtanh;
+                let di = dcj * g_g;
+                let df = dcj * c_prev[j];
+                let do_ = ws.dh[j] * tanh_row[j];
+                let dg = dcj * i_g;
+                // Through the gate nonlinearities.
+                ws.dz[j] = di * i_g * (1.0 - i_g);
+                ws.dz[h_dim + j] = df * f_g * (1.0 - f_g);
+                ws.dz[2 * h_dim + j] = do_ * o_g * (1.0 - o_g);
+                ws.dz[3 * h_dim + j] = dg * (1.0 - g_g * g_g);
+                // Carry to previous cell state.
+                ws.dc[j] = dcj * f_g;
+            }
+
+            // Parameter gradients, accumulated in place.
+            let x = &seq[t * self.in_dim..(t + 1) * self.in_dim];
+            elemwise::outer_acc(&ws.dz, x, self.wx.grad.as_mut_slice());
+            elemwise::outer_acc(&ws.dz, h_prev, self.wh.grad.as_mut_slice());
+            elemwise::accumulate(self.b.grad.as_mut_slice(), &ws.dz);
+            // Carry to previous hidden state.
+            kernel::transpose_matvec_into(&self.wh.value, &ws.dz, &mut ws.dh);
+        }
+        obs::counter("train.workspace_bytes", ws.bytes() as u64);
+        loss
+    }
+
+    /// The historical allocating BPTT path, retained as the
+    /// `EXATHLON_NAIVE_ELEMENTWISE=1` reference.
+    fn backward_sequence_naive(&mut self, seq: &[f64], target: &[f64]) -> f64 {
         let (caches, y) = self.forward_sequence(seq);
         let h_dim = self.hidden;
         let t_len = caches.len();
@@ -242,6 +473,19 @@ impl Lstm {
             // Carry to previous hidden state.
             dh = self.wh.value.transpose_matvec(&dz);
         }
+        // Meter the dominant fresh allocations this historical path
+        // performs (flat copy + wxx + per-step caches, temporaries and
+        // outer-product gradient intermediates), so `EXATHLON_PROFILE=1`
+        // shows what the fused plane avoids.
+        let fwd = t_len * self.in_dim
+            + t_len * GATES * h_dim
+            + t_len * (17 * h_dim + self.in_dim)
+            + y.len();
+        let bwd = 3 * y.len()
+            + y.len() * h_dim
+            + h_dim
+            + t_len * (7 * h_dim + GATES * h_dim * (self.in_dim + h_dim));
+        obs::counter("train.alloc_bytes", (8 * (fwd + bwd)) as u64);
         loss
     }
 
@@ -262,12 +506,11 @@ impl Lstm {
         for (seq, target) in batch {
             loss += self.backward_sequence(seq, target);
         }
-        // Average gradients over the batch.
+        // Average gradients over the batch (vectorized in-place scale —
+        // the same per-element product as the historical loop).
         let scale = 1.0 / batch.len() as f64;
         for p in self.params_mut() {
-            for g in p.grad.as_mut_slice() {
-                *g *= scale;
-            }
+            elemwise::scale(p.grad.as_mut_slice(), scale);
         }
         self.step += 1;
         let step = self.step;
@@ -297,6 +540,8 @@ impl Lstm {
     /// zero-copy data plane feeds directly from window views. Consumes the
     /// same RNG stream (one index shuffle per epoch) and performs the same
     /// arithmetic as the owned-row path, so both are bitwise identical.
+    /// The minibatch view buffer and the training workspace are reused
+    /// across all epochs.
     pub fn fit_flat(
         &mut self,
         data: &[(&[f64], &[f64])],
@@ -308,22 +553,27 @@ impl Lstm {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut history = Vec::with_capacity(epochs);
+        let mut batch: Vec<(&[f64], &[f64])> = Vec::with_capacity(batch_size);
         for _ in 0..epochs {
+            let _sp = obs::span("train", "Lstm.epoch");
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch_size) {
-                let batch: Vec<(&[f64], &[f64])> = chunk.iter().map(|&i| data[i]).collect();
+                batch.clear();
+                batch.extend(chunk.iter().map(|&i| data[i]));
                 epoch_loss += self.train_batch_flat(&batch, opt);
                 batches += 1;
             }
+            obs::counter("train.samples", data.len() as u64);
+            obs::add_records("train", data.len() as u64);
             history.push(epoch_loss / batches.max(1) as f64);
         }
         history
     }
 
-    fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.wx, &mut self.wh, &mut self.b, &mut self.wy, &mut self.by]
+    fn params_mut(&mut self) -> [&mut Param; 5] {
+        [&mut self.wx, &mut self.wh, &mut self.b, &mut self.wy, &mut self.by]
     }
 
     fn zero_grad(&mut self) {
@@ -415,6 +665,51 @@ mod tests {
                 "b[{r}]: numeric {numeric} vs analytic {}",
                 analytic_b[(r, 0)]
             );
+        }
+    }
+
+    /// The fused workspace path must match the retained `StepCache`
+    /// reference bitwise: same loss, same accumulated gradients.
+    #[test]
+    fn fused_backward_matches_stepcache_reference_bitwise() {
+        let mut fused = Lstm::new(2, 5, 2, &mut rng());
+        let mut reference = fused.clone();
+        let seq: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37 - 1.0).sin()).collect();
+        let target = [0.4, -0.7];
+
+        fused.zero_grad();
+        let la = fused.backward_ws(&seq, &target, &mut LstmWorkspace::default());
+        reference.zero_grad();
+        let lb = reference.backward_sequence_naive(&seq, &target);
+
+        assert_eq!(la.to_bits(), lb.to_bits());
+        for (pa, pb) in fused.params_mut().into_iter().zip(reference.params_mut()) {
+            let got: Vec<u64> = pa.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = pb.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    /// A workspace warmed by a longer sequence must not leak stale rows
+    /// into a later, shorter sample: gradients match a cold network's.
+    #[test]
+    fn workspace_reuse_is_stateless_between_samples() {
+        let mut warm = Lstm::new(2, 4, 2, &mut rng());
+        let mut fresh = warm.clone();
+        let long: Vec<f64> = (0..12).map(|i| (i as f64 * 0.3).sin()).collect();
+        warm.zero_grad();
+        let _ = warm.backward_sequence(&long, &[0.1, -0.2]);
+        warm.zero_grad();
+
+        let short = [0.4, -0.1, 0.2, 0.7];
+        fresh.zero_grad();
+        let la = warm.backward_sequence(&short, &[0.3, 0.6]);
+        let lb = fresh.backward_sequence(&short, &[0.3, 0.6]);
+        assert_eq!(la.to_bits(), lb.to_bits());
+        for (pa, pb) in warm.params_mut().into_iter().zip(fresh.params_mut()) {
+            let got: Vec<u64> = pa.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = pb.grad.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want);
         }
     }
 

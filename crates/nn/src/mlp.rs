@@ -6,18 +6,30 @@
 
 use crate::activation::Activation;
 use crate::dense::Dense;
-use crate::loss::{mse, mse_grad};
+use crate::loss::{mse, mse_grad, mse_grad_into};
 use crate::optimizer::Optimizer;
 use crate::param::Param;
-use exathlon_linalg::Matrix;
+use exathlon_linalg::elemwise::naive_elementwise_mode;
+use exathlon_linalg::{obs, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+
+/// Reused network-level training buffers: the loss gradient and the two
+/// ping-pong buffers the backward chain alternates between.
+#[derive(Debug, Clone, Default)]
+struct MlpWorkspace {
+    loss_grad: Matrix,
+    grad_a: Matrix,
+    grad_b: Matrix,
+    dx_sink: Matrix,
+}
 
 /// A feed-forward network: `layers[0]` sees the input.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
     step: u64,
+    ws: MlpWorkspace,
 }
 
 impl Mlp {
@@ -32,7 +44,7 @@ impl Mlp {
             assert_eq!(w[0].1, w[1].0, "layer dimensions do not chain");
         }
         let layers = specs.iter().map(|&(i, o, a)| Dense::new(i, o, a, rng)).collect();
-        Self { layers, step: 0 }
+        Self { layers, step: 0, ws: MlpWorkspace::default() }
     }
 
     /// Convenience: a symmetric autoencoder `in -> hidden... -> code ->
@@ -76,13 +88,33 @@ impl Mlp {
         self.layers.iter().map(|l| l.weight.count() + l.bias.count()).sum()
     }
 
-    /// Forward pass with activation caching (training mode).
+    /// Forward pass with activation caching (training mode). Returns a
+    /// copy of the output; the allocation-free loops use
+    /// [`Mlp::forward_cached`] + [`Mlp::output`] instead.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(&h);
+        self.forward_cached(x);
+        self.output().clone()
+    }
+
+    /// Forward pass through the layer workspaces: each layer reads the
+    /// previous layer's cached output directly — no inter-layer clones.
+    pub fn forward_cached(&mut self, x: &Matrix) {
+        for i in 0..self.layers.len() {
+            if i == 0 {
+                self.layers[0].forward_cached(x);
+            } else {
+                let (prev, rest) = self.layers.split_at_mut(i);
+                rest[0].forward_cached(prev[i - 1].output());
+            }
         }
-        h
+    }
+
+    /// The cached output of the last [`Mlp::forward_cached`].
+    ///
+    /// # Panics
+    /// Panics if no forward pass has run.
+    pub fn output(&self) -> &Matrix {
+        self.layers.last().expect("non-empty").output()
     }
 
     /// Forward pass without caching (inference).
@@ -94,13 +126,33 @@ impl Mlp {
         h
     }
 
-    /// Backward pass through all layers; returns `dL/dx`.
+    /// Backward pass through all layers; returns `dL/dx`. The
+    /// allocation-free loops use [`Mlp::backward_into`] instead.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut dx = Matrix::default();
+        self.backward_into(grad_out, &mut dx);
+        dx
+    }
+
+    /// [`Mlp::backward`] into a caller-reused `dx` buffer: the chain
+    /// alternates between two reused workspace buffers instead of
+    /// allocating a gradient matrix per layer.
+    pub fn backward_into(&mut self, grad_out: &Matrix, dx: &mut Matrix) {
+        let mut ga = std::mem::take(&mut self.ws.grad_a);
+        let mut gb = std::mem::take(&mut self.ws.grad_b);
+        let n = self.layers.len();
+        for (k, layer) in self.layers.iter_mut().rev().enumerate() {
+            let last = k + 1 == n;
+            let src: &Matrix = if k == 0 { grad_out } else { &ga };
+            if last {
+                layer.backward_into(src, dx);
+            } else {
+                layer.backward_into(src, &mut gb);
+                std::mem::swap(&mut ga, &mut gb);
+            }
         }
-        g
+        self.ws.grad_a = ga;
+        self.ws.grad_b = gb;
     }
 
     /// All parameters, for optimizer steps and gradient clipping.
@@ -122,21 +174,42 @@ impl Mlp {
     }
 
     /// Apply one optimizer step (increments the internal step counter).
+    /// Updates go layer by layer — per-parameter updates are independent,
+    /// so this matches a flat-list step while skipping the `Vec<&mut
+    /// Param>` collection per call.
     pub fn apply_step(&mut self, opt: &Optimizer) {
         self.step += 1;
         let step = self.step;
-        let mut params = self.params_mut();
-        opt.step(&mut params, step);
+        for layer in &mut self.layers {
+            let mut params = layer.params_mut();
+            opt.step(&mut params, step);
+        }
     }
 
     /// One supervised minibatch step against `targets` under MSE; returns
-    /// the batch loss.
+    /// the batch loss. Allocation-free at steady state: forward and
+    /// backward run through the layer workspaces and the loss gradient
+    /// lands in a reused buffer.
     pub fn train_batch(&mut self, x: &Matrix, targets: &Matrix, opt: &Optimizer) -> f64 {
         self.zero_grad();
-        let pred = self.forward(x);
-        let loss = mse(&pred, targets);
-        let grad = mse_grad(&pred, targets);
-        self.backward(&grad);
+        self.forward_cached(x);
+        let mut lg = std::mem::take(&mut self.ws.loss_grad);
+        let loss = {
+            let pred = self.layers.last().expect("non-empty").output();
+            let loss = mse(pred, targets);
+            if naive_elementwise_mode() {
+                // Historical path: fresh gradient matrix per step.
+                lg = mse_grad(pred, targets);
+                obs::counter("train.alloc_bytes", (8 * lg.as_slice().len()) as u64);
+            } else {
+                mse_grad_into(pred, targets, &mut lg);
+            }
+            loss
+        };
+        let mut sink = std::mem::take(&mut self.ws.dx_sink);
+        self.backward_into(&lg, &mut sink);
+        self.ws.loss_grad = lg;
+        self.ws.dx_sink = sink;
         self.apply_step(opt);
         loss
     }
@@ -165,6 +238,7 @@ impl Mlp {
         let mut xb = Matrix::zeros(0, 0);
         let mut tb = Matrix::zeros(0, 0);
         for _ in 0..epochs {
+            let _sp = obs::span("train", "Mlp.epoch");
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -174,9 +248,22 @@ impl Mlp {
                 epoch_loss += self.train_batch(&xb, &tb, opt);
                 batches += 1;
             }
+            obs::counter("train.samples", n as u64);
+            obs::add_records("train", n as u64);
             history.push(epoch_loss / batches.max(1) as f64);
         }
         history
+    }
+
+    /// Bytes currently held by the training workspaces (network-level
+    /// buffers plus every layer's).
+    pub fn workspace_bytes(&self) -> usize {
+        let ws = 8
+            * (self.ws.loss_grad.as_slice().len()
+                + self.ws.grad_a.as_slice().len()
+                + self.ws.grad_b.as_slice().len()
+                + self.ws.dx_sink.as_slice().len());
+        ws + self.layers.iter().map(Dense::workspace_bytes).sum::<usize>()
     }
 }
 

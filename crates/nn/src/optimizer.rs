@@ -5,6 +5,7 @@
 //! `&mut Param` without the optimizer tracking identity.
 
 use crate::param::Param;
+use exathlon_linalg::elemwise::{self, naive_elementwise_mode};
 
 /// Optimizer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -43,28 +44,52 @@ impl Optimizer {
     /// Adam bias correction).
     pub fn step(&self, params: &mut [&mut Param], t: u64) {
         assert!(t >= 1, "step count is 1-based");
+        let naive = naive_elementwise_mode();
         match *self {
             Optimizer::Sgd { lr } => {
                 for p in params.iter_mut() {
-                    let grad = p.grad.clone();
-                    p.value.add_scaled(&grad, -lr);
+                    if naive {
+                        // Historical path: clone the gradient, then axpy.
+                        let grad = p.grad.clone();
+                        p.value.add_scaled(&grad, -lr);
+                        exathlon_linalg::obs::counter(
+                            "train.alloc_bytes",
+                            (8 * grad.as_slice().len()) as u64,
+                        );
+                    } else {
+                        // Fused in-place update — same expression, no clone.
+                        elemwise::sgd_update(p.value.as_mut_slice(), p.grad.as_slice(), lr);
+                    }
                     p.zero_grad();
                 }
             }
             Optimizer::Adam { lr, beta1, beta2, eps } => {
-                let bc1 = 1.0 - beta1.powi(t as i32);
-                let bc2 = 1.0 - beta2.powi(t as i32);
                 for p in params.iter_mut() {
-                    let n = p.value.as_slice().len();
-                    for i in 0..n {
-                        let g = p.grad.as_slice()[i];
-                        let m = beta1 * p.m.as_slice()[i] + (1.0 - beta1) * g;
-                        let v = beta2 * p.v.as_slice()[i] + (1.0 - beta2) * g * g;
-                        p.m.as_mut_slice()[i] = m;
-                        p.v.as_mut_slice()[i] = v;
-                        let m_hat = m / bc1;
-                        let v_hat = v / bc2;
-                        p.value.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                    let Param { value, grad, m, v } = &mut **p;
+                    if naive {
+                        elemwise::naive_adam_update(
+                            value.as_mut_slice(),
+                            grad.as_slice(),
+                            m.as_mut_slice(),
+                            v.as_mut_slice(),
+                            lr,
+                            beta1,
+                            beta2,
+                            eps,
+                            t,
+                        );
+                    } else {
+                        elemwise::adam_update(
+                            value.as_mut_slice(),
+                            grad.as_slice(),
+                            m.as_mut_slice(),
+                            v.as_mut_slice(),
+                            lr,
+                            beta1,
+                            beta2,
+                            eps,
+                            t,
+                        );
                     }
                     p.zero_grad();
                 }
@@ -83,9 +108,9 @@ pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f64) {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params.iter_mut() {
-            for g in p.grad.as_mut_slice() {
-                *g *= scale;
-            }
+            // Vectorized in-place scale — same per-element product as the
+            // historical `*g *= scale` loop.
+            elemwise::scale(p.grad.as_mut_slice(), scale);
         }
     }
 }
@@ -139,6 +164,29 @@ mod tests {
             opt.step(&mut [&mut p], t);
         }
         assert!((p.value[(0, 0)] - 3.0).abs() < 1e-6);
+    }
+
+    /// The in-place SGD arm must produce bitwise-identical parameters to
+    /// the historical clone-then-`add_scaled` path.
+    #[test]
+    fn sgd_inplace_matches_clone_path_bitwise() {
+        let lr = 0.0173;
+        let mut p = Param::zeros(3, 4);
+        for (i, v) in p.value.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 0.83 - 4.0).sin();
+        }
+        for (i, g) in p.grad.as_mut_slice().iter_mut().enumerate() {
+            *g = (i as f64 * 1.7 + 0.2).cos() * 3.0;
+        }
+        // Historical path, replicated verbatim: clone + add_scaled.
+        let mut expected = p.value.clone();
+        let grad_clone = p.grad.clone();
+        expected.add_scaled(&grad_clone, -lr);
+        Optimizer::sgd(lr).step(&mut [&mut p], 1);
+        let got: Vec<u64> = p.value.as_slice().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = expected.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
     }
 
     #[test]

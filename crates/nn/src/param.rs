@@ -58,11 +58,10 @@ impl Param {
         p
     }
 
-    /// Zero the gradient accumulator.
+    /// Zero the gradient accumulator (one memset-able fill, same bits as
+    /// the historical scalar loop).
     pub fn zero_grad(&mut self) {
-        for g in self.grad.as_mut_slice() {
-            *g = 0.0;
-        }
+        self.grad.as_mut_slice().fill(0.0);
     }
 
     /// Number of scalar parameters.
