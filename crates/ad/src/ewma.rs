@@ -39,32 +39,57 @@ impl EwmaDetector {
     }
 
     /// One-step EWMA forecast errors for every record of a series
-    /// (record 0 has error 0: nothing to forecast from).
+    /// (record 0 has error 0: nothing to forecast from). An empty series
+    /// yields an empty vector, matching `difference_features`' contract.
+    ///
+    /// Missing values are *gaps*, not observations: a NaN leaves the
+    /// feature's level untouched and contributes a 0 error (the previous
+    /// revision zero-filled NaNs into the level, so every gap looked like
+    /// a crash to 0.0 — a huge spurious error spike that also polluted
+    /// `error_scale` at fit time). A feature that has not yet seen a
+    /// finite value carries no level: its first observation initializes
+    /// the level with a 0 error, exactly like record 0.
     fn errors(&self, ts: &TimeSeries) -> Vec<Vec<f64>> {
+        if ts.is_empty() {
+            return Vec::new();
+        }
         let m = ts.dims();
         let a = self.config.alpha;
-        let mut level: Vec<f64> = ts.record(0).iter().map(|x| nan0(*x)).collect();
+        // NaN level = "no finite observation yet".
+        let mut level: Vec<f64> = ts.record(0).to_vec();
         let mut out = Vec::with_capacity(ts.len());
         out.push(vec![0.0; m]);
         for i in 1..ts.len() {
             let rec = ts.record(i);
             let mut errs = Vec::with_capacity(m);
             for j in 0..m {
-                let x = nan0(rec[j]);
-                errs.push(x - level[j]);
-                level[j] += a * (x - level[j]);
+                let x = rec[j];
+                if x.is_nan() {
+                    // Gap: no forecast, no level update.
+                    errs.push(0.0);
+                } else if level[j].is_nan() {
+                    // First finite observation: nothing to forecast from.
+                    errs.push(0.0);
+                    level[j] = x;
+                } else {
+                    errs.push(x - level[j]);
+                    level[j] += a * (x - level[j]);
+                }
             }
             out.push(errs);
         }
         out
     }
-}
 
-fn nan0(x: f64) -> f64 {
-    if x.is_nan() {
-        0.0
-    } else {
-        x
+    /// Per-record streaming state of this fitted detector: replaying a
+    /// trace through [`crate::stream::StreamingEwma::update`] reproduces
+    /// [`AnomalyScorer::score_series`] bitwise.
+    ///
+    /// # Panics
+    /// Panics if the detector is unfitted.
+    pub fn streaming(&self) -> crate::stream::StreamingEwma {
+        assert!(!self.error_scale.is_empty(), "detector not fitted");
+        crate::stream::StreamingEwma::new(self.config.alpha, self.error_scale.clone())
     }
 }
 
@@ -152,6 +177,78 @@ mod tests {
         let scores = det.score_series(&smooth(100));
         let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
         assert!(mean < 2.0, "smooth data should score near its training scale: {mean}");
+    }
+
+    /// Regression test: a NaN gap used to zero-fill the level (`nan0`), so
+    /// a trace hovering around 5.0 with one missing record produced a
+    /// spurious |5.0|-sized error spike at the gap *and* at the next
+    /// record (forecast from the crashed level).
+    fn gapped(n: usize, gap: usize) -> TimeSeries {
+        let records: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![if i == gap { f64::NAN } else { 5.0 + (i as f64 * 0.1).sin() * 0.01 }])
+            .collect();
+        TimeSeries::from_records(default_names(1), 0, &records)
+    }
+
+    #[test]
+    fn nan_gap_is_not_an_anomaly() {
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&gapped(300, 150)]);
+        let scores = det.score_series(&gapped(100, 50));
+        // The gap contributes a 0 error; the neighbourhood stays at the
+        // smooth-data scale instead of spiking by the level magnitude.
+        assert_eq!(scores[50], 0.0, "gap record must score 0");
+        let around_gap = scores[48..53].iter().cloned().fold(0.0, f64::max);
+        let elsewhere = scores[5..45].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            around_gap <= 3.0 * elsewhere.max(1e-9),
+            "gap neighbourhood spiked: {around_gap} vs smooth max {elsewhere}"
+        );
+    }
+
+    #[test]
+    fn nan_gap_does_not_pollute_error_scale() {
+        // Fitting on a gapped trace must give (essentially) the same
+        // error scale as fitting on the same trace without the gap: the
+        // old zero-fill inflated `error_scale` by the level magnitude.
+        let mut clean = EwmaDetector::new(EwmaConfig::default());
+        clean.fit(&[&gapped(300, usize::MAX)]);
+        let mut with_gap = EwmaDetector::new(EwmaConfig::default());
+        with_gap.fit(&[&gapped(300, 150)]);
+        let (c, g) = (clean.error_scale[0], with_gap.error_scale[0]);
+        assert!(g < 2.0 * c, "gap inflated error scale: {g} vs clean {c}");
+    }
+
+    #[test]
+    fn all_nan_prefix_initializes_on_first_value() {
+        // A feature whose first records are all NaN starts its level at
+        // the first finite value instead of forecasting from 0.0.
+        let records =
+            vec![vec![f64::NAN], vec![f64::NAN], vec![7.0], vec![7.0], vec![7.0], vec![7.0]];
+        let ts = TimeSeries::from_records(default_names(1), 0, &records);
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&smooth(300)]);
+        let scores = det.score_series(&ts);
+        assert!(scores.iter().all(|&s| s == 0.0), "constant-after-gap trace spiked: {scores:?}");
+    }
+
+    /// Regression test: an empty trace used to panic in `errors` via
+    /// `ts.record(0)`; it now returns an empty score vector, matching
+    /// `difference_features`' empty-series contract.
+    #[test]
+    fn empty_series_scores_empty() {
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&smooth(300)]);
+        let empty = TimeSeries::empty(default_names(1));
+        assert!(det.score_series(&empty).is_empty());
+    }
+
+    #[test]
+    fn single_record_scores_zero() {
+        let mut det = EwmaDetector::new(EwmaConfig::default());
+        det.fit(&[&smooth(300)]);
+        let one = TimeSeries::from_records(default_names(1), 0, &[vec![3.0]]);
+        assert_eq!(det.score_series(&one), vec![0.0]);
     }
 
     #[test]

@@ -52,6 +52,24 @@ impl KnnDetector {
         let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
         mean.sqrt()
     }
+
+    /// Score one record against the frozen reference set — the streaming
+    /// engine's per-tick path. Bitwise equal to the record's batch score:
+    /// the kernel pins each query row's distances independent of the
+    /// query-batch shape, and the k-selection afterwards is shared.
+    ///
+    /// # Panics
+    /// Panics if the detector is unfitted.
+    pub fn score_record(&self, record: &[f64]) -> f64 {
+        assert!(!self.kernel.is_empty(), "detector not fitted");
+        let k = self.config.k.min(self.kernel.len());
+        let dists = if kernel::naive_distance_mode() {
+            self.kernel.naive_sq_distances_to(record)
+        } else {
+            self.kernel.sq_distances(&[record]).row(0).to_vec()
+        };
+        Self::score_row(k, dists)
+    }
 }
 
 impl AnomalyScorer for KnnDetector {

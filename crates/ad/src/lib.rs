@@ -25,7 +25,12 @@
 //! * [`mad_ad`] — MAD point-outlier baseline (MacroBase's AD module),
 //! * [`threshold`] — the STD / MAD / IQR `S1 + c*S2` rules with factors
 //!   `c ∈ {1.5, 2, 2.5, 3}` and optional second pass: the 24 combinations
-//!   behind Table 4's best/median reporting.
+//!   behind Table 4's best/median reporting,
+//! * [`stream`] — the streaming detection engine: the
+//!   [`stream::StreamingDetector`] trait (one score per record from
+//!   O(window) state), cheap online detectors (streaming EWMA,
+//!   CUSUM / Page-Hinkley, histogram rarity, spectral residual) and
+//!   incremental adapters over the fitted batch scorers.
 
 pub mod ae_ad;
 pub mod bigan_ad;
@@ -36,6 +41,7 @@ pub mod lof;
 pub mod lstm_ad;
 pub mod mad_ad;
 pub mod scorer;
+pub mod stream;
 pub mod threshold;
 
 pub use scorer::AnomalyScorer;

@@ -104,6 +104,42 @@ impl LofDetector {
             knn.len() as f64 / sum_reach
         }
     }
+
+    /// LOF ratio of a query given its k nearest reference neighbours —
+    /// the one scoring rule shared by the batch chunks and the streaming
+    /// per-record path.
+    fn lof_score(&self, knn: &[(usize, f64)]) -> f64 {
+        let own_lrd = self.lrd_of(knn);
+        if !own_lrd.is_finite() {
+            return 1.0; // sits exactly on training data
+        }
+        if own_lrd <= 0.0 {
+            return f64::MAX.sqrt();
+        }
+        let neighbour_lrd: f64 =
+            knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>() / knn.len().max(1) as f64;
+        (neighbour_lrd / own_lrd).max(0.0)
+    }
+
+    /// Score one record against the frozen reference set — the streaming
+    /// engine's per-tick path. Bitwise equal to the record's batch score:
+    /// the kernel pins each query row's distances independent of the
+    /// query-batch shape, and the LOF arithmetic afterwards is shared.
+    ///
+    /// # Panics
+    /// Panics if the detector is unfitted.
+    pub fn score_record(&self, record: &[f64]) -> f64 {
+        assert!(!self.kernel.is_empty(), "detector not fitted");
+        let mut row = if kernel::naive_distance_mode() {
+            self.kernel.naive_sq_distances_to(record)
+        } else {
+            self.kernel.sq_distances(&[record]).row(0).to_vec()
+        };
+        for v in &mut row {
+            *v = v.sqrt();
+        }
+        self.lof_score(&self.knn_from_dists(&row, None))
+    }
 }
 
 impl AnomalyScorer for LofDetector {
@@ -169,18 +205,6 @@ impl AnomalyScorer for LofDetector {
         // Fixed-size query chunks on the shared worker pool (chunk
         // boundaries never depend on the thread count): one Gram-trick
         // GEMM per chunk replaces the per-pair scalar loops.
-        let score_from = |knn: Vec<(usize, f64)>| -> f64 {
-            let own_lrd = self.lrd_of(&knn);
-            if !own_lrd.is_finite() {
-                return 1.0; // sits exactly on training data
-            }
-            if own_lrd <= 0.0 {
-                return f64::MAX.sqrt();
-            }
-            let neighbour_lrd: f64 = knn.iter().map(|&(j, _)| self.lrd[j].min(1e12)).sum::<f64>()
-                / knn.len().max(1) as f64;
-            (neighbour_lrd / own_lrd).max(0.0)
-        };
         let records: Vec<&[f64]> = ts.records().collect();
         let chunks: Vec<&[&[f64]]> = records.chunks(kernel::DIST_CHUNK).collect();
         let scored: Vec<Vec<f64>> = exathlon_linalg::par::par_map(&chunks, |chunk| {
@@ -192,7 +216,7 @@ impl AnomalyScorer for LofDetector {
                         for v in &mut row {
                             *v = v.sqrt();
                         }
-                        score_from(self.knn_from_dists(&row, None))
+                        self.lof_score(&self.knn_from_dists(&row, None))
                     })
                     .collect()
             } else {
@@ -200,7 +224,7 @@ impl AnomalyScorer for LofDetector {
                 (0..sq.rows())
                     .map(|i| {
                         let row: Vec<f64> = sq.row(i).iter().map(|v| v.sqrt()).collect();
-                        score_from(self.knn_from_dists(&row, None))
+                        self.lof_score(&self.knn_from_dists(&row, None))
                     })
                     .collect()
             }

@@ -41,7 +41,14 @@ impl AnomalyScorer for MadDetector {
                 col.extend(ts.feature_column(j));
             }
             medians.push(median(&col));
-            mads.push(mad(&col));
+            // Floor the scale (as EWMA floors `error_scale`) so every
+            // feature contributes a *MAD-normalized* z-score to the max.
+            // The previous revision special-cased MAD ≈ 0 by feeding the
+            // raw absolute deviation into the max alongside normalized
+            // z-scores — one constant feature then dominated (or was
+            // dominated) on the wrong scale. `f64::max` also turns an
+            // all-NaN column's NaN MAD into the floor.
+            mads.push(mad(&col).max(1e-6));
         }
         self.medians = medians;
         self.mads = mads;
@@ -56,15 +63,7 @@ impl AnomalyScorer for MadDetector {
                 r.iter()
                     .zip(self.medians.iter().zip(&self.mads))
                     .filter(|(x, _)| !x.is_nan())
-                    .map(|(&x, (&med, &m))| {
-                        if m > 1e-12 {
-                            (x - med).abs() / m
-                        } else {
-                            // A constant training feature: any deviation is
-                            // infinitely surprising; use the raw deviation.
-                            (x - med).abs()
-                        }
-                    })
+                    .map(|(&x, (&med, &m))| (x - med).abs() / m)
                     .fold(0.0, f64::max)
             })
             .collect()
@@ -98,6 +97,58 @@ mod tests {
         // Outlier only in the second feature still triggers.
         let scores = det.score_series(&ts(&[vec![2.0, 50.0]]));
         assert!(scores[0] > 5.0);
+    }
+
+    /// Regression test: a constant training feature used to contribute its
+    /// *raw* absolute deviation to the max, on a different scale from the
+    /// MAD-normalized z-scores of the other features. A clear break of the
+    /// constant (deviation 3.0 from a feature that never moved) was then
+    /// outranked by a moderate z = 10 wiggle of a noisy feature; with the
+    /// floored scale all features are commensurate robust z-scores and the
+    /// infinitely-surprising constant break dominates.
+    #[test]
+    fn constant_feature_break_outranks_moderate_z() {
+        // f0 constant at 10.0 (MAD 0), f1 noisy with MAD ~ 1.5-3.
+        let train = ts(&(0..100).map(|i| vec![10.0, (i % 7) as f64]).collect::<Vec<_>>());
+        let mut det = MadDetector::new();
+        det.fit(&[&train]);
+        let z_break = det.score_series(&ts(&[vec![13.0, 3.0]]))[0]; // constant breaks by 3
+        let z_wiggle = det.score_series(&ts(&[vec![10.0, 25.0]]))[0]; // noisy feature at z ~ 10
+        assert!(
+            z_break > z_wiggle,
+            "constant-feature break {z_break} must outrank moderate z {z_wiggle}"
+        );
+    }
+
+    /// An exactly-constant test value on a constant training feature still
+    /// scores 0 under the floored scale (0 / 1e-6 = 0): the floor changes
+    /// the units of deviations, never invents one.
+    #[test]
+    fn constant_feature_at_its_value_scores_zero() {
+        let train = ts(&(0..50).map(|_| vec![42.0]).collect::<Vec<_>>());
+        let mut det = MadDetector::new();
+        det.fit(&[&train]);
+        assert_eq!(det.score_series(&ts(&[vec![42.0]]))[0], 0.0);
+    }
+
+    #[test]
+    fn all_nan_training_feature_is_benign() {
+        // An all-NaN column fits median 0 / floored MAD; scoring stays
+        // finite instead of propagating NaN scales.
+        let train = ts(&(0..50).map(|i| vec![f64::NAN, i as f64 % 5.0]).collect::<Vec<_>>());
+        let mut det = MadDetector::new();
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[vec![f64::NAN, 2.0]]));
+        assert!(scores[0].is_finite());
+    }
+
+    #[test]
+    fn empty_series_scores_empty() {
+        let train = ts(&(0..50).map(|i| vec![i as f64 % 5.0]).collect::<Vec<_>>());
+        let mut det = MadDetector::new();
+        det.fit(&[&train]);
+        let empty = TimeSeries::empty(default_names(1));
+        assert!(det.score_series(&empty).is_empty());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Streaming histogram threshold: per-feature rarity against training
+//! histograms.
+//!
+//! Fit builds one equal-width histogram per feature over the pooled
+//! training values ([`exathlon_linalg::stats::Histogram`] — the same
+//! structure MacroBase's discretization uses). Scoring a record is O(dims):
+//! each finite feature contributes the negative log2 relative frequency of
+//! its bin (Laplace-smoothed so empty bins score high but finite), values
+//! outside the training range count as an empty bin, and the record score
+//! is the maximum across features. Stateless per record, so the batch and
+//! streaming paths are the same function called through two traits.
+
+use super::StreamingDetector;
+use crate::scorer::AnomalyScorer;
+use exathlon_linalg::stats::Histogram;
+use exathlon_tsdata::TimeSeries;
+
+/// Configuration of the histogram detector.
+#[derive(Debug, Clone)]
+pub struct HistogramConfig {
+    /// Equal-width bins per feature.
+    pub bins: usize,
+}
+
+impl Default for HistogramConfig {
+    fn default() -> Self {
+        Self { bins: 64 }
+    }
+}
+
+/// The per-feature histogram rarity detector.
+#[derive(Debug, Clone)]
+pub struct HistogramDetector {
+    config: HistogramConfig,
+    /// One histogram per feature, with its training value range.
+    hists: Vec<(Histogram, f64, f64)>,
+}
+
+impl HistogramDetector {
+    /// Create an (unfitted) detector.
+    pub fn new(config: HistogramConfig) -> Self {
+        assert!(config.bins > 0, "need at least one bin");
+        Self { config, hists: Vec::new() }
+    }
+
+    /// Rarity of one record: max over finite features of the smoothed
+    /// negative log2 bin frequency.
+    fn score_record(&self, record: &[f64]) -> f64 {
+        assert_eq!(record.len(), self.hists.len(), "dimension mismatch");
+        let bins = self.config.bins;
+        let mut score = 0.0f64;
+        for (&x, (h, lo, hi)) in record.iter().zip(&self.hists) {
+            if x.is_nan() {
+                continue;
+            }
+            // Out-of-range values saw zero training mass; in-range values
+            // read their bin count.
+            let count = if x < *lo || x > *hi { 0 } else { h.counts()[h.bin_of(x)] };
+            let p = (count as f64 + 1.0) / (h.total() as f64 + bins as f64);
+            score = score.max(-p.log2());
+        }
+        score
+    }
+}
+
+impl AnomalyScorer for HistogramDetector {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn fit(&mut self, train: &[&TimeSeries]) {
+        let _sp = exathlon_linalg::obs::span("train", "Histogram.fit");
+        assert!(!train.is_empty(), "no training traces");
+        let dims = train[0].dims();
+        let mut hists = Vec::with_capacity(dims);
+        for j in 0..dims {
+            let mut col = Vec::new();
+            for ts in train {
+                col.extend(ts.feature_column(j));
+            }
+            let h = Histogram::from_data(&col, self.config.bins);
+            let lo = h.bin_bounds(0).0;
+            let hi = h.bin_bounds(self.config.bins - 1).1;
+            hists.push((h, lo, hi));
+        }
+        self.hists = hists;
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "Histogram.series");
+        assert!(!self.hists.is_empty(), "detector not fitted");
+        ts.records().map(|r| self.score_record(r)).collect()
+    }
+}
+
+impl StreamingDetector for HistogramDetector {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn update(&mut self, record: &[f64]) -> f64 {
+        assert!(!self.hists.is_empty(), "detector not fitted");
+        self.score_record(record)
+    }
+
+    fn reset(&mut self) {
+        // Stateless per record: nothing to forget.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    fn ts(records: &[Vec<f64>]) -> TimeSeries {
+        TimeSeries::from_records(default_names(records[0].len()), 0, records)
+    }
+
+    #[test]
+    fn rare_values_score_higher_than_common() {
+        // 90% of mass near 0, a little near 5.
+        let mut records: Vec<Vec<f64>> = (0..180).map(|i| vec![(i % 10) as f64 * 0.05]).collect();
+        records.extend((0..20).map(|i| vec![5.0 + (i % 3) as f64 * 0.05]));
+        let train = ts(&records);
+        let mut det = HistogramDetector::new(HistogramConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[vec![0.2], vec![5.0], vec![2.5]]));
+        assert!(scores[1] > scores[0], "rare region must outscore common: {scores:?}");
+        assert!(scores[2] > scores[1], "empty bin must outscore rare: {scores:?}");
+    }
+
+    #[test]
+    fn out_of_range_scores_like_empty_bin() {
+        let train = ts(&(0..100).map(|i| vec![(i % 10) as f64]).collect::<Vec<_>>());
+        let mut det = HistogramDetector::new(HistogramConfig::default());
+        det.fit(&[&train]);
+        let scores = det.score_series(&ts(&[vec![1e6], vec![4.5]]));
+        assert!(scores[0] >= scores[1], "out-of-range must score at least in-range: {scores:?}");
+        assert!(scores[0].is_finite(), "smoothing must keep unseen bins finite");
+    }
+
+    #[test]
+    fn nan_features_skipped() {
+        let train = ts(&(0..50).map(|i| vec![i as f64 % 5.0]).collect::<Vec<_>>());
+        let mut det = HistogramDetector::new(HistogramConfig::default());
+        det.fit(&[&train]);
+        assert_eq!(det.score_series(&ts(&[vec![f64::NAN]]))[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        let det = HistogramDetector::new(HistogramConfig::default());
+        let _ = det.score_series(&ts(&[vec![1.0]]));
+    }
+}

@@ -1,0 +1,323 @@
+//! Spectral Residual saliency over a ring-buffer window (Ren et al.,
+//! "Time-Series Anomaly Detection Service at Microsoft", KDD 2019).
+//!
+//! SR treats anomaly detection as visual saliency: take the FFT of a short
+//! window, subtract the local average of the log-amplitude spectrum (the
+//! "spectral residual"), transform back, and points that stick out of the
+//! reconstructed saliency map are anomalies. It needs no training at all,
+//! which makes it the natural fit-free member of the streaming family —
+//! state is one ring buffer of aggregated records plus FFT scratch.
+//!
+//! Each incoming record is aggregated to a scalar (mean of its finite
+//! features; a fully-missing record repeats the previous aggregate) and
+//! pushed into a [`RingWindow`]. Once the window fills, `update` returns
+//! the saliency of the *newest* point relative to the window mean. Until
+//! then it returns 0 — a stream cannot look at data it has not seen.
+
+use super::StreamingDetector;
+use crate::scorer::AnomalyScorer;
+use exathlon_tsdata::ring::RingWindow;
+use exathlon_tsdata::TimeSeries;
+
+const EPS: f64 = 1e-8;
+
+/// Configuration of the spectral residual detector.
+#[derive(Debug, Clone)]
+pub struct SpectralResidualConfig {
+    /// FFT window length; must be a power of two.
+    pub window: usize,
+    /// Width of the average filter applied to the log-amplitude spectrum.
+    pub saliency_avg: usize,
+}
+
+impl Default for SpectralResidualConfig {
+    fn default() -> Self {
+        Self { window: 64, saliency_avg: 3 }
+    }
+}
+
+/// The SR saliency detector. Fit-free: construct and stream.
+#[derive(Debug, Clone)]
+pub struct SpectralResidualDetector {
+    config: SpectralResidualConfig,
+    ring: RingWindow,
+    /// Last aggregate seen, carried across fully-missing records.
+    last_agg: f64,
+    /// Reused FFT / saliency scratch, sized `window`.
+    scratch: Scratch,
+}
+
+#[derive(Debug, Clone)]
+struct Scratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    log_amp: Vec<f64>,
+}
+
+impl SpectralResidualDetector {
+    /// Create a detector.
+    ///
+    /// # Panics
+    /// Panics if `window` is not a power of two or `saliency_avg` is zero.
+    pub fn new(config: SpectralResidualConfig) -> Self {
+        assert!(
+            config.window >= 2 && config.window.is_power_of_two(),
+            "SR window must be a power of two >= 2"
+        );
+        assert!(config.saliency_avg > 0, "saliency filter needs width >= 1");
+        let n = config.window;
+        Self {
+            ring: RingWindow::new(n, 1),
+            last_agg: 0.0,
+            scratch: Scratch { re: vec![0.0; n], im: vec![0.0; n], log_amp: vec![0.0; n] },
+            config,
+        }
+    }
+
+    /// Mean of the record's finite features; falls back to the previous
+    /// aggregate when every feature is missing.
+    fn aggregate(&mut self, record: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &x in record {
+            if !x.is_nan() {
+                sum += x;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.last_agg = sum / n as f64;
+        }
+        self.last_agg
+    }
+
+    /// One streaming step: push the aggregate, return the newest point's
+    /// saliency once the window is full.
+    fn step(&mut self, record: &[f64]) -> f64 {
+        let agg = self.aggregate(record);
+        self.ring.push(&[agg]);
+        if !self.ring.is_full() {
+            return 0.0;
+        }
+        let n = self.config.window;
+        let q = self.config.saliency_avg;
+        let Scratch { re, im, log_amp } = &mut self.scratch;
+        self.ring.copy_flat_into(re);
+        im.fill(0.0);
+        fft(re, im, false);
+        // Log-amplitude spectrum and its trailing average; the residual
+        // rescales the spectrum in place.
+        for i in 0..n {
+            log_amp[i] = (re[i] * re[i] + im[i] * im[i]).sqrt().ln_1p();
+        }
+        let mut window_sum = 0.0;
+        for i in 0..n {
+            window_sum += log_amp[i];
+            if i >= q {
+                window_sum -= log_amp[i - q];
+            }
+            let width = q.min(i + 1) as f64;
+            let residual = log_amp[i] - window_sum / width;
+            // exp(residual) relative to the amplitude: scale both complex
+            // parts so the spectrum keeps its phase but takes the residual's
+            // magnitude. ln_1p above means amp = exp(log_amp) - 1.
+            let amp = log_amp[i].exp_m1();
+            let scale = if amp > EPS { residual.exp() / amp } else { 0.0 };
+            re[i] *= scale;
+            im[i] *= scale;
+        }
+        fft(re, im, true);
+        // Saliency = magnitude of the inverse transform; score the newest
+        // (last) point against the window mean.
+        let mut mean = 0.0;
+        for i in 0..n {
+            log_amp[i] = (re[i] * re[i] + im[i] * im[i]).sqrt();
+            mean += log_amp[i];
+        }
+        mean /= n as f64;
+        ((log_amp[n - 1] - mean) / (mean + EPS)).max(0.0)
+    }
+}
+
+/// In-place iterative radix-2 FFT (Cooley–Tukey); `invert` runs the
+/// inverse transform including the `1/n` normalization. Lengths must be a
+/// power of two — the constructor guarantees that for all internal calls.
+fn fft(re: &mut [f64], im: &mut [f64], invert: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two() && im.len() == n);
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = 2.0 * std::f64::consts::PI / len as f64 * if invert { 1.0 } else { -1.0 };
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (a, b) = (i + k, i + k + len / 2);
+                let (ur, ui) = (re[a], im[a]);
+                let vr = re[b] * cur_re - im[b] * cur_im;
+                let vi = re[b] * cur_im + im[b] * cur_re;
+                re[a] = ur + vr;
+                im[a] = ui + vi;
+                re[b] = ur - vr;
+                im[b] = ui - vi;
+                let nr = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = nr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if invert {
+        let inv = 1.0 / n as f64;
+        for i in 0..n {
+            re[i] *= inv;
+            im[i] *= inv;
+        }
+    }
+}
+
+impl AnomalyScorer for SpectralResidualDetector {
+    fn name(&self) -> &'static str {
+        "SpectralResidual"
+    }
+
+    fn fit(&mut self, _train: &[&TimeSeries]) {
+        // SR is training-free; fit is accepted for pipeline uniformity.
+    }
+
+    fn score_series(&self, ts: &TimeSeries) -> Vec<f64> {
+        let _sp = exathlon_linalg::obs::span("score", "SpectralResidual.series");
+        let mut fresh = self.clone();
+        StreamingDetector::reset(&mut fresh);
+        ts.records().map(|r| fresh.step(r)).collect()
+    }
+}
+
+impl StreamingDetector for SpectralResidualDetector {
+    fn name(&self) -> &'static str {
+        "SpectralResidual"
+    }
+
+    fn update(&mut self, record: &[f64]) -> f64 {
+        self.step(record)
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+        self.last_agg = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_tsdata::series::default_names;
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im, false);
+        fft(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - orig[i]).abs() < 1e-9, "re[{i}]");
+            assert!(im[i].abs() < 1e-9, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let mut re = vec![3.0; 8];
+        let mut im = vec![0.0; 8];
+        fft(&mut re, &mut im, false);
+        assert!((re[0] - 24.0).abs() < 1e-9);
+        for i in 1..8 {
+            assert!(re[i].abs() < 1e-9 && im[i].abs() < 1e-9, "bin {i} must be empty");
+        }
+    }
+
+    #[test]
+    fn spike_is_salient_smooth_is_not() {
+        let cfg = SpectralResidualConfig { window: 32, saliency_avg: 3 };
+        let mut det = SpectralResidualDetector::new(cfg);
+        let mut smooth_max = 0.0f64;
+        // Warm up + steady sinusoid: low saliency once the window fills.
+        for i in 0..200 {
+            let s = det.update(&[(i as f64 * 0.2).sin()]);
+            if i >= 32 {
+                smooth_max = smooth_max.max(s);
+            }
+        }
+        // A spike at the newest point must dominate everything smooth.
+        let spike = det.update(&[25.0]);
+        assert!(spike > smooth_max * 4.0, "spike saliency {spike} vs smooth max {smooth_max}");
+    }
+
+    #[test]
+    fn warmup_scores_zero_until_window_full() {
+        let cfg = SpectralResidualConfig { window: 16, saliency_avg: 3 };
+        let mut det = SpectralResidualDetector::new(cfg);
+        for i in 0..15 {
+            assert_eq!(det.update(&[i as f64]), 0.0, "tick {i} is pre-warmup");
+        }
+    }
+
+    #[test]
+    fn batch_equals_replay() {
+        let cfg = SpectralResidualConfig { window: 16, saliency_avg: 3 };
+        let records: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let v = (i as f64 * 0.31).sin() + if i == 77 { 6.0 } else { 0.0 };
+                vec![v, if i % 9 == 0 { f64::NAN } else { v * 0.5 }]
+            })
+            .collect();
+        let ts = TimeSeries::from_records(default_names(2), 0, &records);
+        let det = SpectralResidualDetector::new(cfg);
+        let batch = det.score_series(&ts);
+        let mut streaming = det.clone();
+        let streamed = super::super::replay(&mut streaming, &ts);
+        assert_eq!(batch, streamed, "one recurrence, two drivers");
+    }
+
+    #[test]
+    fn fully_missing_record_repeats_last_aggregate() {
+        let cfg = SpectralResidualConfig { window: 16, saliency_avg: 3 };
+        let mut det = SpectralResidualDetector::new(cfg);
+        for i in 0..40 {
+            det.update(&[(i as f64 * 0.2).sin()]);
+        }
+        let before = det.clone();
+        let s_gap = det.update(&[f64::NAN]);
+        // The gap must not be an excursion: its aggregate equals the
+        // previous record's, so saliency stays in the smooth regime.
+        let mut ctrl = before.clone();
+        let s_repeat = ctrl.update(&[before.last_agg]);
+        assert_eq!(s_gap, s_repeat, "gap must behave like a repeated value");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_window_panics() {
+        let _ =
+            SpectralResidualDetector::new(SpectralResidualConfig { window: 48, saliency_avg: 3 });
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-record latency of the streaming detection engine: every
+//! `StreamMethod` fitted exactly as the replay driver fits it, then timed
+//! feeding a sparksim test trace record-by-record through
+//! `StreamingDetector::update`.
+//!
+//! Runs single-threaded (`EXATHLON_THREADS=1` forced up front) so the
+//! numbers measure per-tick detector cost, not the worker pool. Cross-
+//! checks the wall-clock timings against the `stream.*` observability
+//! counters metered by `replay_series`, and writes
+//! `results/BENCH_stream.json`.
+
+use exathlon_core::config::{ExperimentConfig, StreamMethod};
+use exathlon_core::experiment::prepare;
+use exathlon_core::model::TrainingBudget;
+use exathlon_core::replay::{build_streaming, replay_series, stream_seed};
+use exathlon_sparksim::dataset::DatasetBuilder;
+use std::time::Instant;
+
+/// One measured streaming method.
+struct Row {
+    name: &'static str,
+    records: usize,
+    ns_per_record: f64,
+}
+
+impl Row {
+    fn records_per_sec(&self) -> f64 {
+        if self.ns_per_record > 0.0 {
+            1e9 / self.ns_per_record
+        } else {
+            0.0
+        }
+    }
+}
+
+fn to_json(rows: &[Row], obs_records: u64, obs_score_ns: u64) -> String {
+    let mut out = String::from("{\n  \"threads\": 1,\n  \"unit\": \"ns/record (median)\",\n");
+    out.push_str("  \"methods\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"records\": {}, \"ns_per_record\": {:.1}, \
+             \"records_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.records,
+            r.ns_per_record,
+            r.records_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs\": {{\"stream.records\": {obs_records}, \"stream.score_ns\": {obs_score_ns}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    // Single-core measurement: set before the first kernel call.
+    std::env::set_var(exathlon_linalg::par::THREADS_ENV, "1");
+    std::env::remove_var(exathlon_linalg::obs::PROFILE_ENV);
+    exathlon_linalg::obs::refresh();
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 9 };
+
+    // The replay driver's own data path: simulate, partition, transform.
+    let ds = DatasetBuilder::tiny(11).build();
+    let config = ExperimentConfig::default();
+    let (_transform, train, tests) = prepare(&ds, &config);
+    let test = &tests.iter().max_by_key(|t| t.series.len()).expect("no test traces").series;
+    let budget = if quick { TrainingBudget::Quick } else { TrainingBudget::Standard };
+
+    println!("Streaming per-record latency ({} records/trace, {reps} reps, median):\n", test.len());
+    println!("{:<18} {:>10} {:>16} {:>14}", "method", "records", "ns/record", "records/s");
+
+    let mut rows = Vec::new();
+    for method in StreamMethod::ALL {
+        let mut det = build_streaming(
+            method,
+            &train,
+            config.threshold_holdout,
+            budget,
+            stream_seed(config.seed, method),
+        );
+        // Warm-up replay outside the sample (first-touch allocations).
+        std::hint::black_box(replay_series(det.as_mut(), test));
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(replay_series(det.as_mut(), test));
+                start.elapsed().as_nanos() as f64 / test.len().max(1) as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let row = Row {
+            name: method.label(),
+            records: test.len(),
+            ns_per_record: samples[samples.len() / 2],
+        };
+        println!(
+            "{:<18} {:>10} {:>16.1} {:>14.0}",
+            row.name,
+            row.records,
+            row.ns_per_record,
+            row.records_per_sec()
+        );
+        rows.push(row);
+    }
+
+    // Cross-check: one profiled replay per method must meter the same
+    // record count through the `stream.*` counters.
+    std::env::set_var(exathlon_linalg::obs::PROFILE_ENV, "1");
+    exathlon_linalg::obs::refresh();
+    exathlon_linalg::obs::reset();
+    for method in StreamMethod::ALL {
+        let mut det = build_streaming(
+            method,
+            &train,
+            config.threshold_holdout,
+            TrainingBudget::Quick,
+            stream_seed(config.seed, method),
+        );
+        std::hint::black_box(replay_series(det.as_mut(), test));
+    }
+    let report = exathlon_linalg::obs::report();
+    let get =
+        |name: &str| report.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+    let obs_records = get("stream.records");
+    let obs_score_ns = get("stream.score_ns");
+    std::env::remove_var(exathlon_linalg::obs::PROFILE_ENV);
+    exathlon_linalg::obs::refresh();
+    assert_eq!(
+        obs_records,
+        (test.len() * StreamMethod::ALL.len()) as u64,
+        "stream.records counter disagrees with the replayed record count"
+    );
+    println!("\nobs: stream.records {obs_records}, stream.score_ns {obs_score_ns}");
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_stream.json");
+    std::fs::write(&path, to_json(&rows, obs_records, obs_score_ns))
+        .expect("write BENCH_stream.json");
+    println!("\nWrote {}", path.display());
+}

@@ -148,6 +148,72 @@ impl AdMethod {
     }
 }
 
+/// A detector of the streaming replay driver (the online counterpart of
+/// [`AdMethod`]). Four of these wrap a batch method's fitted model and
+/// reproduce its scores record-by-record; the others are stream-native
+/// drift/rarity detectors with no batch twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamMethod {
+    /// Streaming EWMA forecaster (bitwise-equal to the batch EWMA).
+    Ewma,
+    /// Two-sided CUSUM mean-shift detector over robust z-scores.
+    Cusum,
+    /// Page-Hinkley drift detector over robust z-scores.
+    PageHinkley,
+    /// Per-feature histogram rarity threshold.
+    Histogram,
+    /// Spectral residual saliency over a ring-buffer window.
+    SpectralResidual,
+    /// Autoencoder scored over a sliding ring-buffer window.
+    Ae,
+    /// Per-record kNN against the frozen reference set (bitwise-equal).
+    Knn,
+    /// Per-record LOF against the frozen reference set (bitwise-equal).
+    Lof,
+}
+
+impl StreamMethod {
+    /// Every streaming detector, cheap statistical ones first.
+    pub const ALL: [StreamMethod; 8] = [
+        StreamMethod::Ewma,
+        StreamMethod::Cusum,
+        StreamMethod::PageHinkley,
+        StreamMethod::Histogram,
+        StreamMethod::SpectralResidual,
+        StreamMethod::Ae,
+        StreamMethod::Knn,
+        StreamMethod::Lof,
+    ];
+
+    /// Display name for reports and bench labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamMethod::Ewma => "EWMA",
+            StreamMethod::Cusum => "CUSUM",
+            StreamMethod::PageHinkley => "PageHinkley",
+            StreamMethod::Histogram => "Histogram",
+            StreamMethod::SpectralResidual => "SpectralResidual",
+            StreamMethod::Ae => "AE",
+            StreamMethod::Knn => "kNN",
+            StreamMethod::Lof => "LOF",
+        }
+    }
+
+    /// The batch method whose fitted model this streaming detector
+    /// replays (`None` for the stream-native detectors). Shared-method
+    /// pairs must derive the same training seed so the equivalence tests
+    /// compare identical models.
+    pub fn batch_method(&self) -> Option<AdMethod> {
+        match self {
+            StreamMethod::Ewma => Some(AdMethod::Ewma),
+            StreamMethod::Ae => Some(AdMethod::Ae),
+            StreamMethod::Knn => Some(AdMethod::Knn),
+            StreamMethod::Lof => Some(AdMethod::Lof),
+            _ => None,
+        }
+    }
+}
+
 /// A full experiment configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -201,6 +267,24 @@ mod tests {
         assert_eq!(FeatureSpace::Custom.label(), "FS_custom");
         assert_eq!(FeatureSpace::Pca(19).label(), "FS_pca(19)");
         assert_eq!(AdMethod::Ae.label(), "AE");
+    }
+
+    #[test]
+    fn stream_methods_pair_with_their_batch_twins() {
+        // Wrapped methods share the batch label (same fitted model, two
+        // drivers); stream-native detectors have no twin.
+        for m in StreamMethod::ALL {
+            match m.batch_method() {
+                Some(b) => assert_eq!(b.label(), m.label(), "{m:?} label drifted"),
+                None => assert!(matches!(
+                    m,
+                    StreamMethod::Cusum
+                        | StreamMethod::PageHinkley
+                        | StreamMethod::Histogram
+                        | StreamMethod::SpectralResidual
+                )),
+            }
+        }
     }
 
     #[test]

@@ -72,14 +72,52 @@ impl PipelineRun {
 /// identical RNG streams, silently correlating methods that the paper
 /// evaluates as independent.
 pub fn method_seed(experiment_seed: u64, method: AdMethod) -> u64 {
+    seed_from_label(experiment_seed, method.label())
+}
+
+/// FNV-1a fold of an arbitrary method label into the experiment seed —
+/// the label-keyed form of [`method_seed`] the streaming replay driver
+/// uses for its stream-native detectors (CUSUM, Page-Hinkley, ...),
+/// which have no [`AdMethod`] to key on.
+pub fn seed_from_label(experiment_seed: u64, label: &str) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
     let mut h = FNV_OFFSET;
-    for b in method.label().bytes() {
+    for b in label.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
     }
     experiment_seed ^ h
+}
+
+/// Pipeline phases 1–2 (partition + transform), shared by the batch
+/// pipeline and the streaming replay driver: both must see bit-identical
+/// transformed traces for the equivalence pins to compare scorers rather
+/// than data plumbing.
+pub fn prepare(
+    ds: &Dataset,
+    config: &ExperimentConfig,
+) -> (FittedTransform, Vec<exathlon_tsdata::TimeSeries>, Vec<TransformedTest>) {
+    let partitioned = {
+        let _stage = crate::obs::stage("partition");
+        partition(ds, config.setting, config.peek_fraction)
+    };
+    let _stage = crate::obs::stage("transform");
+    let (transform, train) = FittedTransform::fit(&partitioned.train, config);
+    let tests: Vec<TransformedTest> = partitioned
+        .test
+        .iter()
+        .map(|s| {
+            let _sp = crate::obs::span("transform", "apply_test");
+            transform.apply_test(s)
+        })
+        .collect();
+    crate::obs::add_records(
+        "transform",
+        train.iter().map(|t| t.len() as u64).sum::<u64>()
+            + tests.iter().map(|t| t.series.len() as u64).sum::<u64>(),
+    );
+    (transform, train, tests)
 }
 
 /// Run the pipeline end to end: partition, transform, then train and
@@ -90,28 +128,7 @@ pub fn run_pipeline(
     methods: &[AdMethod],
     budget: TrainingBudget,
 ) -> PipelineRun {
-    let partitioned = {
-        let _stage = crate::obs::stage("partition");
-        partition(ds, config.setting, config.peek_fraction)
-    };
-    let (transform, train, tests) = {
-        let _stage = crate::obs::stage("transform");
-        let (transform, train) = FittedTransform::fit(&partitioned.train, config);
-        let tests: Vec<TransformedTest> = partitioned
-            .test
-            .iter()
-            .map(|s| {
-                let _sp = crate::obs::span("transform", "apply_test");
-                transform.apply_test(s)
-            })
-            .collect();
-        crate::obs::add_records(
-            "transform",
-            train.iter().map(|t| t.len() as u64).sum::<u64>()
-                + tests.iter().map(|t| t.series.len() as u64).sum::<u64>(),
-        );
-        (transform, train, tests)
-    };
+    let (transform, train, tests) = prepare(ds, config);
 
     // Methods train and score on the shared worker pool; each method is
     // fully independent (own seed, own model), and `par_map` preserves

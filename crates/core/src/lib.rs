@@ -14,7 +14,9 @@
 //!    BiGAN / baselines) on `D¹_train`, derive outlier scores, and fit
 //!    unsupervised thresholds on `D²_train`.
 //! 4. **AD inference** — score every test trace; contiguous positive
-//!    predictions form predicted anomaly ranges.
+//!    predictions form predicted anomaly ranges. [`replay`] is the online
+//!    form of this phase: the streaming engine feeds each trace
+//!    record-by-record through `exathlon_ad::stream` detectors.
 //! 5. **AD evaluation** — [`evaluate`]: separation AUPRC at trace /
 //!    application / global level (Table 3) and range-based
 //!    precision/recall at AD1–AD4 across the 24 thresholding rules
@@ -36,6 +38,7 @@ pub mod model;
 pub mod obs;
 pub mod par;
 pub mod partition;
+pub mod replay;
 pub mod report;
 pub mod transform;
 

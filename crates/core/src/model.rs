@@ -88,14 +88,8 @@ pub fn build_scorer(
             };
             Box::new(BiGanDetector::new(config))
         }
-        AdMethod::Knn => Box::new(KnnDetector::new(KnnConfig {
-            k: 5,
-            max_references: if quick { 500 } else { 2000 },
-        })),
-        AdMethod::Lof => Box::new(LofDetector::new(LofConfig {
-            k: 10,
-            max_references: if quick { 300 } else { 1000 },
-        })),
+        AdMethod::Knn => Box::new(KnnDetector::new(knn_config_for(budget))),
+        AdMethod::Lof => Box::new(LofDetector::new(lof_config_for(budget))),
         AdMethod::IForest => Box::new(IsolationForestDetector::new(IsolationForestConfig {
             n_trees: if quick { 50 } else { 100 },
             sample_size: 256,
@@ -119,6 +113,21 @@ pub fn ae_config_for(budget: TrainingBudget, seed: u64) -> AeConfig {
         seed,
         ..AeConfig::default()
     }
+}
+
+/// The kNN configuration matching [`build_scorer`] — the single source
+/// of truth the streaming replay driver builds from, so the batch-vs-
+/// streaming equivalence pin compares identical models.
+pub fn knn_config_for(budget: TrainingBudget) -> KnnConfig {
+    let quick = budget == TrainingBudget::Quick;
+    KnnConfig { k: 5, max_references: if quick { 500 } else { 2000 } }
+}
+
+/// The LOF configuration matching [`build_scorer`] (see
+/// [`knn_config_for`]).
+pub fn lof_config_for(budget: TrainingBudget) -> LofConfig {
+    let quick = budget == TrainingBudget::Quick;
+    LofConfig { k: 10, max_references: if quick { 300 } else { 1000 } }
 }
 
 /// Split the transformed training traces into `D¹_train` (model fitting)

@@ -19,9 +19,12 @@
 //!   the paper's *dynamic* scaler that adapts to the new context of each
 //!   test trace as the AD model runs over it,
 //! * [`sample`] — clamped evenly-spaced subsampling shared by the scorer
-//!   pools, kNN/LOF reference sets, and the PCA row subsample.
+//!   pools, kNN/LOF reference sets, and the PCA row subsample,
+//! * [`ring`] — the streaming engine's fixed-capacity ring-buffer window
+//!   (a batch window whose `start` advances one record per tick).
 
 pub mod resample;
+pub mod ring;
 pub mod sample;
 pub mod scale;
 pub mod series;

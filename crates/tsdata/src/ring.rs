@@ -1,0 +1,198 @@
+//! Ring-buffer window view — the streaming counterpart of
+//! [`crate::window::WindowSet`].
+//!
+//! A batch window is a `(trace, start)` view over a fully materialized
+//! series; a stream has no such buffer, so the streaming engine keeps the
+//! last `capacity` records in a fixed ring and re-linearizes them on
+//! demand. [`RingWindow::copy_flat_into`] produces exactly the
+//! record-major flattened layout of [`crate::window::flatten_window`], so
+//! a model scored on ring windows sees bit-identical inputs to its batch
+//! windows — the substrate of the streaming-vs-batch equivalence pin.
+
+/// A fixed-capacity ring buffer of multivariate records.
+///
+/// Storage is one contiguous `capacity * dims` buffer; pushing is one
+/// `copy_from_slice` into the current slot, overwriting the oldest record
+/// once full. No allocation after construction.
+#[derive(Debug, Clone)]
+pub struct RingWindow {
+    buf: Vec<f64>,
+    dims: usize,
+    capacity: usize,
+    /// Slot the next push writes to.
+    head: usize,
+    /// Number of records currently held (≤ capacity).
+    len: usize,
+}
+
+impl RingWindow {
+    /// An empty ring holding up to `capacity` records of `dims` features.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `dims` is zero.
+    pub fn new(capacity: usize, dims: usize) -> Self {
+        assert!(capacity > 0 && dims > 0, "ring capacity and dims must be positive");
+        Self { buf: vec![0.0; capacity * dims], dims, capacity, head: 0, len: 0 }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no record has been pushed (or after [`RingWindow::clear`]).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the ring holds `capacity` records.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Maximum number of records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Features per record.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Length of one flattened window (`capacity * dims`).
+    pub fn flat_len(&self) -> usize {
+        self.capacity * self.dims
+    }
+
+    /// Push one record, overwriting the oldest once full.
+    ///
+    /// # Panics
+    /// Panics if the record length does not match `dims`.
+    pub fn push(&mut self, record: &[f64]) {
+        assert_eq!(record.len(), self.dims, "ring push record length mismatch");
+        let at = self.head * self.dims;
+        self.buf[at..at + self.dims].copy_from_slice(record);
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Record `i` in chronological order (0 = oldest held).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn record(&self, i: usize) -> &[f64] {
+        assert!(i < self.len, "ring record {i} out of bounds (len {})", self.len);
+        // Oldest record sits at `head` once full, at 0 before that.
+        let first = if self.len == self.capacity { self.head } else { 0 };
+        let slot = (first + i) % self.capacity;
+        &self.buf[slot * self.dims..(slot + 1) * self.dims]
+    }
+
+    /// Newest record, if any.
+    pub fn latest(&self) -> Option<&[f64]> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.record(self.len - 1))
+        }
+    }
+
+    /// Copy the held records into `out` in chronological record-major
+    /// order — the layout of [`crate::window::flatten_window`]. At most
+    /// two `copy_from_slice` calls (the ring wraps once).
+    ///
+    /// # Panics
+    /// Panics unless the ring is full and `out.len() == flat_len()`.
+    pub fn copy_flat_into(&self, out: &mut [f64]) {
+        assert!(self.is_full(), "ring window not full yet");
+        assert_eq!(out.len(), self.flat_len(), "ring flatten length mismatch");
+        let split = self.head * self.dims;
+        let tail = self.buf.len() - split;
+        out[..tail].copy_from_slice(&self.buf[split..]);
+        out[tail..].copy_from_slice(&self.buf[..split]);
+    }
+
+    /// Forget every record (capacity and dims are kept).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{default_names, TimeSeries};
+    use crate::window::flatten_window;
+
+    #[test]
+    fn fills_then_rotates() {
+        let mut r = RingWindow::new(3, 2);
+        assert!(r.is_empty());
+        r.push(&[0.0, 1.0]);
+        r.push(&[2.0, 3.0]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_full());
+        assert_eq!(r.record(0), &[0.0, 1.0]);
+        assert_eq!(r.latest().unwrap(), &[2.0, 3.0]);
+        r.push(&[4.0, 5.0]);
+        assert!(r.is_full());
+        r.push(&[6.0, 7.0]); // overwrites [0, 1]
+        assert_eq!(r.record(0), &[2.0, 3.0]);
+        assert_eq!(r.record(2), &[6.0, 7.0]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn flatten_matches_batch_window_layout() {
+        // Pushing records i..i+w must linearize exactly like the batch
+        // flatten of the same range, for every rotation of the ring.
+        let records: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 10.0 + i as f64]).collect();
+        let ts = TimeSeries::from_records(default_names(2), 0, &records);
+        let w = 4;
+        let mut r = RingWindow::new(w, 2);
+        let mut flat = vec![f64::NAN; w * 2];
+        for i in 0..ts.len() {
+            r.push(ts.record(i));
+            if i + 1 >= w {
+                r.copy_flat_into(&mut flat);
+                let expect = flatten_window(&ts, i + 1 - w, w);
+                assert_eq!(flat, expect, "mismatch at window ending {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RingWindow::new(2, 1);
+        r.push(&[1.0]);
+        r.push(&[2.0]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.latest(), None);
+        r.push(&[3.0]);
+        assert_eq!(r.record(0), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not full")]
+    fn flatten_before_full_panics() {
+        let r = RingWindow::new(3, 1);
+        let mut out = vec![0.0; 3];
+        r.copy_flat_into(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_push_panics() {
+        let mut r = RingWindow::new(2, 2);
+        r.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = RingWindow::new(0, 1);
+    }
+}
