@@ -8,6 +8,7 @@
 //! exactly-once detection (AD4).
 
 use crate::scorer::{pooled_windows, window_batch, AnomalyScorer};
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_linalg::Matrix;
 use exathlon_nn::activation::Activation;
 use exathlon_nn::loss::row_squared_errors;
@@ -88,6 +89,44 @@ impl AutoencoderDetector {
     /// The configured window length.
     pub fn window_len(&self) -> usize {
         self.config.window
+    }
+
+    /// Serialize the config and (if fitted) the trained network into `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.window);
+        w.put_usizes(&self.config.hidden);
+        w.put_usize(self.config.code);
+        w.put_usize(self.config.epochs);
+        w.put_usize(self.config.batch_size);
+        w.put_f64(self.config.lr);
+        w.put_usize(self.config.max_windows);
+        w.put_u64(self.config.seed);
+        w.put_bool(self.model.is_some());
+        if let Some(model) = &self.model {
+            model.encode(w);
+        }
+    }
+
+    /// Decode a detector written by [`AutoencoderDetector::encode`].
+    /// Restored weights are bitwise identical, so window scores
+    /// reproduce exactly.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let window = r.get_usize()?;
+        if window == 0 {
+            return Err(CodecError::Corrupt("AE window must be positive"));
+        }
+        let hidden = r.get_usizes()?;
+        let code = r.get_usize()?;
+        let epochs = r.get_usize()?;
+        let batch_size = r.get_usize()?;
+        let lr = r.get_f64()?;
+        let max_windows = r.get_usize()?;
+        let seed = r.get_u64()?;
+        let model = if r.get_bool()? { Some(exathlon_nn::Mlp::decode(r)?) } else { None };
+        Ok(Self {
+            config: AeConfig { window, hidden, code, epochs, batch_size, lr, max_windows, seed },
+            model,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! sensitive to data dimensions"), and used by the ablation benches.
 
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_linalg::kernel::{self, DistanceKernel};
 use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
 use exathlon_tsdata::TimeSeries;
@@ -69,6 +70,26 @@ impl KnnDetector {
             self.kernel.sq_distances(&[record]).row(0).to_vec()
         };
         Self::score_row(k, dists)
+    }
+
+    /// Serialize the fitted detector (config + reference kernel) into `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.k);
+        w.put_usize(self.config.max_references);
+        self.kernel.encode(w);
+    }
+
+    /// Decode a detector written by [`KnnDetector::encode`]. The kernel
+    /// rederives its transposed/norm caches from the references with the
+    /// fit-time arithmetic, so restored scores are bitwise identical.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.get_usize()?;
+        if k == 0 {
+            return Err(CodecError::Corrupt("kNN k must be positive"));
+        }
+        let max_references = r.get_usize()?;
+        let kernel = DistanceKernel::decode(r)?;
+        Ok(Self { config: KnnConfig { k, max_references }, kernel })
     }
 }
 

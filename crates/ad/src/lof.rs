@@ -7,6 +7,7 @@
 //! reachability density (lrd), and the LOF ratio.
 
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_linalg::kernel::{self, DistanceKernel};
 use exathlon_linalg::Matrix;
 use exathlon_tsdata::window::{materialized_windows_mode, WindowSet};
@@ -139,6 +140,46 @@ impl LofDetector {
             *v = v.sqrt();
         }
         self.lof_score(&self.knn_from_dists(&row, None))
+    }
+
+    /// Serialize the fitted detector: config, reference kernel, and the
+    /// precomputed per-reference k-distances / lrds / neighbourhoods.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.k);
+        w.put_usize(self.config.max_references);
+        self.kernel.encode(w);
+        w.put_f64s(&self.k_distance);
+        w.put_f64s(&self.lrd);
+        w.put_usize(self.neighbours.len());
+        for nb in &self.neighbours {
+            w.put_usizes(nb);
+        }
+    }
+
+    /// Decode a detector written by [`LofDetector::encode`]. All fitted
+    /// state is restored bitwise, so scores reproduce exactly.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.get_usize()?;
+        if k == 0 {
+            return Err(CodecError::Corrupt("LOF k must be positive"));
+        }
+        let max_references = r.get_usize()?;
+        let kernel = DistanceKernel::decode(r)?;
+        let k_distance = r.get_f64s()?;
+        let lrd = r.get_f64s()?;
+        let n = r.get_len(8)?;
+        let mut neighbours = Vec::with_capacity(n);
+        for _ in 0..n {
+            let nb = r.get_usizes()?;
+            if nb.iter().any(|&j| j >= kernel.len()) {
+                return Err(CodecError::Corrupt("LOF neighbour index out of range"));
+            }
+            neighbours.push(nb);
+        }
+        if k_distance.len() != kernel.len() || lrd.len() != kernel.len() || n != kernel.len() {
+            return Err(CodecError::Corrupt("LOF state length mismatch"));
+        }
+        Ok(Self { config: LofConfig { k, max_references }, kernel, k_distance, lrd, neighbours })
     }
 }
 

@@ -20,6 +20,7 @@ use super::StreamingDetector;
 use crate::ae_ad::AutoencoderDetector;
 use crate::knn_ad::KnnDetector;
 use crate::lof::LofDetector;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_tsdata::ring::RingWindow;
 
 /// Per-record kNN scoring against the frozen reference set.
@@ -32,6 +33,16 @@ impl StreamingKnn {
     /// Wrap a fitted detector.
     pub fn new(det: KnnDetector) -> Self {
         Self { det }
+    }
+
+    /// Serialize the wrapped detector (the adapter itself is stateless).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.det.encode(w);
+    }
+
+    /// Decode an adapter written by [`StreamingKnn::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { det: KnnDetector::decode(r)? })
     }
 }
 
@@ -59,6 +70,16 @@ impl StreamingLof {
     /// Wrap a fitted detector.
     pub fn new(det: LofDetector) -> Self {
         Self { det }
+    }
+
+    /// Serialize the wrapped detector (the adapter itself is stateless).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.det.encode(w);
+    }
+
+    /// Decode an adapter written by [`StreamingLof::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { det: LofDetector::decode(r)? })
     }
 }
 
@@ -93,6 +114,41 @@ impl StreamingAe {
     pub fn new(det: AutoencoderDetector, dims: usize) -> Self {
         let w = det.window_len();
         Self { ring: RingWindow::new(w, dims), flat: vec![0.0; w * dims], det }
+    }
+
+    /// Serialize the wrapped detector *and* the in-flight ring contents
+    /// (chronological order), so a restored adapter continues the trace
+    /// mid-stream. The flatten scratch is rebuilt zeroed — it is
+    /// overwritten before every read.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.det.encode(w);
+        w.put_usize(self.ring.dims());
+        w.put_usize(self.ring.len());
+        for i in 0..self.ring.len() {
+            w.put_f64s(self.ring.record(i));
+        }
+    }
+
+    /// Decode an adapter written by [`StreamingAe::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let det = AutoencoderDetector::decode(r)?;
+        let dims = r.get_usize()?;
+        if dims == 0 {
+            return Err(CodecError::Corrupt("AE adapter dims must be positive"));
+        }
+        let n = r.get_len(8)?;
+        if n > det.window_len() {
+            return Err(CodecError::Corrupt("AE ring longer than its window"));
+        }
+        let mut out = Self::new(det, dims);
+        for _ in 0..n {
+            let rec = r.get_f64s()?;
+            if rec.len() != dims {
+                return Err(CodecError::Corrupt("AE ring record length mismatch"));
+            }
+            out.ring.push(&rec);
+        }
+        Ok(out)
     }
 }
 

@@ -11,6 +11,7 @@
 
 use super::StreamingDetector;
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_tsdata::TimeSeries;
 
 /// Per-feature training profile: mean and floored standard deviation of
@@ -40,6 +41,20 @@ impl ZProfile {
 
     fn dims(&self) -> usize {
         self.mean.len()
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.mean);
+        w.put_f64s(&self.scale);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mean = r.get_f64s()?;
+        let scale = r.get_f64s()?;
+        if scale.len() != mean.len() {
+            return Err(CodecError::Corrupt("z-profile length mismatch"));
+        }
+        Ok(Self { mean, scale })
     }
 
     fn z(&self, j: usize, x: f64) -> f64 {
@@ -97,6 +112,30 @@ impl CusumDetector {
             score = score.max(self.pos[j]).max(self.neg[j]);
         }
         score
+    }
+
+    /// Serialize the fitted profile *and* the in-flight cumulative sums,
+    /// so a restored detector continues the trace mid-stream.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.config.drift);
+        self.profile.encode(w);
+        w.put_f64s(&self.pos);
+        w.put_f64s(&self.neg);
+    }
+
+    /// Decode a detector written by [`CusumDetector::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let drift = r.get_f64()?;
+        if drift.is_nan() || drift < 0.0 {
+            return Err(CodecError::Corrupt("CUSUM drift must be non-negative"));
+        }
+        let profile = ZProfile::decode(r)?;
+        let pos = r.get_f64s()?;
+        let neg = r.get_f64s()?;
+        if pos.len() != profile.dims() || neg.len() != profile.dims() || profile.dims() == 0 {
+            return Err(CodecError::Corrupt("CUSUM state length mismatch"));
+        }
+        Ok(Self { config: CusumConfig { drift }, profile, pos, neg })
     }
 }
 
@@ -206,6 +245,56 @@ impl PageHinkleyDetector {
             score = score.max(self.up[j] - self.min_up[j]).max(self.down[j] - self.min_down[j]);
         }
         score
+    }
+
+    /// Serialize the fitted profile *and* the in-flight running state,
+    /// so a restored detector continues the trace mid-stream.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.config.delta);
+        self.profile.encode(w);
+        w.put_usize(self.count.len());
+        for &c in &self.count {
+            w.put_u64(c);
+        }
+        w.put_f64s(&self.run_mean);
+        w.put_f64s(&self.up);
+        w.put_f64s(&self.min_up);
+        w.put_f64s(&self.down);
+        w.put_f64s(&self.min_down);
+    }
+
+    /// Decode a detector written by [`PageHinkleyDetector::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let delta = r.get_f64()?;
+        if delta.is_nan() || delta < 0.0 {
+            return Err(CodecError::Corrupt("Page-Hinkley delta must be non-negative"));
+        }
+        let profile = ZProfile::decode(r)?;
+        let n = r.get_len(8)?;
+        let count = (0..n).map(|_| r.get_u64()).collect::<Result<Vec<u64>, _>>()?;
+        let run_mean = r.get_f64s()?;
+        let up = r.get_f64s()?;
+        let min_up = r.get_f64s()?;
+        let down = r.get_f64s()?;
+        let min_down = r.get_f64s()?;
+        let dims = profile.dims();
+        if dims == 0
+            || [count.len(), run_mean.len(), up.len(), min_up.len(), down.len(), min_down.len()]
+                .iter()
+                .any(|&l| l != dims)
+        {
+            return Err(CodecError::Corrupt("Page-Hinkley state length mismatch"));
+        }
+        Ok(Self {
+            config: PageHinkleyConfig { delta },
+            profile,
+            count,
+            run_mean,
+            up,
+            min_up,
+            down,
+            min_down,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! 0 error and leaves the level untouched), same max-|z| aggregation.
 
 use super::StreamingDetector;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Per-tick EWMA forecast state. Build via
 /// [`crate::ewma::EwmaDetector::streaming`].
@@ -33,6 +34,30 @@ impl StreamingEwma {
         assert!(!error_scale.is_empty(), "empty error scale");
         let dims = error_scale.len();
         Self { alpha, error_scale, level: vec![f64::NAN; dims], started: false }
+    }
+
+    /// Serialize the full state — fitted scales *and* the in-flight
+    /// levels, so a restored detector continues the trace mid-stream.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.alpha);
+        w.put_f64s(&self.error_scale);
+        w.put_f64s(&self.level);
+        w.put_bool(self.started);
+    }
+
+    /// Decode state written by [`StreamingEwma::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let alpha = r.get_f64()?;
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(CodecError::Corrupt("EWMA alpha out of range"));
+        }
+        let error_scale = r.get_f64s()?;
+        let level = r.get_f64s()?;
+        if error_scale.is_empty() || level.len() != error_scale.len() {
+            return Err(CodecError::Corrupt("EWMA state length mismatch"));
+        }
+        let started = r.get_bool()?;
+        Ok(Self { alpha, error_scale, level, started })
     }
 }
 

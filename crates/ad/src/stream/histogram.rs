@@ -61,6 +61,42 @@ impl HistogramDetector {
         }
         score
     }
+
+    /// Serialize the fitted detector (config + per-feature histograms
+    /// with their stored range bounds) into `w`.
+    pub fn encode(&self, w: &mut exathlon_linalg::codec::ByteWriter) {
+        w.put_usize(self.config.bins);
+        w.put_usize(self.hists.len());
+        for (h, lo, hi) in &self.hists {
+            h.encode(w);
+            w.put_f64(*lo);
+            w.put_f64(*hi);
+        }
+    }
+
+    /// Decode a detector written by [`HistogramDetector::encode`].
+    pub fn decode(
+        r: &mut exathlon_linalg::codec::ByteReader<'_>,
+    ) -> Result<Self, exathlon_linalg::codec::CodecError> {
+        let bins = r.get_usize()?;
+        if bins == 0 {
+            return Err(exathlon_linalg::codec::CodecError::Corrupt("zero histogram bins"));
+        }
+        let n = r.get_usize()?;
+        let mut hists = Vec::new();
+        for _ in 0..n {
+            let h = Histogram::decode(r)?;
+            if h.counts().len() != bins {
+                return Err(exathlon_linalg::codec::CodecError::Corrupt(
+                    "histogram bin count mismatch",
+                ));
+            }
+            let lo = r.get_f64()?;
+            let hi = r.get_f64()?;
+            hists.push((h, lo, hi));
+        }
+        Ok(Self { config: HistogramConfig { bins }, hists })
+    }
 }
 
 impl AnomalyScorer for HistogramDetector {
@@ -79,8 +115,11 @@ impl AnomalyScorer for HistogramDetector {
                 col.extend(ts.feature_column(j));
             }
             let h = Histogram::from_data(&col, self.config.bins);
-            let lo = h.bin_bounds(0).0;
-            let hi = h.bin_bounds(self.config.bins - 1).1;
+            // The histogram's own exact range, NOT rederived through
+            // `bin_bounds` float arithmetic: `lo + bins * width` can
+            // round below the true maximum, which made the training max
+            // itself score as out-of-range (count 0, max rarity).
+            let (lo, hi) = h.range();
             hists.push((h, lo, hi));
         }
         self.hists = hists;
@@ -146,6 +185,64 @@ mod tests {
         let mut det = HistogramDetector::new(HistogramConfig::default());
         det.fit(&[&train]);
         assert_eq!(det.score_series(&ts(&[vec![f64::NAN]]))[0], 0.0);
+    }
+
+    /// Regression test: with the out-of-range bounds rederived through
+    /// `bin_bounds(bins - 1)` float arithmetic, `lo + bins * width` can
+    /// round below the true training maximum (e.g. range `0.1..100.3`
+    /// with 3 bins rederives `hi = 100.29999999999998`), so the maximum
+    /// itself was classified out-of-range and scored maximal rarity. The
+    /// fit must use the histogram's exact `range()` instead.
+    #[test]
+    fn training_max_scores_in_range() {
+        // Ranges picked so the rederived upper bound rounds strictly
+        // below the true maximum for at least one bin count.
+        for (lo, hi, bins) in
+            [(0.1, 100.3, 3), (0.1, 0.313, 13), (0.3, 3.1, 9), (-0.3, 0.9, 5), (1.1, 100.3, 11)]
+        {
+            let n = 60;
+            let mut records: Vec<Vec<f64>> =
+                (0..n).map(|i| vec![lo + (hi - lo) * i as f64 / (n - 1) as f64]).collect();
+            // Pin the endpoint exactly: `lo + (hi - lo)` itself rounds.
+            records[n - 1][0] = hi;
+            let train = ts(&records);
+            let mut det = HistogramDetector::new(HistogramConfig { bins });
+            det.fit(&[&train]);
+            let total = n as f64;
+            // The empty-bin (out-of-range) score under Laplace smoothing.
+            let oor_score = -((1.0f64) / (total + bins as f64)).log2();
+            let max_score = det.score_series(&ts(&[vec![hi]]))[0];
+            assert!(
+                max_score < oor_score,
+                "training max {hi} scored as out-of-range for bins={bins}: \
+                 {max_score} vs empty-bin {oor_score}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_scores_bitwise() {
+        let records: Vec<Vec<f64>> =
+            (0..150).map(|i| vec![(i as f64 * 0.31).sin() * 2.0, (i % 7) as f64]).collect();
+        let train = ts(&records);
+        let mut det = HistogramDetector::new(HistogramConfig { bins: 16 });
+        det.fit(&[&train]);
+        let mut w = exathlon_linalg::codec::ByteWriter::new();
+        det.encode(&mut w);
+        let bytes = w.into_bytes();
+        let restored =
+            HistogramDetector::decode(&mut exathlon_linalg::codec::ByteReader::new(&bytes))
+                .unwrap();
+        let probe = ts(&[vec![0.5, 3.0], vec![-5.0, 100.0], vec![f64::NAN, 2.0]]);
+        let a = det.score_series(&probe);
+        let b = restored.score_series(&probe);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for cut in 0..bytes.len() {
+            let mut r = exathlon_linalg::codec::ByteReader::new(&bytes[..cut]);
+            assert!(HistogramDetector::decode(&mut r).is_err(), "truncation at {cut} must error");
+        }
     }
 
     #[test]

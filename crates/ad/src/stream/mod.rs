@@ -39,12 +39,14 @@ pub mod adapters;
 pub mod cusum;
 pub mod ewma;
 pub mod histogram;
+pub mod snapshot;
 pub mod spectral;
 
 pub use adapters::{StreamingAe, StreamingKnn, StreamingLof};
 pub use cusum::{CusumConfig, CusumDetector, PageHinkleyConfig, PageHinkleyDetector};
 pub use ewma::StreamingEwma;
 pub use histogram::{HistogramConfig, HistogramDetector};
+pub use snapshot::ServableDetector;
 pub use spectral::{SpectralResidualConfig, SpectralResidualDetector};
 
 use exathlon_tsdata::TimeSeries;

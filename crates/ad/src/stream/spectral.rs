@@ -16,6 +16,7 @@
 
 use super::StreamingDetector;
 use crate::scorer::AnomalyScorer;
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
 use exathlon_tsdata::ring::RingWindow;
 use exathlon_tsdata::TimeSeries;
 
@@ -72,6 +73,42 @@ impl SpectralResidualDetector {
             scratch: Scratch { re: vec![0.0; n], im: vec![0.0; n], log_amp: vec![0.0; n] },
             config,
         }
+    }
+
+    /// Serialize the config *and* the in-flight window state (ring
+    /// contents in chronological order, carried aggregate), so a restored
+    /// detector continues the trace mid-stream. FFT scratch is rebuilt
+    /// empty — it is overwritten before every read.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.config.window);
+        w.put_usize(self.config.saliency_avg);
+        w.put_f64(self.last_agg);
+        w.put_usize(self.ring.len());
+        for i in 0..self.ring.len() {
+            w.put_f64(self.ring.record(i)[0]);
+        }
+    }
+
+    /// Decode a detector written by [`SpectralResidualDetector::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let window = r.get_usize()?;
+        if window < 2 || !window.is_power_of_two() {
+            return Err(CodecError::Corrupt("SR window must be a power of two >= 2"));
+        }
+        let saliency_avg = r.get_usize()?;
+        if saliency_avg == 0 {
+            return Err(CodecError::Corrupt("SR saliency filter needs width >= 1"));
+        }
+        let mut det = Self::new(SpectralResidualConfig { window, saliency_avg });
+        det.last_agg = r.get_f64()?;
+        let n = r.get_len(8)?;
+        if n > window {
+            return Err(CodecError::Corrupt("SR ring longer than its window"));
+        }
+        for _ in 0..n {
+            det.ring.push(&[r.get_f64()?]);
+        }
+        Ok(det)
     }
 
     /// Mean of the record's finite features; falls back to the previous

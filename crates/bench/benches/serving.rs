@@ -1,0 +1,85 @@
+//! Serving-layer microbenchmarks: checkpoint encode/decode cost per
+//! detector family and registry hot-path operations (insert / hit /
+//! LRU eviction churn), without the HTTP layer — `load_gen` measures
+//! the end-to-end request path separately.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use exathlon_core::checkpoint::ServingProfile;
+use exathlon_core::config::StreamMethod;
+use exathlon_core::model::TrainingBudget;
+use exathlon_core::registry::{EntityKey, ProfileRegistry};
+use exathlon_core::replay::{build_servable, stream_seed};
+use exathlon_tsdata::series::default_names;
+use exathlon_tsdata::TimeSeries;
+
+const DIMS: usize = 19;
+
+fn trace(n: usize, seed: u64) -> TimeSeries {
+    let records: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..DIMS)
+                .map(|j| ((i as f64 * 0.2 + (j as f64 + seed as f64) * 0.7).sin()) * 2.0)
+                .collect()
+        })
+        .collect();
+    TimeSeries::from_records(default_names(DIMS), 0, &records)
+}
+
+fn profiles() -> Vec<(&'static str, ServingProfile)> {
+    let train = vec![trace(600, 1), trace(600, 2)];
+    [StreamMethod::Ewma, StreamMethod::Cusum, StreamMethod::Knn]
+        .into_iter()
+        .map(|method| {
+            let det =
+                build_servable(method, &train, 0.25, TrainingBudget::Quick, stream_seed(7, method));
+            (method.label(), ServingProfile::new(det, 1.0))
+        })
+        .collect()
+}
+
+fn bench_checkpoint_codec(c: &mut Criterion) {
+    let profiles = profiles();
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(20);
+    for (label, profile) in &profiles {
+        let image = profile.to_bytes();
+        group.bench_function(format!("encode/{label}"), |b| {
+            b.iter(|| black_box(profile.to_bytes()))
+        });
+        group.bench_function(format!("decode/{label} ({}B)", image.len()), |b| {
+            b.iter(|| black_box(ServingProfile::from_bytes(&image).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let (_, profile) = profiles().remove(0);
+    let bytes = profile.to_bytes().len();
+    let mut group = c.benchmark_group("registry");
+    group.sample_size(20);
+
+    // Hot path: repeated hits on a resident profile.
+    let mut reg = ProfileRegistry::new(usize::MAX);
+    for i in 0..64 {
+        reg.insert(EntityKey::new("app", format!("e{i}")), profile.clone(), bytes);
+    }
+    let key = EntityKey::new("app", "e13");
+    group.bench_function("get_mut hit (64 resident)", |b| {
+        b.iter(|| black_box(reg.get_mut(&key).is_some()))
+    });
+
+    // Churn: every insert past the budget evicts the LRU victim.
+    let mut tight = ProfileRegistry::new(bytes * 8);
+    let mut i = 0u64;
+    group.bench_function("insert+evict churn (budget=8)", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(tight.insert(EntityKey::new("app", format!("e{i}")), profile.clone(), bytes))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_codec, bench_registry);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! Serving-layer load generator: replay sparksim traces as concurrent
+//! HTTP client traffic against an in-process gatekeeper.
+//!
+//! The scenario mirrors Exathlon's monitoring setting: many repeated
+//! Spark executions (entities) stream records at once. Detectors are
+//! fitted exactly as the replay driver fits them, one profile per
+//! entity is uploaded as a checkpoint, then client threads replay
+//! transformed test traces through `POST /v1/ingest` over keep-alive
+//! connections, timing every request. Each client also drives a local
+//! twin of every profile it owns and asserts the served score is
+//! **bitwise** identical — so the throughput numbers double as an
+//! end-to-end correctness sweep. After the run, every entity's
+//! checkpoint is downloaded and compared byte-for-byte against its twin.
+//!
+//! Writes throughput and p50/p90/p99 ingest latency to
+//! `results/BENCH_serving.json`. `--quick` shrinks the fleet for CI.
+
+use exathlon_core::checkpoint::ServingProfile;
+use exathlon_core::config::{ExperimentConfig, StreamMethod};
+use exathlon_core::experiment::prepare;
+use exathlon_core::model::TrainingBudget;
+use exathlon_core::replay::{build_servable, replay_series, stream_seed};
+use exathlon_core::serve::{Gatekeeper, GatekeeperConfig};
+use exathlon_linalg::stats::quantile;
+use exathlon_sparksim::dataset::DatasetBuilder;
+use exathlon_tsdata::TimeSeries;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// One keep-alive HTTP/1.1 connection with sequential request/response.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to gatekeeper");
+        stream.set_nodelay(true).expect("set nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self { stream, reader }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: load\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).expect("write head");
+        self.stream.write_all(body).expect("write body");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("read status line");
+        let status: u16 =
+            status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("read header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("numeric content-length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        (status, body)
+    }
+}
+
+fn json_record(record: &[f64]) -> String {
+    let mut out = String::from("{\"record\":[");
+    for (i, x) in record.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if x.is_finite() {
+            out.push_str(&format!("{x}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse `"score":<num>` out of an ingest response without a full JSON
+/// tree (this runs inside the timed loop's bookkeeping).
+fn score_of(body: &[u8]) -> f64 {
+    let text = std::str::from_utf8(body).expect("UTF-8 response");
+    let rest = text.split("\"score\":").nth(1).expect("score field");
+    let end = rest.find(',').unwrap_or(rest.len());
+    let token = &rest[..end];
+    if token == "null" {
+        f64::NAN
+    } else {
+        token.parse().expect("score parses")
+    }
+}
+
+/// One tenant's work item: its key, its profile twin, and the records
+/// the client will stream.
+struct Tenant {
+    entity: String,
+    twin: ServingProfile,
+    records: Vec<Vec<f64>>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (entities, clients, records_per_entity) =
+        if quick { (4usize, 2usize, 200usize) } else { (16, 8, 1000) };
+    let methods =
+        [StreamMethod::Ewma, StreamMethod::Cusum, StreamMethod::Histogram, StreamMethod::Knn];
+
+    // Fit once per method on the replay driver's own data path.
+    let ds = DatasetBuilder::tiny(11).build();
+    let config = ExperimentConfig::default();
+    let (_transform, train, tests) = prepare(&ds, &config);
+    assert!(!tests.is_empty(), "no test traces");
+    let budget = TrainingBudget::Quick;
+
+    let fitted: Vec<(StreamMethod, ServingProfile)> = methods
+        .iter()
+        .map(|&method| {
+            let det = build_servable(
+                method,
+                &train,
+                config.threshold_holdout,
+                budget,
+                stream_seed(config.seed, method),
+            );
+            // Unsupervised threshold: high quantile of the detector's own
+            // scores over a training trace.
+            let holdout: &TimeSeries = &train[0];
+            let scores = replay_series(&mut det.clone(), holdout);
+            let threshold = quantile(&scores, 0.99);
+            (method, ServingProfile::new(det, threshold))
+        })
+        .collect();
+
+    let gk = Gatekeeper::bind(
+        "127.0.0.1:0",
+        GatekeeperConfig { workers: clients.max(2), ..GatekeeperConfig::default() },
+    )
+    .expect("bind gatekeeper");
+    let addr = gk.local_addr();
+
+    // One tenant per entity: method round-robin, trace round-robin.
+    let mut upload = Client::connect(addr);
+    let mut checkpoint_bytes = 0usize;
+    let mut work: Vec<Vec<Tenant>> = (0..clients).map(|_| Vec::new()).collect();
+    for e in 0..entities {
+        let (method, profile) = &fitted[e % fitted.len()];
+        let series = &tests[e % tests.len()].series;
+        let n = series.len().min(records_per_entity);
+        let records: Vec<Vec<f64>> = (0..n).map(|i| series.record(i).to_vec()).collect();
+        let entity = format!("exec-{e}-{}", method.label());
+        let image = profile.to_bytes();
+        checkpoint_bytes += image.len();
+        let (status, _) = upload.request("PUT", &format!("/v1/profile/spark-app/{entity}"), &image);
+        assert_eq!(status, 200, "profile upload failed for {entity}");
+        work[e % clients].push(Tenant { entity, twin: profile.clone(), records });
+    }
+
+    let total_requests: usize = work.iter().flatten().map(|t| t.records.len()).sum();
+    println!(
+        "load_gen: {entities} entities x {} records, {clients} clients, {total_requests} requests",
+        records_per_entity
+    );
+
+    // Concurrent replay: each client owns a disjoint tenant set, so
+    // per-tenant request order (and thus detector state) is deterministic
+    // no matter how the clients interleave on the server.
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u64>, Vec<Tenant>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .into_iter()
+            .map(|tenants| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut latencies = Vec::new();
+                    let mut tenants = tenants;
+                    for tenant in &mut tenants {
+                        let path = format!("/v1/ingest/spark-app/{}", tenant.entity);
+                        for record in &tenant.records {
+                            let body = json_record(record);
+                            let t0 = Instant::now();
+                            let (status, resp) = client.request("POST", &path, body.as_bytes());
+                            latencies.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(status, 200, "ingest failed for {}", tenant.entity);
+                            let (want, _) = tenant.twin.ingest(record);
+                            let got = score_of(&resp);
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "served score diverged for {}: {got} vs {want}",
+                                tenant.entity
+                            );
+                        }
+                    }
+                    (latencies, tenants)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Post-run audit: every checkpoint equals its twin, byte for byte.
+    for (_, tenants) in &mut results {
+        for tenant in tenants {
+            let (status, image) =
+                upload.request("GET", &format!("/v1/checkpoint/spark-app/{}", tenant.entity), b"");
+            assert_eq!(status, 200, "checkpoint download failed for {}", tenant.entity);
+            assert_eq!(image, tenant.twin.to_bytes(), "checkpoint diverged for {}", tenant.entity);
+        }
+    }
+
+    let mut latencies: Vec<u64> = results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    latencies.sort_unstable();
+    assert_eq!(latencies.len(), total_requests);
+    let throughput = total_requests as f64 / elapsed;
+    let (p50, p90, p99, max) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        *latencies.last().unwrap_or(&0),
+    );
+
+    let stats = gk.stats();
+    assert_eq!(stats.insertions as usize, entities);
+    println!("elapsed {elapsed:.2}s, throughput {throughput:.0} req/s");
+    println!("ingest latency: p50 {p50}ns, p90 {p90}ns, p99 {p99}ns, max {max}ns");
+    println!(
+        "registry: {} profiles, {} bytes resident, {} hits",
+        stats.resident_profiles, stats.resident_bytes, stats.hits
+    );
+    gk.shutdown();
+
+    let json = format!(
+        "{{\n  \"entities\": {entities},\n  \"clients\": {clients},\n  \
+         \"records_per_entity\": {records_per_entity},\n  \"requests\": {total_requests},\n  \
+         \"elapsed_sec\": {elapsed:.3},\n  \"throughput_rps\": {throughput:.1},\n  \
+         \"ingest_latency_ns\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \
+         \"max\": {max}}},\n  \
+         \"checkpoint\": {{\"profiles\": {entities}, \"bytes_total\": {checkpoint_bytes}, \
+         \"bitwise_ok\": true}},\n  \
+         \"methods\": [{}]\n}}\n",
+        methods.iter().map(|m| format!("\"{}\"", m.label())).collect::<Vec<_>>().join(", ")
+    );
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_serving.json");
+    std::fs::write(&path, json).expect("write BENCH_serving.json");
+    println!("Wrote {}", path.display());
+}

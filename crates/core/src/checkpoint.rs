@@ -1,0 +1,279 @@
+//! Versioned binary checkpoints of serving profiles.
+//!
+//! A [`ServingProfile`] is everything one tenant's online scoring needs:
+//! the dynamic test-time scaler (running per-feature moments), an
+//! optional PCA projection, the streaming detector (fitted model *plus*
+//! in-flight per-trace state), and the alert threshold. `encode` writes
+//! it as a magic-tagged, versioned byte image with every `f64` as its
+//! raw bit pattern; `decode` restores a profile that scores **bitwise
+//! identically** and continues the stream exactly where the snapshot
+//! left it. `crates/core/tests/checkpoint_roundtrip.rs` pins this.
+//!
+//! Wire layout (version 1):
+//!
+//! ```text
+//! "EXCK" | version u8 | scaler? | pca? | detector | threshold f64
+//! ```
+//!
+//! Optional sections are a presence byte followed by the section. Any
+//! truncation, bad magic, unknown version, or corrupt length errors out
+//! — decode never panics and never over-allocates on corrupt input.
+
+use exathlon_ad::stream::{ServableDetector, StreamingDetector};
+use exathlon_linalg::codec::{ByteReader, ByteWriter, CodecError};
+use exathlon_linalg::pca::Pca;
+use exathlon_tsdata::scale::DynamicScaler;
+
+/// Checkpoint file magic: "EXathlon ChecKpoint".
+pub const MAGIC: &[u8; 4] = b"EXCK";
+/// Current wire version.
+pub const VERSION: u8 = 1;
+
+/// Errors of the file-level checkpoint API.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error while reading or writing the image.
+    Io(std::io::Error),
+    /// The image failed to decode (truncated, corrupt, wrong version).
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Codec(e) => write!(f, "checkpoint decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+/// One tenant's complete online-scoring state.
+#[derive(Debug, Clone)]
+pub struct ServingProfile {
+    /// Optional per-tenant dynamic scaler (running moments evolve with
+    /// the tenant's own traffic). `None` when records arrive pre-scaled.
+    pub scaler: Option<DynamicScaler>,
+    /// Optional PCA projection applied before scaling.
+    pub pca: Option<Pca>,
+    /// The streaming detector, including in-flight state.
+    pub detector: ServableDetector,
+    /// Scores strictly above this flag an anomaly.
+    pub threshold: f64,
+}
+
+impl ServingProfile {
+    /// A profile that scores records as-is (no projection, no scaling).
+    pub fn new(detector: ServableDetector, threshold: f64) -> Self {
+        Self { scaler: None, pca: None, detector, threshold }
+    }
+
+    /// Ingest one record: optional PCA projection, optional dynamic
+    /// rescale (which also advances the scaler's running moments), one
+    /// detector tick. Returns `(score, is_anomaly)`.
+    pub fn ingest(&mut self, record: &[f64]) -> (f64, bool) {
+        let projected;
+        let record = match &self.pca {
+            Some(pca) => {
+                projected = pca.transform_row(record);
+                &projected[..]
+            }
+            None => record,
+        };
+        let scaled;
+        let record = match &mut self.scaler {
+            Some(scaler) => {
+                scaled = scaler.transform_and_update(record);
+                &scaled[..]
+            }
+            None => record,
+        };
+        let score = self.detector.update(record);
+        (score, score > self.threshold)
+    }
+
+    /// Drop per-trace state (detector scratch), keeping the fitted model,
+    /// scaler moments, and threshold.
+    pub fn reset(&mut self) {
+        self.detector.reset();
+    }
+
+    /// Serialize into `w` — magic, version, then every section bitwise.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(MAGIC);
+        w.put_u8(VERSION);
+        w.put_bool(self.scaler.is_some());
+        if let Some(s) = &self.scaler {
+            w.put_f64s(s.means());
+            w.put_f64s(s.vars());
+            w.put_f64(s.alpha());
+        }
+        w.put_bool(self.pca.is_some());
+        if let Some(pca) = &self.pca {
+            pca.encode(w);
+        }
+        self.detector.encode(w);
+        w.put_f64(self.threshold);
+    }
+
+    /// The encoded image as a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode a profile written by [`ServingProfile::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let magic = r.get_bytes(4)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let scaler = if r.get_bool()? {
+            let means = r.get_f64s()?;
+            let vars = r.get_f64s()?;
+            let alpha = r.get_f64()?;
+            if means.is_empty() || vars.len() != means.len() {
+                return Err(CodecError::Corrupt("scaler state length mismatch"));
+            }
+            if !(alpha > 0.0 && alpha < 1.0) {
+                return Err(CodecError::Corrupt("scaler alpha out of range"));
+            }
+            Some(DynamicScaler::from_state(means, vars, alpha))
+        } else {
+            None
+        };
+        let pca = if r.get_bool()? { Some(Pca::decode(r)?) } else { None };
+        let detector = ServableDetector::decode(r)?;
+        let threshold = r.get_f64()?;
+        Ok(Self { scaler, pca, detector, threshold })
+    }
+
+    /// Decode from a byte image, requiring the image to end exactly at
+    /// the profile's last byte (a checkpoint file holds one profile).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let profile = Self::decode(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::Corrupt("trailing bytes after checkpoint"));
+        }
+        Ok(profile)
+    }
+
+    /// Write the encoded image to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read and decode a checkpoint file.
+    pub fn load(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_ad::stream::{CusumConfig, CusumDetector};
+    use exathlon_ad::AnomalyScorer;
+    use exathlon_tsdata::scale::StandardScaler;
+    use exathlon_tsdata::series::default_names;
+    use exathlon_tsdata::TimeSeries;
+
+    fn profile() -> ServingProfile {
+        let records: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i as f64 * 0.2).sin(), (i as f64 * 0.11).cos()]).collect();
+        let train = TimeSeries::from_records(default_names(2), 0, &records);
+        let mut det = CusumDetector::new(CusumConfig::default());
+        det.fit(&[&train]);
+        let base = StandardScaler::fit(&train);
+        ServingProfile {
+            scaler: Some(DynamicScaler::from_standard(base, 0.01)),
+            pca: None,
+            detector: det.into(),
+            threshold: 2.5,
+        }
+    }
+
+    #[test]
+    fn round_trip_continues_bitwise() {
+        let mut p = profile();
+        // Advance the stream, snapshot mid-flight, continue both copies.
+        for i in 0..50 {
+            let _ = p.ingest(&[(i as f64 * 0.3).sin(), i as f64 * 0.01]);
+        }
+        let bytes = p.to_bytes();
+        let mut restored = ServingProfile::from_bytes(&bytes).unwrap();
+        for i in 50..120 {
+            let rec = [(i as f64 * 0.3).sin() + if i > 90 { 4.0 } else { 0.0 }, i as f64 * 0.01];
+            let (a, fa) = p.ingest(&rec);
+            let (b, fb) = restored.ingest(&rec);
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at {i}");
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = profile().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(ServingProfile::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = profile().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(ServingProfile::from_bytes(&bytes), Err(CodecError::BadMagic)));
+        let mut bytes = profile().to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            ServingProfile::from_bytes(&bytes),
+            Err(CodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = profile().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ServingProfile::from_bytes(&bytes),
+            Err(CodecError::Corrupt("trailing bytes after checkpoint"))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("exathlon_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.exck");
+        let mut p = profile();
+        p.save(&path).unwrap();
+        let mut restored = ServingProfile::load(&path).unwrap();
+        let (a, _) = p.ingest(&[0.5, -0.5]);
+        let (b, _) = restored.ingest(&[0.5, -0.5]);
+        assert_eq!(a.to_bits(), b.to_bits());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

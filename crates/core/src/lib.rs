@@ -29,7 +29,13 @@
 //!
 //! [`report`] holds the serializable result tables the benchmark binaries
 //! print.
+//!
+//! [`checkpoint`], [`registry`] and [`serve`] form the multi-tenant
+//! serving layer over phase 4's streaming engine: bitwise-lossless
+//! profile snapshots, an LRU byte-budgeted profile cache, and the HTTP
+//! gatekeeper hosting many `(app, entity)` tenants concurrently.
 
+pub mod checkpoint;
 pub mod config;
 pub mod edrun;
 pub mod evaluate;
@@ -38,8 +44,10 @@ pub mod model;
 pub mod obs;
 pub mod par;
 pub mod partition;
+pub mod registry;
 pub mod replay;
 pub mod report;
+pub mod serve;
 pub mod transform;
 
 pub use config::{ExperimentConfig, FeatureSpace, LearningSetting};

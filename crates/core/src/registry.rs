@@ -1,0 +1,413 @@
+//! The multi-tenant profile registry: LRU-evicted, byte-budgeted.
+//!
+//! Exathlon's serving setting hosts one [`ServingProfile`] per monitored
+//! *entity* — a `(app, entity)` pair such as a Spark application and one
+//! of its repeated executions. A gatekeeper node cannot keep every
+//! tenant's detector resident (kNN/LOF reference sets dominate), so the
+//! registry accounts each profile's encoded byte size and evicts the
+//! least-recently-*used* profiles when the configured budget is
+//! exceeded. Eviction returns the victims' keys so the caller can
+//! checkpoint them to disk before they are dropped — together with
+//! [`crate::checkpoint`] this gives a spill/restore cycle that is
+//! bitwise lossless.
+//!
+//! The LRU list is intrusive over a slab (`Vec<Slot>` + free list +
+//! `prev`/`next` indices), so touch/insert/evict are O(1) with no
+//! per-operation allocation; the map from key to slot is the only
+//! hashed structure.
+
+use crate::checkpoint::ServingProfile;
+use std::collections::HashMap;
+
+/// Identifies one tenant: a monitored application and one of its
+/// entities (trace, executor, run — the serving layer doesn't care).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityKey {
+    /// Application identifier.
+    pub app: String,
+    /// Entity identifier within the application.
+    pub entity: String,
+}
+
+impl EntityKey {
+    /// Build a key from its parts.
+    pub fn new(app: impl Into<String>, entity: impl Into<String>) -> Self {
+        Self { app: app.into(), entity: entity.into() }
+    }
+}
+
+impl std::fmt::Display for EntityKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.app, self.entity)
+    }
+}
+
+/// Registry counters, cumulative over the registry's lifetime (except
+/// `resident_bytes`/`resident_profiles`, which are instantaneous).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// `get`/`get_mut` calls that found the profile resident.
+    pub hits: u64,
+    /// `get`/`get_mut` calls that missed.
+    pub misses: u64,
+    /// Profiles inserted (including replacements).
+    pub insertions: u64,
+    /// Profiles evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes of encoded profile state currently resident.
+    pub resident_bytes: usize,
+    /// Profiles currently resident.
+    pub resident_profiles: usize,
+}
+
+/// Sentinel for "no slot" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: EntityKey,
+    profile: ServingProfile,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU-evicted, byte-budgeted map from [`EntityKey`] to
+/// [`ServingProfile`]. Not thread-safe by itself — the serving layer
+/// shards it behind mutexes.
+pub struct ProfileRegistry {
+    budget_bytes: usize,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    index: HashMap<EntityKey, usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    stats: RegistryStats,
+}
+
+impl ProfileRegistry {
+    /// An empty registry that evicts past `budget_bytes` of encoded
+    /// profile state. The budget is soft by one profile: the most
+    /// recently inserted profile always stays resident, even if it alone
+    /// exceeds the budget (refusing it would make the tenant unservable).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Number of resident profiles.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no profile is resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Resident keys, most recently used first.
+    pub fn keys_mru(&self) -> Vec<EntityKey> {
+        let mut keys = Vec::with_capacity(self.index.len());
+        let mut at = self.head;
+        while at != NIL {
+            keys.push(self.slots[at].key.clone());
+            at = self.slots[at].next;
+        }
+        keys
+    }
+
+    /// Unlink `slot` from the LRU list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Link `slot` at the MRU head.
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Move `slot` to the MRU head.
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    /// Evict LRU profiles until the budget holds (keeping at least the
+    /// MRU profile). Returns the victims, LRU-first, so the caller can
+    /// checkpoint them.
+    fn evict_to_budget(&mut self) -> Vec<(EntityKey, ServingProfile)> {
+        let mut evicted = Vec::new();
+        while self.stats.resident_bytes > self.budget_bytes && self.index.len() > 1 {
+            let victim = self.tail;
+            self.unlink(victim);
+            let slot = &mut self.slots[victim];
+            self.stats.resident_bytes -= slot.bytes;
+            self.stats.evictions += 1;
+            let key = std::mem::replace(&mut slot.key, EntityKey::new("", ""));
+            let profile = slot.profile.clone();
+            self.index.remove(&key);
+            self.free.push(victim);
+            evicted.push((key, profile));
+        }
+        self.stats.resident_profiles = self.index.len();
+        evicted
+    }
+
+    /// Insert (or replace) a profile, charging `bytes` — its encoded
+    /// size — against the budget. Returns any profiles evicted to make
+    /// room, LRU-first, so the caller can spill them to checkpoints.
+    pub fn insert(
+        &mut self,
+        key: EntityKey,
+        profile: ServingProfile,
+        bytes: usize,
+    ) -> Vec<(EntityKey, ServingProfile)> {
+        self.stats.insertions += 1;
+        if let Some(&slot) = self.index.get(&key) {
+            self.stats.resident_bytes = self.stats.resident_bytes - self.slots[slot].bytes + bytes;
+            self.slots[slot].profile = profile;
+            self.slots[slot].bytes = bytes;
+            self.touch(slot);
+        } else {
+            let slot = match self.free.pop() {
+                Some(reused) => {
+                    self.slots[reused] =
+                        Slot { key: key.clone(), profile, bytes, prev: NIL, next: NIL };
+                    reused
+                }
+                None => {
+                    self.slots.push(Slot {
+                        key: key.clone(),
+                        profile,
+                        bytes,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    self.slots.len() - 1
+                }
+            };
+            self.index.insert(key, slot);
+            self.link_front(slot);
+            self.stats.resident_bytes += bytes;
+        }
+        self.stats.resident_profiles = self.index.len();
+        self.evict_to_budget()
+    }
+
+    /// Mutable access to a resident profile; touches it MRU. The serving
+    /// hot path (`ingest`) goes through here.
+    pub fn get_mut(&mut self, key: &EntityKey) -> Option<&mut ServingProfile> {
+        match self.index.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.touch(slot);
+                Some(&mut self.slots[slot].profile)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read a resident profile without touching recency (checkpoint
+    /// downloads should not perturb eviction order).
+    pub fn peek(&mut self, key: &EntityKey) -> Option<&ServingProfile> {
+        match self.index.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                Some(&self.slots[slot].profile)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove a profile, returning it if it was resident.
+    pub fn remove(&mut self, key: &EntityKey) -> Option<ServingProfile> {
+        let slot = self.index.remove(key)?;
+        self.unlink(slot);
+        self.stats.resident_bytes -= self.slots[slot].bytes;
+        self.stats.resident_profiles = self.index.len();
+        self.free.push(slot);
+        let profile = self.slots[slot].profile.clone();
+        self.slots[slot].key = EntityKey::new("", "");
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_ad::stream::StreamingEwma;
+
+    fn profile(dims: usize) -> ServingProfile {
+        ServingProfile::new(StreamingEwma::new(0.3, vec![1.0; dims]).into(), 1.0)
+    }
+
+    fn sized(dims: usize) -> (ServingProfile, usize) {
+        let p = profile(dims);
+        let bytes = p.to_bytes().len();
+        (p, bytes)
+    }
+
+    #[test]
+    fn insert_get_touches_mru() {
+        let mut reg = ProfileRegistry::new(usize::MAX);
+        for name in ["a", "b", "c"] {
+            let (p, b) = sized(2);
+            assert!(reg.insert(EntityKey::new("app", name), p, b).is_empty());
+        }
+        assert_eq!(
+            reg.keys_mru(),
+            vec![
+                EntityKey::new("app", "c"),
+                EntityKey::new("app", "b"),
+                EntityKey::new("app", "a")
+            ]
+        );
+        assert!(reg.get_mut(&EntityKey::new("app", "a")).is_some());
+        assert_eq!(reg.keys_mru()[0], EntityKey::new("app", "a"));
+        assert_eq!(reg.stats().hits, 1);
+    }
+
+    #[test]
+    fn evicts_lru_past_budget() {
+        let (_, unit) = sized(2);
+        // Room for exactly two profiles.
+        let mut reg = ProfileRegistry::new(unit * 2);
+        for name in ["a", "b"] {
+            let (p, b) = sized(2);
+            assert!(reg.insert(EntityKey::new("app", name), p, b).is_empty());
+        }
+        // Touch "a" so "b" is the LRU victim.
+        assert!(reg.get_mut(&EntityKey::new("app", "a")).is_some());
+        let (p, b) = sized(2);
+        let evicted = reg.insert(EntityKey::new("app", "c"), p, b);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, EntityKey::new("app", "b"));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().evictions, 1);
+        assert_eq!(reg.stats().resident_bytes, unit * 2);
+        // The evicted profile must still be checkpointable.
+        assert!(!evicted[0].1.to_bytes().is_empty());
+    }
+
+    #[test]
+    fn oversized_mru_profile_stays_resident() {
+        let mut reg = ProfileRegistry::new(1);
+        let (p, b) = sized(4);
+        assert!(b > 1);
+        assert!(reg.insert(EntityKey::new("app", "big"), p, b).is_empty());
+        assert_eq!(reg.len(), 1, "sole profile must not evict itself");
+        // A second insert evicts the first.
+        let (p, b) = sized(4);
+        let evicted = reg.insert(EntityKey::new("app", "big2"), p, b);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, EntityKey::new("app", "big"));
+    }
+
+    #[test]
+    fn replace_recharges_bytes() {
+        let mut reg = ProfileRegistry::new(usize::MAX);
+        let (p, b) = sized(2);
+        reg.insert(EntityKey::new("app", "a"), p, b);
+        let (p2, b2) = sized(8);
+        assert_ne!(b, b2);
+        reg.insert(EntityKey::new("app", "a"), p2, b2);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats().resident_bytes, b2);
+        assert_eq!(reg.stats().insertions, 2);
+    }
+
+    #[test]
+    fn remove_frees_bytes_and_slot() {
+        let mut reg = ProfileRegistry::new(usize::MAX);
+        let (p, b) = sized(2);
+        let key = EntityKey::new("app", "a");
+        reg.insert(key.clone(), p, b);
+        assert!(reg.remove(&key).is_some());
+        assert_eq!(reg.stats().resident_bytes, 0);
+        assert!(reg.is_empty());
+        assert!(reg.remove(&key).is_none());
+        // Slot reuse: a fresh insert must not grow the slab.
+        let slabs = reg.slots.len();
+        let (p, b) = sized(2);
+        reg.insert(EntityKey::new("app", "b"), p, b);
+        assert_eq!(reg.slots.len(), slabs);
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency() {
+        let mut reg = ProfileRegistry::new(usize::MAX);
+        for name in ["a", "b"] {
+            let (p, b) = sized(2);
+            reg.insert(EntityKey::new("app", name), p, b);
+        }
+        assert!(reg.peek(&EntityKey::new("app", "a")).is_some());
+        assert_eq!(reg.keys_mru()[0], EntityKey::new("app", "b"), "peek must not promote");
+    }
+
+    #[test]
+    fn churn_is_consistent() {
+        let (_, unit) = sized(2);
+        let mut reg = ProfileRegistry::new(unit * 4);
+        let mut spilled = 0usize;
+        for i in 0..200 {
+            let (p, b) = sized(2);
+            spilled += reg.insert(EntityKey::new("app", format!("e{}", i % 13)), p, b).len();
+            let probe = EntityKey::new("app", format!("e{}", (i * 7) % 13));
+            let _ = reg.get_mut(&probe);
+        }
+        let s = reg.stats();
+        assert_eq!(s.resident_profiles, reg.len());
+        assert!(reg.len() <= 4, "budget holds four unit profiles, got {}", reg.len());
+        assert_eq!(s.resident_bytes, reg.len() * unit);
+        assert_eq!(s.evictions as usize, spilled);
+        assert_eq!(s.hits + s.misses, 200);
+        // Slab never exceeds resident + free.
+        assert_eq!(reg.slots.len(), reg.len() + reg.free.len());
+    }
+}

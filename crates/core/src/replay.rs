@@ -31,8 +31,8 @@ use exathlon_ad::knn_ad::KnnDetector;
 use exathlon_ad::lof::LofDetector;
 use exathlon_ad::stream::{
     CusumConfig, CusumDetector, HistogramConfig, HistogramDetector, PageHinkleyConfig,
-    PageHinkleyDetector, SpectralResidualConfig, SpectralResidualDetector, StreamingAe,
-    StreamingDetector, StreamingKnn, StreamingLof,
+    PageHinkleyDetector, ServableDetector, SpectralResidualConfig, SpectralResidualDetector,
+    StreamingAe, StreamingDetector, StreamingKnn, StreamingLof,
 };
 use exathlon_ad::AnomalyScorer;
 use exathlon_sparksim::dataset::Dataset;
@@ -74,6 +74,20 @@ pub fn build_streaming(
     budget: TrainingBudget,
     seed: u64,
 ) -> Box<dyn StreamingDetector + Send> {
+    Box::new(build_servable(method, train, holdout, budget, seed))
+}
+
+/// [`build_streaming`] in serializable form: the same fit, returned as
+/// the concrete [`ServableDetector`] enum so the serving layer can
+/// snapshot and restore it. `build_streaming` is a thin wrapper over
+/// this, so the replay and serving paths fit identical models.
+pub fn build_servable(
+    method: StreamMethod,
+    train: &[TimeSeries],
+    holdout: f64,
+    budget: TrainingBudget,
+    seed: u64,
+) -> ServableDetector {
     let _sp = crate::obs::span("train", method.label());
     let (d1, _d2) = split_train(train, holdout);
     let d1_refs: Vec<&TimeSeries> = d1.iter().collect();
@@ -81,42 +95,42 @@ pub fn build_streaming(
         StreamMethod::Ewma => {
             let mut det = EwmaDetector::new(EwmaConfig::default());
             det.fit(&d1_refs);
-            Box::new(det.streaming())
+            det.streaming().into()
         }
         StreamMethod::Cusum => {
             let mut det = CusumDetector::new(CusumConfig::default());
             det.fit(&d1_refs);
-            Box::new(det)
+            det.into()
         }
         StreamMethod::PageHinkley => {
             let mut det = PageHinkleyDetector::new(PageHinkleyConfig::default());
             det.fit(&d1_refs);
-            Box::new(det)
+            det.into()
         }
         StreamMethod::Histogram => {
             let mut det = HistogramDetector::new(HistogramConfig::default());
             det.fit(&d1_refs);
-            Box::new(det)
+            det.into()
         }
         StreamMethod::SpectralResidual => {
             // Training-free: the detector carries only its ring buffer.
-            Box::new(SpectralResidualDetector::new(SpectralResidualConfig::default()))
+            SpectralResidualDetector::new(SpectralResidualConfig::default()).into()
         }
         StreamMethod::Ae => {
             let mut det = AutoencoderDetector::new(ae_config_for(budget, seed));
             det.fit(&d1_refs);
             let dims = train.first().map(|t| t.dims()).expect("no training traces");
-            Box::new(StreamingAe::new(det, dims))
+            StreamingAe::new(det, dims).into()
         }
         StreamMethod::Knn => {
             let mut det = KnnDetector::new(knn_config_for(budget));
             det.fit(&d1_refs);
-            Box::new(StreamingKnn::new(det))
+            StreamingKnn::new(det).into()
         }
         StreamMethod::Lof => {
             let mut det = LofDetector::new(lof_config_for(budget));
             det.fit(&d1_refs);
-            Box::new(StreamingLof::new(det))
+            StreamingLof::new(det).into()
         }
     }
 }

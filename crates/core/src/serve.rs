@@ -1,0 +1,689 @@
+//! The gatekeeper: a multi-tenant HTTP serving layer for streaming
+//! detectors.
+//!
+//! Exathlon's monitoring setting (§2) has many repeated Spark executions
+//! streaming records concurrently. The gatekeeper hosts one
+//! [`ServingProfile`] per `(app, entity)` tenant behind a hand-rolled
+//! HTTP/1.1 endpoint on [`std::net::TcpListener`] — no framework, no new
+//! dependencies — with a fixed worker pool and a sharded, LRU-evicted
+//! [`ProfileRegistry`] ([`crate::registry`]).
+//!
+//! Routes (all under `/v1`):
+//!
+//! | method | path | body | response |
+//! |---|---|---|---|
+//! | `PUT` | `/v1/profile/{app}/{entity}` | binary checkpoint image | `{"stored":true,"bytes":n,"evicted":[...]}` |
+//! | `GET` | `/v1/checkpoint/{app}/{entity}` | — | binary checkpoint image |
+//! | `POST` | `/v1/ingest/{app}/{entity}` | `{"record":[...]}` | `{"score":s,"anomaly":b}` |
+//! | `POST` | `/v1/score/{app}/{entity}` | `{"records":[[...],...]}` | `{"scores":[...],"anomalies":[...]}` |
+//! | `DELETE` | `/v1/profile/{app}/{entity}` | — | `{"removed":b}` |
+//! | `GET` | `/v1/stats` | — | registry counters |
+//! | `GET` | `/v1/healthz` | — | `{"ok":true}` |
+//!
+//! Profiles travel as [`crate::checkpoint`] images, so `PUT` → ingest →
+//! `GET` round-trips are bitwise lossless: a downloaded checkpoint
+//! continues the tenant's stream exactly where the server left it
+//! (pinned by `tests/gatekeeper_smoke.rs`). JSON floats follow the
+//! repo-wide convention: non-finite values serialize as `null`, and
+//! `null` record entries parse back as NaN gaps.
+//!
+//! Concurrency model: one acceptor thread hands connections to a fixed
+//! pool of workers over an [`std::sync::mpsc`] channel; each worker
+//! speaks keep-alive HTTP/1.1 on its connection. Tenant state lives in
+//! `shards` mutex-protected registries indexed by FNV-1a of the key, so
+//! unrelated tenants do not contend. The hot path (`ingest`) takes one
+//! shard lock, one hash lookup, one detector tick.
+
+use crate::checkpoint::ServingProfile;
+use crate::registry::{EntityKey, ProfileRegistry, RegistryStats};
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Gatekeeper tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatekeeperConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Registry shards (keys spread by FNV-1a).
+    pub shards: usize,
+    /// LRU byte budget per shard (encoded profile bytes).
+    pub budget_bytes_per_shard: usize,
+    /// Largest accepted request body; larger requests get 413.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout (also bounds shutdown latency).
+    pub read_timeout: Duration,
+}
+
+impl Default for GatekeeperConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            shards: 8,
+            budget_bytes_per_shard: 64 << 20,
+            max_body_bytes: 16 << 20,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// FNV-1a over the key's parts; stable shard placement across runs.
+fn fnv1a(key: &EntityKey) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.app.as_bytes().iter().chain([0xffu8].iter()).chain(key.entity.as_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// State shared by every worker.
+struct Shared {
+    shards: Vec<Mutex<ProfileRegistry>>,
+    max_body_bytes: usize,
+}
+
+impl Shared {
+    fn shard(&self, key: &EntityKey) -> &Mutex<ProfileRegistry> {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Counters summed across shards.
+    fn stats(&self) -> RegistryStats {
+        let mut total = RegistryStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.insertions += s.insertions;
+            total.evictions += s.evictions;
+            total.resident_bytes += s.resident_bytes;
+            total.resident_profiles += s.resident_profiles;
+        }
+        total
+    }
+}
+
+/// A running gatekeeper. Dropping it (or calling
+/// [`Gatekeeper::shutdown`]) stops the acceptor and joins every worker.
+pub struct Gatekeeper {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gatekeeper {
+    /// Bind and start serving. Pass port 0 for an ephemeral port and read
+    /// it back with [`Gatekeeper::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, config: GatekeeperConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shards = config.shards.max(1);
+        let shared = Arc::new(Shared {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ProfileRegistry::new(config.budget_bytes_per_shard)))
+                .collect(),
+            max_body_bytes: config.max_body_bytes,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing.
+                    let conn = rx.lock().recv();
+                    match conn {
+                        Ok(stream) => serve_connection(stream, &shared, &stop),
+                        Err(_) => break, // acceptor gone: drain complete
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let read_timeout = config.read_timeout;
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break; // the shutdown self-connect lands here
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        let _ = stream.set_nodelay(true);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // `tx` drops here; workers drain the queue and exit.
+            })
+        };
+
+        Ok(Self { addr: local, shared, stop, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registry counters summed across shards.
+    pub fn stats(&self) -> RegistryStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting, drain the connection queue, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gatekeeper {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+// ------------------------------------------------------------- HTTP layer
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+enum ReadOutcome {
+    Request(Request),
+    /// Clean close (EOF before a request line) or I/O error / timeout.
+    Hangup,
+    /// Malformed request; answer with this status and close.
+    Bad(u16, &'static str),
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => return ReadOutcome::Hangup,
+        Ok(_) => {}
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return ReadOutcome::Bad(400, "malformed request line"),
+    };
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => return ReadOutcome::Hangup,
+            Ok(_) => {}
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => return ReadOutcome::Bad(400, "bad content-length"),
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    if content_length > max_body {
+        return ReadOutcome::Bad(413, "body too large");
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Hangup;
+    }
+    ReadOutcome::Request(Request { method, path, body, keep_alive })
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        serde::write_json_string(&mut body, message);
+        body.push('}');
+        Self::json(status, body)
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared, stop: &AtomicBool) {
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let request = match read_request(&mut reader, shared.max_body_bytes) {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Hangup => break,
+            ReadOutcome::Bad(status, msg) => {
+                let _ = write_response(&mut stream, &Response::error(status, msg), false);
+                break;
+            }
+        };
+        crate::obs::counter("serve.requests", 1);
+        crate::obs::counter("serve.bytes_in", request.body.len() as u64);
+        let response = route(&request, shared);
+        crate::obs::counter("serve.bytes_out", response.body.len() as u64);
+        if write_response(&mut stream, &response, request.keep_alive).is_err() {
+            break;
+        }
+        if !request.keep_alive {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+// --------------------------------------------------------------- routing
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => Response::json(200, "{\"ok\":true}".into()),
+        ("GET", ["v1", "stats"]) => stats_response(shared),
+        ("PUT", ["v1", "profile", app, entity]) => {
+            put_profile(shared, EntityKey::new(*app, *entity), &req.body)
+        }
+        ("DELETE", ["v1", "profile", app, entity]) => {
+            let removed = shared
+                .shard(&EntityKey::new(*app, *entity))
+                .lock()
+                .remove(&EntityKey::new(*app, *entity))
+                .is_some();
+            Response::json(200, format!("{{\"removed\":{removed}}}"))
+        }
+        ("GET", ["v1", "checkpoint", app, entity]) => {
+            get_checkpoint(shared, EntityKey::new(*app, *entity))
+        }
+        ("POST", ["v1", "ingest", app, entity]) => {
+            ingest(shared, EntityKey::new(*app, *entity), &req.body, false)
+        }
+        ("POST", ["v1", "score", app, entity]) => {
+            ingest(shared, EntityKey::new(*app, *entity), &req.body, true)
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn stats_response(shared: &Shared) -> Response {
+    let s = shared.stats();
+    Response::json(
+        200,
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"resident_bytes\":{},\"resident_profiles\":{}}}",
+            s.hits, s.misses, s.insertions, s.evictions, s.resident_bytes, s.resident_profiles
+        ),
+    )
+}
+
+fn put_profile(shared: &Shared, key: EntityKey, body: &[u8]) -> Response {
+    let profile = match ServingProfile::from_bytes(body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &format!("bad checkpoint image: {e}")),
+    };
+    let evicted = shared.shard(&key).lock().insert(key, profile, body.len());
+    let mut out = format!("{{\"stored\":true,\"bytes\":{},\"evicted\":[", body.len());
+    for (i, (victim, _)) in evicted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        serde::write_json_string(&mut out, &victim.to_string());
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+fn get_checkpoint(shared: &Shared, key: EntityKey) -> Response {
+    match shared.shard(&key).lock().peek(&key) {
+        Some(profile) => Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body: profile.to_bytes(),
+        },
+        None => Response::error(404, "unknown profile"),
+    }
+}
+
+/// JSON number → f64, with `null` as a NaN gap (the repo-wide float
+/// convention: the writer maps non-finite to `null`, so the reader must
+/// accept it back).
+fn json_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+fn json_record(v: &Value) -> Option<Vec<f64>> {
+    v.as_array()?.iter().map(json_num).collect()
+}
+
+/// A float as JSON: non-finite becomes `null`; finite values print the
+/// shortest representation that parses back to the same bits.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn ingest(shared: &Shared, key: EntityKey, body: &[u8], batch: bool) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let parsed = match serde_json::parse_value(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let records: Vec<Vec<f64>> = if batch {
+        match parsed.get("records").and_then(|v| v.as_array()) {
+            Some(rows) => match rows.iter().map(json_record).collect() {
+                Some(rs) => rs,
+                None => return Response::error(400, "records must be arrays of numbers"),
+            },
+            None => return Response::error(400, "missing \"records\" array"),
+        }
+    } else {
+        match parsed.get("record").and_then(json_record) {
+            Some(r) => vec![r],
+            None => return Response::error(400, "missing \"record\" array of numbers"),
+        }
+    };
+
+    let mut scores = Vec::with_capacity(records.len());
+    {
+        let shard = shared.shard(&key);
+        let mut reg = shard.lock();
+        let profile = match reg.get_mut(&key) {
+            Some(p) => p,
+            None => return Response::error(404, "unknown profile"),
+        };
+        for record in &records {
+            // A record of the wrong width panics deep in the detector;
+            // surface that as a client error instead of losing a worker.
+            let scored =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| profile.ingest(record)));
+            match scored {
+                Ok(pair) => scores.push(pair),
+                Err(_) => return Response::error(400, "record rejected by detector"),
+            }
+        }
+    }
+    crate::obs::counter("serve.ingest_records", records.len() as u64);
+
+    if batch {
+        let mut out = String::from("{\"scores\":[");
+        for (i, (s, _)) in scores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_f64(*s));
+        }
+        out.push_str("],\"anomalies\":[");
+        for (i, (_, a)) in scores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if *a { "true" } else { "false" });
+        }
+        out.push_str("]}");
+        Response::json(200, out)
+    } else {
+        let (s, a) = scores[0];
+        Response::json(200, format!("{{\"score\":{},\"anomaly\":{}}}", fmt_f64(s), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exathlon_ad::stream::StreamingEwma;
+
+    /// Minimal test client: one request per call over a fresh connection.
+    fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("no header break") + 4;
+        let head = std::str::from_utf8(&raw[..split]).unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        (status, raw[split..].to_vec())
+    }
+
+    fn profile() -> ServingProfile {
+        ServingProfile::new(StreamingEwma::new(0.3, vec![1.0, 2.0]).into(), 0.5)
+    }
+
+    #[test]
+    fn full_cycle_put_ingest_checkpoint() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+
+        let (status, body) = call(addr, "GET", "/v1/healthz", b"");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+        // Upload, then drive the server twin and a local twin in lockstep.
+        let mut local = profile();
+        let (status, _) = call(addr, "PUT", "/v1/profile/app1/exec1", &local.to_bytes());
+        assert_eq!(status, 200);
+
+        for i in 0..10 {
+            let rec = [i as f64 * 0.7, (i as f64).sin()];
+            let (want, want_flag) = local.ingest(&rec);
+            let req = format!("{{\"record\":[{},{}]}}", rec[0], rec[1]);
+            let (status, body) = call(addr, "POST", "/v1/ingest/app1/exec1", req.as_bytes());
+            assert_eq!(status, 200);
+            let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+            let got = match v.get("score").unwrap() {
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                other => panic!("score was {other:?}"),
+            };
+            assert_eq!(got.to_bits(), want.to_bits(), "record {i}");
+            assert_eq!(v.get("anomaly"), Some(&Value::Bool(want_flag)));
+        }
+
+        // The downloaded checkpoint is the advanced state, bitwise.
+        let (status, image) = call(addr, "GET", "/v1/checkpoint/app1/exec1", b"");
+        assert_eq!(status, 200);
+        assert_eq!(image, local.to_bytes());
+
+        let stats = gk.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.resident_profiles, 1);
+        gk.shutdown();
+    }
+
+    #[test]
+    fn batch_score_matches_sequential_ingest() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+        let mut local = profile();
+        call(addr, "PUT", "/v1/profile/a/e", &local.to_bytes());
+        let mut want = Vec::new();
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            let rec = [i as f64, -(i as f64)];
+            want.push(local.ingest(&rec).0);
+            rows.push(format!("[{},{}]", rec[0], rec[1]));
+        }
+        let req = format!("{{\"records\":[{}]}}", rows.join(","));
+        let (status, body) = call(addr, "POST", "/v1/score/a/e", req.as_bytes());
+        assert_eq!(status, 200);
+        let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+        let got: Vec<f64> = v
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| json_num(x).unwrap())
+            .collect();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn errors_are_typed_not_fatal() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+        // Unknown route, unknown profile, corrupt image, bad JSON, wrong
+        // record width — each a clean client error, server stays up.
+        assert_eq!(call(addr, "GET", "/nope", b"").0, 404);
+        assert_eq!(call(addr, "POST", "/v1/ingest/a/e", b"{\"record\":[1]}").0, 404);
+        assert_eq!(call(addr, "PUT", "/v1/profile/a/e", b"garbage").0, 400);
+        call(addr, "PUT", "/v1/profile/a/e", &profile().to_bytes());
+        assert_eq!(call(addr, "POST", "/v1/ingest/a/e", b"not json").0, 400);
+        assert_eq!(call(addr, "POST", "/v1/ingest/a/e", b"{\"record\":[1]}").0, 400);
+        // Still alive and consistent afterwards.
+        assert_eq!(call(addr, "POST", "/v1/ingest/a/e", b"{\"record\":[1,2]}").0, 200);
+        assert_eq!(call(addr, "DELETE", "/v1/profile/a/e", b"").0, 200);
+        assert_eq!(call(addr, "POST", "/v1/ingest/a/e", b"{\"record\":[1,2]}").0, 404);
+        gk.shutdown();
+    }
+
+    #[test]
+    fn null_record_entries_are_nan_gaps() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+        let mut local = profile();
+        call(addr, "PUT", "/v1/profile/a/e", &local.to_bytes());
+        let (want, _) = local.ingest(&[f64::NAN, 1.0]);
+        let (status, body) = call(addr, "POST", "/v1/ingest/a/e", b"{\"record\":[null,1]}");
+        assert_eq!(status, 200);
+        let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+        let got = json_num(v.get("score").unwrap()).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+        call(addr, "PUT", "/v1/profile/a/e", &profile().to_bytes());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..20 {
+            let body = format!("{{\"record\":[{i},0]}}");
+            let head = format!(
+                "POST /v1/ingest/a/e HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(head.as_bytes()).unwrap();
+            stream.write_all(body.as_bytes()).unwrap();
+            // Read one response: headers, then content-length bytes.
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            assert!(status_line.contains("200"), "request {i}: {status_line}");
+            let mut len = 0usize;
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                let h = h.trim_end();
+                if h.is_empty() {
+                    break;
+                }
+                if let Some((k, v)) = h.split_once(':') {
+                    if k.eq_ignore_ascii_case("content-length") {
+                        len = v.trim().parse().unwrap();
+                    }
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+        }
+        gk.shutdown();
+    }
+}

@@ -1,0 +1,364 @@
+//! Bitwise-exact binary encoding for checkpoint/restore.
+//!
+//! The serving layer persists fitted models (scalers, PCA, net weights,
+//! streaming-detector state) and must restore them to *score-identical*
+//! state: the repo's equivalence contracts are all pinned bitwise, so a
+//! checkpoint that loses one ULP breaks them. Every `f64` therefore
+//! round-trips through [`f64::to_bits`] — NaN payloads, signed zeros and
+//! infinities included — and integers are fixed-width little-endian.
+//!
+//! The format is deliberately dumb: no varints, no compression, no
+//! self-description. Each type writes its fields in a fixed order with
+//! length-prefixed containers; readers validate lengths against the
+//! remaining buffer *before* allocating, so truncated or corrupt input
+//! fails with a [`CodecError`] instead of panicking or OOM-ing.
+
+use crate::matrix::Matrix;
+
+/// Decoding failure. All decode paths return this — none panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the announced data did.
+    Truncated,
+    /// A magic header did not match the expected format tag.
+    BadMagic,
+    /// A version byte newer (or older) than this build supports.
+    UnsupportedVersion(u8),
+    /// A structurally invalid value (bad enum tag, inconsistent lengths).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::BadMagic => write!(f, "bad magic header"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only byte sink with fixed-width little-endian primitives.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes verbatim (magic headers).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit everywhere).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` by bit pattern — the bitwise-exactness anchor.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Append a length-prefixed `usize` slice (as `u64`s).
+    pub fn put_usizes(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a matrix: shape, then the row-major `f64` bit patterns.
+    pub fn put_matrix(&mut self, m: &Matrix) {
+        self.put_usize(m.rows());
+        self.put_usize(m.cols());
+        for &v in m.as_slice() {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// A cursor over an encoded buffer; every read validates remaining length
+/// first and returns [`CodecError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read `n` raw bytes (magic headers).
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool; any byte other than 0/1 is corrupt.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` written by [`ByteWriter::put_usize`].
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Corrupt("usize overflow"))
+    }
+
+    /// Read an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Length-prefixed count, validated against the bytes actually left
+    /// (`elem_bytes` per element) so corrupt lengths fail before any
+    /// allocation happens.
+    pub fn get_len(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        if n.checked_mul(elem_bytes).is_none_or(|total| total > self.remaining()) {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Read a length-prefixed `usize` vector.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_usize()).collect()
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Corrupt("invalid UTF-8"))
+    }
+
+    /// Read a matrix written by [`ByteWriter::put_matrix`].
+    pub fn get_matrix(&mut self) -> Result<Matrix, CodecError> {
+        let rows = self.get_usize()?;
+        let cols = self.get_usize()?;
+        let total = rows.checked_mul(cols).ok_or(CodecError::Corrupt("matrix shape overflow"))?;
+        if total.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(CodecError::Truncated);
+        }
+        let data: Result<Vec<f64>, CodecError> = (0..total).map(|_| self.get_f64()).collect();
+        Ok(Matrix::from_vec(rows, cols, data?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(123_456);
+        w.put_f64(-0.0);
+        w.put_str("exathlon");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 123_456);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_str().unwrap(), "exathlon");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn f64_round_trip_is_bitwise_for_every_special_value() {
+        let specials = [
+            0.0,
+            -0.0,
+            1.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7FF8_0000_0000_0001), // NaN with payload
+        ];
+        let mut w = ByteWriter::new();
+        w.put_f64s(&specials);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_f64s().unwrap();
+        for (a, b) in specials.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matrix_round_trips_bitwise() {
+        let m = Matrix::from_vec(2, 3, vec![1.5, -2.25, f64::NAN, 0.0, -0.0, 1e300]);
+        let mut w = ByteWriter::new();
+        w.put_matrix(&m);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_matrix().unwrap();
+        assert_eq!(got.rows(), 2);
+        assert_eq!(got.cols(), 3);
+        for (a, b) in m.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_not_panics() {
+        let mut w = ByteWriter::new();
+        w.put_f64s(&[1.0, 2.0, 3.0]);
+        w.put_str("hello");
+        w.put_matrix(&Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let result: Result<(), CodecError> = (|| {
+                r.get_f64s()?;
+                r.get_str()?;
+                r.get_matrix()?;
+                Ok(())
+            })();
+            assert!(result.is_err(), "prefix of {cut} bytes must fail to decode");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_fails_before_allocating() {
+        // Announce u64::MAX elements with 8 bytes of payload: must error
+        // out on the length check, not attempt the allocation.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        w.put_f64(1.0);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).get_f64s().is_err());
+        assert!(ByteReader::new(&bytes).get_usizes().is_err());
+        assert!(ByteReader::new(&bytes).get_str().is_err());
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let bytes = [2u8];
+        assert_eq!(
+            ByteReader::new(&bytes).get_bool(),
+            Err(CodecError::Corrupt("bool byte out of range"))
+        );
+    }
+}

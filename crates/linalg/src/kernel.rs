@@ -1018,6 +1018,25 @@ impl DistanceKernel {
         self.refs.row(i)
     }
 
+    /// Serialize into `w`. Only the reference matrix is written: the
+    /// transpose and row norms are pure functions of it and are
+    /// recomputed on decode (same arithmetic as fit, so the restored
+    /// kernel's distances are bitwise identical).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_matrix(&self.refs);
+    }
+
+    /// Decode a kernel written by [`DistanceKernel::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        // References were sanitized at the original fit; re-deriving the
+        // transpose and norms from the decoded matrix replays exactly
+        // what `fit` computed from the sanitized rows.
+        let refs = r.get_matrix()?;
+        let refs_t = refs.transpose();
+        let norms = row_sq_norms(&refs);
+        Ok(Self { refs, refs_t, norms })
+    }
+
     /// Batched squared distances: row `i` of the result holds the
     /// squared distance from `queries[i]` to every reference. Queries
     /// are sanitized with the same rule as the references; results are

@@ -16,11 +16,15 @@
 //! * [descriptive statistics](stats) — mean, standard deviation, median,
 //!   MAD, IQR, quantiles, histograms and Shannon entropy — that drive the
 //!   unsupervised threshold-selection rules (Appendix D.2) and the ED
-//!   consistency metrics (§4.2).
+//!   consistency metrics (§4.2),
+//! * a [bitwise-exact binary codec](codec) (`to_bits`-round-tripped
+//!   floats, length-validated reads) that the serving layer's
+//!   checkpoint/restore builds on.
 //!
 //! Everything is `f64`, allocation-conscious, and implemented from scratch:
 //! no external BLAS or ndarray dependency.
 
+pub mod codec;
 pub mod eigen;
 pub mod elemwise;
 pub mod kernel;

@@ -129,6 +129,30 @@ impl Pca {
         let back = self.components.matvec(z);
         back.iter().zip(&self.means).map(|(&b, &mu)| b + mu).collect()
     }
+
+    /// Serialize into `w` — centering means, projection matrix and
+    /// explained ratios, all bitwise.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_f64s(&self.means);
+        w.put_matrix(&self.components);
+        w.put_f64s(&self.explained);
+    }
+
+    /// Decode a transform written by [`Pca::encode`]. Restored state is
+    /// field-for-field bitwise identical, so [`Pca::transform_row`]
+    /// reproduces the original projections exactly.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let means = r.get_f64s()?;
+        let components = r.get_matrix()?;
+        let explained = r.get_f64s()?;
+        if components.rows() != means.len() || components.cols() != explained.len() {
+            return Err(crate::codec::CodecError::Corrupt("PCA shape mismatch"));
+        }
+        if components.cols() == 0 {
+            return Err(crate::codec::CodecError::Corrupt("PCA with zero components"));
+        }
+        Ok(Self { means, components, explained })
+    }
 }
 
 #[cfg(test)]

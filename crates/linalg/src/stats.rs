@@ -11,15 +11,18 @@
 //!   themselves (EXstream's entropy-based single-feature reward, MacroBase's
 //!   equal-width binning).
 //!
-//! All quantile-style functions ignore NaN values, mirroring the pipeline's
-//! tolerance for the missing metrics of inactive executors.
+//! All statistics here operate on the *finite* values of their input,
+//! skipping NaN (the pipeline's missing-metric encoding) **and** ±inf:
+//! a serving path ingesting raw client traffic will see infinities, and a
+//! single one flowing into the `(S1, S2)` threshold rules used to yield
+//! an infinite or NaN threshold that flags nothing (or everything).
 
-/// Arithmetic mean; `0.0` for an empty slice. NaNs are skipped.
+/// Arithmetic mean of the finite values; `0.0` when there are none.
 pub fn mean(xs: &[f64]) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for &x in xs {
-        if !x.is_nan() {
+        if x.is_finite() {
             sum += x;
             n += 1;
         }
@@ -31,13 +34,14 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Population variance (divides by `n`); `0.0` for fewer than one finite value.
+/// Population variance of the finite values (divides by `n`); `0.0` when
+/// there are none.
 pub fn variance(xs: &[f64]) -> f64 {
     let m = mean(xs);
     let mut sum = 0.0;
     let mut n = 0usize;
     for &x in xs {
-        if !x.is_nan() {
+        if x.is_finite() {
             let d = x - m;
             sum += d * d;
             n += 1;
@@ -55,9 +59,11 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Sorted copy of the finite values of `xs`.
+/// Sorted copy of the finite values of `xs`. Filtering must reject ±inf
+/// too, not just NaN: an inf kept here used to surface as an infinite
+/// quantile (and from there an infinite or NaN IQR-rule threshold).
 fn sorted_finite(xs: &[f64]) -> Vec<f64> {
-    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
     v
 }
@@ -96,7 +102,7 @@ pub fn median(xs: &[f64]) -> f64 {
 /// `MAD = 1.4826 * median(|X - median(X)|)` definition in Appendix D.2.
 pub fn mad(xs: &[f64]) -> f64 {
     let med = median(xs);
-    let devs: Vec<f64> = xs.iter().filter(|x| !x.is_nan()).map(|&x| (x - med).abs()).collect();
+    let devs: Vec<f64> = xs.iter().filter(|x| x.is_finite()).map(|&x| (x - med).abs()).collect();
     1.4826 * median(&devs)
 }
 
@@ -112,14 +118,17 @@ pub fn quartiles(xs: &[f64]) -> (f64, f64) {
     (quantile_sorted(&v, 0.25), quantile_sorted(&v, 0.75))
 }
 
-/// Minimum of the finite values (`+inf` if none).
+/// Minimum of the finite values (`+inf` if none). The filter matches the
+/// documented contract: a `-inf` sample is *not* the data minimum, it is
+/// a broken measurement (and it used to collapse every histogram range
+/// built on top of this function).
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    xs.iter().copied().filter(|x| x.is_finite()).fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of the finite values (`-inf` if none).
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::NEG_INFINITY, f64::max)
+    xs.iter().copied().filter(|x| x.is_finite()).fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Shannon entropy (base 2) of a discrete distribution given as
@@ -157,8 +166,14 @@ pub struct Histogram {
 
 impl Histogram {
     /// Build a histogram of the finite values of `xs` with `bins` equal-width
-    /// buckets spanning the data range. A degenerate range (all values equal)
-    /// puts everything in the first bucket.
+    /// buckets spanning the finite data range. A degenerate range (all values
+    /// equal, or no finite value at all) puts everything in the first bucket.
+    ///
+    /// Non-finite samples are excluded from the range *and* from the
+    /// counts. The counting loop used to skip only NaN, so one ±inf
+    /// sample both collapsed the range to the `(0.0, 1.0)` fallback and
+    /// still got clamp-counted into an edge bin — a single broken
+    /// measurement destroyed the whole distribution.
     pub fn from_data(xs: &[f64], bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         let lo = min(xs);
@@ -166,7 +181,7 @@ impl Histogram {
         let (lo, hi) = if lo.is_finite() && hi.is_finite() { (lo, hi) } else { (0.0, 1.0) };
         let mut h = Self { lo, hi, counts: vec![0; bins] };
         for &x in xs {
-            if !x.is_nan() {
+            if x.is_finite() {
                 let b = h.bin_of(x);
                 h.counts[b] += 1;
             }
@@ -187,6 +202,35 @@ impl Histogram {
     /// Bucket counts.
     pub fn counts(&self) -> &[usize] {
         &self.counts
+    }
+
+    /// The exact `[lo, hi]` range the histogram was built over.
+    ///
+    /// Callers that need the in-range test (`lo <= x <= hi`) must use
+    /// this rather than rederiving the bounds from
+    /// [`Histogram::bin_bounds`]: `lo + bins * width` is float
+    /// arithmetic and can round *below* the true `hi`, misclassifying
+    /// the training maximum itself as out-of-range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Serialize into `w` (range bounds bitwise, then the counts).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        w.put_usizes(&self.counts);
+    }
+
+    /// Decode a histogram written by [`Histogram::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let counts = r.get_usizes()?;
+        if counts.is_empty() {
+            return Err(crate::codec::CodecError::Corrupt("histogram with zero bins"));
+        }
+        Ok(Self { lo, hi, counts })
     }
 
     /// Lower and upper bound of bucket `b`.
@@ -339,5 +383,77 @@ mod tests {
     fn min_max_ignore_nan() {
         assert_eq!(min(&[f64::NAN, 2.0, -1.0]), -1.0);
         assert_eq!(max(&[f64::NAN, 2.0, -1.0]), 2.0);
+    }
+
+    #[test]
+    fn min_max_ignore_infinities() {
+        assert_eq!(min(&[f64::NEG_INFINITY, 2.0, -1.0]), -1.0);
+        assert_eq!(max(&[f64::INFINITY, 2.0, -1.0]), 2.0);
+    }
+
+    #[test]
+    fn moments_and_quantiles_ignore_infinities() {
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let dirty = [1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY, 3.0, f64::NAN, 4.0];
+        assert_eq!(mean(&dirty), mean(&clean));
+        assert_eq!(variance(&dirty), variance(&clean));
+        assert_eq!(median(&dirty), median(&clean));
+        assert_eq!(mad(&dirty), mad(&clean));
+        assert_eq!(iqr(&dirty), iqr(&clean));
+        assert_eq!(quartiles(&dirty), quartiles(&clean));
+    }
+
+    /// Regression test: one ±inf sample used to collapse the range to the
+    /// `(0.0, 1.0)` fallback *and* still get counted into a clamped edge
+    /// bin — the histogram must instead equal the one built on the finite
+    /// values alone.
+    #[test]
+    fn histogram_ignores_infinite_samples() {
+        let finite = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut dirty = finite.to_vec();
+        dirty.insert(3, f64::INFINITY);
+        dirty.push(f64::NEG_INFINITY);
+        dirty.push(f64::NAN);
+        let clean_h = Histogram::from_data(&finite, 5);
+        let dirty_h = Histogram::from_data(&dirty, 5);
+        assert_eq!(dirty_h.range(), (0.0, 9.0), "range must span the finite values");
+        assert_eq!(dirty_h.range(), clean_h.range());
+        assert_eq!(dirty_h.counts(), clean_h.counts());
+        assert_eq!(dirty_h.total(), finite.len());
+    }
+
+    #[test]
+    fn histogram_all_non_finite_falls_back_empty() {
+        let h = Histogram::from_data(&[f64::INFINITY, f64::NEG_INFINITY, f64::NAN], 4);
+        assert_eq!(h.range(), (0.0, 1.0));
+        assert_eq!(h.total(), 0, "non-finite samples must not be counted");
+    }
+
+    #[test]
+    fn histogram_range_is_exact_not_rederived() {
+        // A range whose width does not divide evenly: lo + bins*width
+        // rounds off, so bin_bounds can disagree with the true bounds.
+        let xs = [0.1, 0.2, 0.30000000000000004, 0.7, 1.3];
+        let h = Histogram::from_data(&xs, 7);
+        let (lo, hi) = h.range();
+        assert_eq!(lo.to_bits(), min(&xs).to_bits());
+        assert_eq!(hi.to_bits(), max(&xs).to_bits());
+    }
+
+    #[test]
+    fn histogram_codec_round_trips() {
+        let xs = [0.5, 1.5, 2.5, 2.5, 9.75];
+        let h = Histogram::from_data(&xs, 8);
+        let mut w = crate::codec::ByteWriter::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = Histogram::decode(&mut crate::codec::ByteReader::new(&bytes)).unwrap();
+        assert_eq!(got.range().0.to_bits(), h.range().0.to_bits());
+        assert_eq!(got.range().1.to_bits(), h.range().1.to_bits());
+        assert_eq!(got.counts(), h.counts());
+        // Truncations error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Histogram::decode(&mut crate::codec::ByteReader::new(&bytes[..cut])).is_err());
+        }
     }
 }

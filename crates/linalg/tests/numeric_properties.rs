@@ -3,7 +3,7 @@
 
 use exathlon_linalg::eigen::{covariance_matrix, symmetric_eigen};
 use exathlon_linalg::pca::{ComponentSelection, Pca};
-use exathlon_linalg::stats::{entropy, mad, mean, median, quantile, std_dev};
+use exathlon_linalg::stats::{entropy, iqr, mad, mean, median, quantile, std_dev};
 use exathlon_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -115,5 +115,70 @@ proptest! {
         let uniform = vec![1.0; k];
         prop_assert!(entropy(&weights) <= entropy(&uniform) + 1e-9);
         prop_assert!((entropy(&uniform) - (k as f64).log2()).abs() < 1e-9);
+    }
+
+    /// Non-finite contamination is invisible: sprinkling ±inf and NaN
+    /// into a sample must leave every statistic the threshold rules read
+    /// (mean/std, median/MAD, Q3/IQR) bitwise identical to the clean
+    /// sample's — and therefore finite. An inf that leaked through any of
+    /// these used to turn `S1 + c*S2` into an inf or NaN threshold.
+    #[test]
+    fn stats_ignore_non_finite_contamination(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        // Where and what to inject: index (modulo len+1) and a selector
+        // over {+inf, -inf, NaN}.
+        injections in proptest::collection::vec((0usize..64, 0u8..3), 1..12),
+    ) {
+        let mut dirty = xs.clone();
+        for &(at, kind) in &injections {
+            let v = match kind {
+                0 => f64::INFINITY,
+                1 => f64::NEG_INFINITY,
+                _ => f64::NAN,
+            };
+            let at = at % (dirty.len() + 1);
+            dirty.insert(at, v);
+        }
+        for (name, clean, poisoned) in [
+            ("mean", mean(&xs), mean(&dirty)),
+            ("std_dev", std_dev(&xs), std_dev(&dirty)),
+            ("median", median(&xs), median(&dirty)),
+            ("mad", mad(&xs), mad(&dirty)),
+            ("iqr", iqr(&xs), iqr(&dirty)),
+            ("q3", quantile(&xs, 0.75), quantile(&dirty, 0.75)),
+        ] {
+            prop_assert!(poisoned.is_finite(), "{} went non-finite: {}", name, poisoned);
+            prop_assert_eq!(clean.to_bits(), poisoned.to_bits(), "{} changed under contamination", name);
+        }
+        // The composed threshold rules stay finite on the dirty scores.
+        let thr_mean_std = mean(&dirty) + 3.0 * std_dev(&dirty);
+        let thr_med_mad = median(&dirty) + 3.0 * mad(&dirty);
+        let thr_q3_iqr = quantile(&dirty, 0.75) + 3.0 * iqr(&dirty);
+        prop_assert!(thr_mean_std.is_finite() && thr_med_mad.is_finite() && thr_q3_iqr.is_finite());
+    }
+
+    /// A histogram of a contaminated sample equals the clean histogram:
+    /// same range, same counts, nothing clamp-counted into edge bins.
+    #[test]
+    fn histogram_invariant_under_non_finite_contamination(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
+        bins in 1usize..16,
+        injections in proptest::collection::vec((0usize..64, 0u8..3), 1..8),
+    ) {
+        let mut dirty = xs.clone();
+        for &(at, kind) in &injections {
+            let v = match kind {
+                0 => f64::INFINITY,
+                1 => f64::NEG_INFINITY,
+                _ => f64::NAN,
+            };
+            let at = at % (dirty.len() + 1);
+            dirty.insert(at, v);
+        }
+        let clean_h = exathlon_linalg::stats::Histogram::from_data(&xs, bins);
+        let dirty_h = exathlon_linalg::stats::Histogram::from_data(&dirty, bins);
+        prop_assert_eq!(clean_h.range(), dirty_h.range());
+        prop_assert_eq!(clean_h.counts(), dirty_h.counts());
+        prop_assert_eq!(dirty_h.total(), xs.len());
     }
 }

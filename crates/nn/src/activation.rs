@@ -35,6 +35,29 @@ impl Activation {
         }
     }
 
+    /// Stable one-byte wire tag for checkpoints.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Activation::Relu => 0,
+            Activation::LeakyRelu => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+            Activation::Identity => 4,
+        }
+    }
+
+    /// Inverse of [`Activation::to_tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Activation::Relu),
+            1 => Some(Activation::LeakyRelu),
+            2 => Some(Activation::Tanh),
+            3 => Some(Activation::Sigmoid),
+            4 => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+
     /// Apply the activation element-wise (allocating map — the naive
     /// reference path; training fuses this into the GEMM epilogue).
     /// ReLU uses the explicit `if v > 0` branch rather than `f64::max`

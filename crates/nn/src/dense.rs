@@ -235,6 +235,39 @@ impl Dense {
         );
     }
 
+    /// Serialize the layer's learned state (weights, bias, activation)
+    /// into `w`. Training workspaces and optimizer moments are transient
+    /// and not part of the wire format.
+    pub fn encode(&self, w: &mut exathlon_linalg::codec::ByteWriter) {
+        w.put_u8(self.activation.to_tag());
+        w.put_matrix(&self.weight.value);
+        w.put_matrix(&self.bias.value);
+    }
+
+    /// Decode a layer written by [`Dense::encode`]. The restored weights
+    /// are bitwise identical, so [`Dense::forward_inference`] reproduces
+    /// the original outputs exactly.
+    pub fn decode(
+        r: &mut exathlon_linalg::codec::ByteReader<'_>,
+    ) -> Result<Self, exathlon_linalg::codec::CodecError> {
+        let activation = Activation::from_tag(r.get_u8()?)
+            .ok_or(exathlon_linalg::codec::CodecError::Corrupt("unknown activation tag"))?;
+        let weight = r.get_matrix()?;
+        let bias = r.get_matrix()?;
+        if weight.rows() == 0 || weight.cols() == 0 {
+            return Err(exathlon_linalg::codec::CodecError::Corrupt("empty dense weight"));
+        }
+        if bias.rows() != 1 || bias.cols() != weight.rows() {
+            return Err(exathlon_linalg::codec::CodecError::Corrupt("dense bias shape mismatch"));
+        }
+        Ok(Self {
+            weight: Param::from_value(weight),
+            bias: Param::from_value(bias),
+            activation,
+            ws: DenseWorkspace::default(),
+        })
+    }
+
     /// Mutable access to the layer's parameters, for the optimizer.
     pub fn params_mut(&mut self) -> [&mut Param; 2] {
         [&mut self.weight, &mut self.bias]

@@ -255,6 +255,42 @@ impl Mlp {
         history
     }
 
+    /// Serialize the network's learned state into `w`: layer count, each
+    /// layer's weights, and the optimizer step counter. Workspaces are
+    /// rebuilt empty on decode.
+    pub fn encode(&self, w: &mut exathlon_linalg::codec::ByteWriter) {
+        w.put_usize(self.layers.len());
+        for layer in &self.layers {
+            layer.encode(w);
+        }
+        w.put_u64(self.step);
+    }
+
+    /// Decode a network written by [`Mlp::encode`]. Restored weights are
+    /// bitwise identical, so [`Mlp::predict`] reproduces the original
+    /// outputs exactly.
+    pub fn decode(
+        r: &mut exathlon_linalg::codec::ByteReader<'_>,
+    ) -> Result<Self, exathlon_linalg::codec::CodecError> {
+        let n = r.get_len(1)?;
+        if n == 0 {
+            return Err(exathlon_linalg::codec::CodecError::Corrupt("MLP with no layers"));
+        }
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            layers.push(Dense::decode(r)?);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(exathlon_linalg::codec::CodecError::Corrupt(
+                    "MLP layer dimensions do not chain",
+                ));
+            }
+        }
+        let step = r.get_u64()?;
+        Ok(Self { layers, step, ws: MlpWorkspace::default() })
+    }
+
     /// Bytes currently held by the training workspaces (network-level
     /// buffers plus every layer's).
     pub fn workspace_bytes(&self) -> usize {
@@ -341,6 +377,28 @@ mod tests {
         let y = Matrix::from_fn(40, 1, |i, _| (i as f64 * 0.2).cos());
         let h = mlp.fit(&x, &y, 50, 8, &Optimizer::adam(0.005), &mut r);
         assert!(h[49] < h[0], "loss should decrease: {} -> {}", h[0], h[49]);
+    }
+
+    #[test]
+    fn codec_round_trip_predicts_bitwise() {
+        let mut r = rng();
+        let mut mlp = Mlp::autoencoder(5, &[4], 2, Activation::Tanh, &mut r);
+        let x = Matrix::from_fn(12, 5, |i, j| ((i * 5 + j) as f64 * 0.17).sin());
+        let _ = mlp.fit(&x, &x, 3, 4, &Optimizer::adam(0.01), &mut r);
+        let mut w = exathlon_linalg::codec::ByteWriter::new();
+        mlp.encode(&mut w);
+        let bytes = w.into_bytes();
+        let restored = Mlp::decode(&mut exathlon_linalg::codec::ByteReader::new(&bytes)).unwrap();
+        let a = mlp.predict(&x);
+        let b = restored.predict(&x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        assert_eq!(restored.step, mlp.step);
+        for cut in 0..bytes.len() {
+            let mut rd = exathlon_linalg::codec::ByteReader::new(&bytes[..cut]);
+            assert!(Mlp::decode(&mut rd).is_err(), "truncation at {cut} must error");
+        }
     }
 
     #[test]

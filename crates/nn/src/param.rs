@@ -58,6 +58,15 @@ impl Param {
         p
     }
 
+    /// Wrap a restored value matrix with fresh (zero) gradient and moment
+    /// buffers. Inference after a checkpoint restore only reads `value`,
+    /// so zeroed optimizer state is exact; resumed training restarts its
+    /// Adam moments, as a fresh fit would.
+    pub fn from_value(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Self { value, grad: Matrix::zeros(r, c), m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) }
+    }
+
     /// Zero the gradient accumulator (one memset-able fill, same bits as
     /// the historical scalar loop).
     pub fn zero_grad(&mut self) {

@@ -178,6 +178,17 @@ impl StandardScaler {
     pub fn stds(&self) -> &[f64] {
         &self.stds
     }
+
+    /// Rebuild a scaler from previously extracted moments (e.g. a
+    /// checkpoint). The moments are adopted verbatim, so a round trip
+    /// through `means()`/`stds()` is bitwise lossless.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length.
+    pub fn from_moments(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "moment length mismatch");
+        Self { means, stds }
+    }
 }
 
 impl AffineScale for StandardScaler {
@@ -223,6 +234,35 @@ impl DynamicScaler {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
         let vars = base.stds.iter().map(|s| s * s).collect();
         Self { means: base.means, vars, alpha }
+    }
+
+    /// Rebuild a scaler from previously extracted state (e.g. a
+    /// checkpoint). The state is adopted verbatim, so a round trip
+    /// through the accessors is bitwise lossless and the restored scaler
+    /// continues the exact update sequence of the original.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length or `alpha` is outside
+    /// `(0, 1)`.
+    pub fn from_state(means: Vec<f64>, vars: Vec<f64>, alpha: f64) -> Self {
+        assert_eq!(means.len(), vars.len(), "state length mismatch");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        Self { means, vars, alpha }
+    }
+
+    /// Current per-feature running means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Current per-feature running variances.
+    pub fn vars(&self) -> &[f64] {
+        &self.vars
+    }
+
+    /// The EW adaptation rate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
     }
 
     /// Normalize one record with the *current* statistics, then fold the
