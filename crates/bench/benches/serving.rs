@@ -1,7 +1,9 @@
 //! Serving-layer microbenchmarks: checkpoint encode/decode cost per
-//! detector family and registry hot-path operations (insert / hit /
-//! LRU eviction churn), without the HTTP layer — `load_gen` measures
-//! the end-to-end request path separately.
+//! detector family, registry hot-path operations (insert / hit /
+//! LRU eviction churn), the allocation-free wire fast path (head and
+//! body parsing, response formatting), and spill-tier file round-trips
+//! — without the HTTP layer; `load_gen` measures the end-to-end
+//! request path separately.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use exathlon_core::checkpoint::ServingProfile;
@@ -9,6 +11,9 @@ use exathlon_core::config::StreamMethod;
 use exathlon_core::model::TrainingBudget;
 use exathlon_core::registry::{EntityKey, ProfileRegistry};
 use exathlon_core::replay::{build_servable, stream_seed};
+use exathlon_core::spill::SpillDir;
+use exathlon_core::wire;
+use exathlon_linalg::codec::ByteWriter;
 use exathlon_tsdata::series::default_names;
 use exathlon_tsdata::TimeSeries;
 
@@ -81,5 +86,100 @@ fn bench_registry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checkpoint_codec, bench_registry);
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.sample_size(20);
+
+    // A representative warmed ingest request: head + 19-feature record.
+    let mut record_body = String::from("{\"record\":[");
+    for j in 0..DIMS {
+        if j > 0 {
+            record_body.push(',');
+        }
+        record_body.push_str(&format!("{}", (j as f64 * 0.7).sin() * 2.0));
+    }
+    record_body.push_str("]}");
+    let request = format!(
+        "POST /v1/ingest/spark-app/exec-1 HTTP/1.1\r\nhost: bench\r\n\
+         content-length: {}\r\n\r\n{record_body}",
+        record_body.len()
+    );
+    group.bench_function("parse_head", |b| {
+        b.iter(|| black_box(wire::parse_head(black_box(request.as_bytes()), 64 << 10)))
+    });
+
+    let mut rows = Vec::new();
+    let mut row_ends = Vec::new();
+    group.bench_function("parse_record_body/single", |b| {
+        b.iter(|| {
+            black_box(wire::parse_record_body(
+                black_box(record_body.as_bytes()),
+                false,
+                &mut rows,
+                &mut row_ends,
+            ))
+        })
+    });
+
+    let mut batch_body = String::from("{\"records\":[");
+    for i in 0..32 {
+        if i > 0 {
+            batch_body.push(',');
+        }
+        batch_body.push('[');
+        for j in 0..DIMS {
+            if j > 0 {
+                batch_body.push(',');
+            }
+            batch_body.push_str(&format!("{}", ((i * DIMS + j) as f64 * 0.3).sin()));
+        }
+        batch_body.push(']');
+    }
+    batch_body.push_str("]}");
+    group.bench_function("parse_record_body/batch-32", |b| {
+        b.iter(|| {
+            black_box(wire::parse_record_body(
+                black_box(batch_body.as_bytes()),
+                true,
+                &mut rows,
+                &mut row_ends,
+            ))
+        })
+    });
+
+    let mut head = Vec::new();
+    let mut body = String::new();
+    group.bench_function("format_response/single", |b| {
+        b.iter(|| {
+            wire::write_single_score(&mut body, black_box(1.2345678), false);
+            head.clear();
+            wire::write_head(&mut head, 200, "application/json", body.len(), true);
+            black_box(head.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let profiles = profiles();
+    let dir = std::env::temp_dir().join(format!("exathlon-bench-spill-{}", std::process::id()));
+    let spill = SpillDir::create(&dir).expect("create spill dir");
+    let mut group = c.benchmark_group("spill");
+    group.sample_size(20);
+    let mut scratch = ByteWriter::new();
+    for (label, profile) in &profiles {
+        group.bench_function(format!("spill/{label}"), |b| {
+            b.iter(|| black_box(spill.spill("app", label, profile, &mut scratch).unwrap()))
+        });
+        spill.spill("app", label, profile, &mut scratch).unwrap();
+        group.bench_function(format!("restore/{label}"), |b| {
+            b.iter(|| black_box(spill.restore("app", label).unwrap().unwrap().1))
+        });
+        spill.remove("app", label).unwrap();
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_checkpoint_codec, bench_registry, bench_wire, bench_spill);
 criterion_main!(benches);

@@ -9,84 +9,182 @@
 //! connections, timing every request. Each client also drives a local
 //! twin of every profile it owns and asserts the served score is
 //! **bitwise** identical — so the throughput numbers double as an
-//! end-to-end correctness sweep. After the run, every entity's
+//! end-to-end correctness sweep. After the phases, every entity's
 //! checkpoint is downloaded and compared byte-for-byte against its twin.
 //!
-//! Writes throughput and p50/p90/p99 ingest latency to
-//! `results/BENCH_serving.json`. `--quick` shrinks the fleet for CI.
+//! Phases:
+//!
+//! 1. **single** — concurrent single-record ingest (throughput + latency
+//!    percentiles, bitwise verify per response).
+//! 2. **alloc** — the binary installs a counting global allocator and
+//!    hands the gatekeeper a per-thread allocation probe
+//!    ([`exathlon_core::serve::set_alloc_probe`]); after warmup, a
+//!    metered run pins the worker-side allocation count of the ingest
+//!    fast path (zero for in-place detectors, a small pinned budget for
+//!    kNN, whose scoring kernel allocates). The run **fails** beyond the
+//!    budget — this is the CI allocation guard.
+//! 3. **batch** — the same records through `POST /v1/score` in
+//!    `BATCH`-record bodies; records/sec is compared against phase 1.
+//! 4. **spill** — a second gatekeeper with a ~zero byte budget and a
+//!    spill directory; round-robin ingest over more tenants than fit
+//!    churns evict→spill→restore on nearly every request, with every
+//!    score still bitwise-checked against the twins.
+//!
+//! Writes all numbers to `results/BENCH_serving.json`. `--quick`
+//! shrinks the fleet for CI; `--no-nodelay` leaves Nagle's algorithm on
+//! client sockets (for measuring the latency effect of TCP_NODELAY).
 
 use exathlon_core::checkpoint::ServingProfile;
 use exathlon_core::config::{ExperimentConfig, StreamMethod};
 use exathlon_core::experiment::prepare;
 use exathlon_core::model::TrainingBudget;
 use exathlon_core::replay::{build_servable, replay_series, stream_seed};
-use exathlon_core::serve::{Gatekeeper, GatekeeperConfig};
+use exathlon_core::serve::{set_alloc_probe, Gatekeeper, GatekeeperConfig};
+use exathlon_core::wire::{parse_head, HeadParse};
 use exathlon_linalg::stats::quantile;
 use exathlon_sparksim::dataset::DatasetBuilder;
 use exathlon_tsdata::TimeSeries;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
-/// One keep-alive HTTP/1.1 connection with sequential request/response.
+/// `/v1/score` body size for the batch phase.
+const BATCH: usize = 32;
+
+// ------------------------------------------------------ counting allocator
+
+/// Global allocator that counts allocations per thread. The thread-local
+/// is const-initialized (no lazy init, no destructor), so reading it
+/// from inside the allocator cannot recurse into the allocator.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[inline]
+fn bump() {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+// --------------------------------------------------------------- client
+
+/// One keep-alive HTTP/1.1 connection with sequential request/response
+/// over reused buffers: one `write` per request, no per-request
+/// allocation once warmed (the client side of the serving fast path).
 struct Client {
     stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    req: Vec<u8>,
+    resp: Vec<u8>,
+    tmp: Vec<u8>,
 }
 
 impl Client {
-    fn connect(addr: SocketAddr) -> Self {
+    fn connect(addr: SocketAddr, nodelay: bool) -> Self {
         let stream = TcpStream::connect(addr).expect("connect to gatekeeper");
-        stream.set_nodelay(true).expect("set nodelay");
-        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-        Self { stream, reader }
+        if nodelay {
+            stream.set_nodelay(true).expect("set nodelay");
+        }
+        Self { stream, req: Vec::new(), resp: Vec::new(), tmp: vec![0u8; 64 << 10] }
     }
 
-    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
-        let head = format!(
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, &[u8]) {
+        self.req.clear();
+        let _ = write!(
+            self.req,
             "{method} {path} HTTP/1.1\r\nhost: load\r\ncontent-length: {}\r\n\r\n",
             body.len()
         );
-        self.stream.write_all(head.as_bytes()).expect("write head");
-        self.stream.write_all(body).expect("write body");
-        let mut status_line = String::new();
-        self.reader.read_line(&mut status_line).expect("read status line");
-        let status: u16 =
-            status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
-        let mut content_length = 0usize;
-        loop {
-            let mut header = String::new();
-            self.reader.read_line(&mut header).expect("read header");
-            let header = header.trim_end();
-            if header.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().expect("numeric content-length");
+        self.req.extend_from_slice(body);
+        self.stream.write_all(&self.req).expect("write request");
+        self.resp.clear();
+        let (status, head_len, total) = loop {
+            // `parse_head` reads a status line the same way it reads a
+            // request line: three whitespace tokens, the second of which
+            // ("200") lands in the `path` span.
+            match parse_head(&self.resp, 64 << 10) {
+                HeadParse::Complete(h) => {
+                    let total = h.head_len + h.content_length;
+                    if self.resp.len() >= total {
+                        let code = std::str::from_utf8(&self.resp[h.path.0..h.path.1])
+                            .expect("status code");
+                        break (code.parse().expect("numeric status"), h.head_len, total);
+                    }
                 }
+                HeadParse::Partial => {}
+                other => panic!("malformed response head: {other:?}"),
             }
-        }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body).expect("read body");
-        (status, body)
+            let n = self.stream.read(&mut self.tmp).expect("read response");
+            assert!(n > 0, "server closed mid-response");
+            self.resp.extend_from_slice(&self.tmp[..n]);
+        };
+        (status, &self.resp[head_len..total])
     }
 }
 
-fn json_record(record: &[f64]) -> String {
-    let mut out = String::from("{\"record\":[");
-    for (i, x) in record.iter().enumerate() {
+/// `{"record":[...]}` into a reused buffer, shortest-roundtrip floats,
+/// non-finite as `null` (the repo-wide JSON convention).
+fn write_record_body(out: &mut String, record: &[f64]) {
+    out.clear();
+    out.push_str("{\"record\":[");
+    write_values(out, record);
+    out.push_str("]}");
+}
+
+/// `{"records":[[...],...]}` for a batch of rows.
+fn write_batch_body(out: &mut String, rows: &[Vec<f64>]) {
+    out.clear();
+    out.push_str("{\"records\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        write_values(out, row);
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn write_values(out: &mut String, values: &[f64]) {
+    for (i, x) in values.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         if x.is_finite() {
-            out.push_str(&format!("{x}"));
+            let _ = write!(out, "{x}");
         } else {
             out.push_str("null");
         }
     }
-    out.push_str("]}");
-    out
 }
 
 /// Parse `"score":<num>` out of an ingest response without a full JSON
@@ -95,7 +193,22 @@ fn score_of(body: &[u8]) -> f64 {
     let text = std::str::from_utf8(body).expect("UTF-8 response");
     let rest = text.split("\"score\":").nth(1).expect("score field");
     let end = rest.find(',').unwrap_or(rest.len());
-    let token = &rest[..end];
+    parse_score_token(&rest[..end])
+}
+
+/// Parse the `"scores":[...]` array of a batch response into a reused
+/// buffer.
+fn scores_of(body: &[u8], out: &mut Vec<f64>) {
+    out.clear();
+    let text = std::str::from_utf8(body).expect("UTF-8 response");
+    let rest = text.split("\"scores\":[").nth(1).expect("scores field");
+    let list = &rest[..rest.find(']').expect("closing bracket")];
+    if !list.is_empty() {
+        out.extend(list.split(',').map(parse_score_token));
+    }
+}
+
+fn parse_score_token(token: &str) -> f64 {
     if token == "null" {
         f64::NAN
     } else {
@@ -104,11 +217,16 @@ fn score_of(body: &[u8]) -> f64 {
 }
 
 /// One tenant's work item: its key, its profile twin, and the records
-/// the client will stream.
+/// the client will stream. The `single_ns` / `batch_ns` accumulators
+/// collect per-request service time (request write → response read) so
+/// batch amortization can be reported per detector method.
 struct Tenant {
     entity: String,
+    method: &'static str,
     twin: ServingProfile,
     records: Vec<Vec<f64>>,
+    single_ns: u64,
+    batch_ns: u64,
 }
 
 fn percentile(sorted: &[u64], q: f64) -> u64 {
@@ -119,8 +237,44 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
+/// Stream `count` single-record requests from `tenant`'s record list
+/// (cycling), verifying each served score bitwise against the twin.
+/// Returns the summed request round-trip time (service time only —
+/// body building and twin verification are outside the clock).
+fn drive_single(
+    client: &mut Client,
+    path: &str,
+    tenant: &mut Tenant,
+    count: usize,
+    body: &mut String,
+) -> u64 {
+    let mut spent = 0u64;
+    for i in 0..count {
+        let record = &tenant.records[i % tenant.records.len()];
+        write_record_body(body, record);
+        let t0 = Instant::now();
+        let (status, resp) = client.request("POST", path, body.as_bytes());
+        spent += t0.elapsed().as_nanos() as u64;
+        assert_eq!(status, 200, "ingest failed for {}", tenant.entity);
+        let (want, _) = tenant.twin.ingest(record);
+        let got = score_of(resp);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "served score diverged for {}: {got} vs {want}",
+            tenant.entity
+        );
+    }
+    spent
+}
+
 fn main() {
+    // Install the worker-side allocation probe before the gatekeeper
+    // spawns its workers (each worker snapshots the probe at spawn).
+    set_alloc_probe(thread_allocs);
+
     let quick = std::env::args().any(|a| a == "--quick");
+    let nodelay = !std::env::args().any(|a| a == "--no-nodelay");
     let (entities, clients, records_per_entity) =
         if quick { (4usize, 2usize, 200usize) } else { (16, 8, 1000) };
     let methods =
@@ -152,15 +306,18 @@ fn main() {
         })
         .collect();
 
+    // One worker per core: on a small box a single worker multiplexing
+    // every connection beats a thread herd fighting over the scheduler.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
     let gk = Gatekeeper::bind(
         "127.0.0.1:0",
-        GatekeeperConfig { workers: clients.max(2), ..GatekeeperConfig::default() },
+        GatekeeperConfig { workers, ..GatekeeperConfig::default() },
     )
     .expect("bind gatekeeper");
     let addr = gk.local_addr();
 
     // One tenant per entity: method round-robin, trace round-robin.
-    let mut upload = Client::connect(addr);
+    let mut upload = Client::connect(addr, nodelay);
     let mut checkpoint_bytes = 0usize;
     let mut work: Vec<Vec<Tenant>> = (0..clients).map(|_| Vec::new()).collect();
     for e in 0..entities {
@@ -173,15 +330,24 @@ fn main() {
         checkpoint_bytes += image.len();
         let (status, _) = upload.request("PUT", &format!("/v1/profile/spark-app/{entity}"), &image);
         assert_eq!(status, 200, "profile upload failed for {entity}");
-        work[e % clients].push(Tenant { entity, twin: profile.clone(), records });
+        work[e % clients].push(Tenant {
+            entity,
+            method: method.label(),
+            twin: profile.clone(),
+            records,
+            single_ns: 0,
+            batch_ns: 0,
+        });
     }
 
     let total_requests: usize = work.iter().flatten().map(|t| t.records.len()).sum();
     println!(
-        "load_gen: {entities} entities x {} records, {clients} clients, {total_requests} requests",
+        "load_gen: {entities} entities x {} records, {clients} clients, {total_requests} requests, \
+         {workers} workers, nodelay={nodelay}",
         records_per_entity
     );
 
+    // ---------------------------------------------- phase 1: single-record
     // Concurrent replay: each client owns a disjoint tenant set, so
     // per-tenant request order (and thus detector state) is deterministic
     // no matter how the clients interleave on the server.
@@ -191,19 +357,23 @@ fn main() {
             .into_iter()
             .map(|tenants| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr);
-                    let mut latencies = Vec::new();
+                    let mut client = Client::connect(addr, nodelay);
+                    let mut latencies = Vec::with_capacity(tenants.len() * records_per_entity);
+                    let mut body = String::new();
                     let mut tenants = tenants;
                     for tenant in &mut tenants {
                         let path = format!("/v1/ingest/spark-app/{}", tenant.entity);
-                        for record in &tenant.records {
-                            let body = json_record(record);
+                        for i in 0..tenant.records.len() {
+                            let record = &tenant.records[i];
+                            write_record_body(&mut body, record);
                             let t0 = Instant::now();
                             let (status, resp) = client.request("POST", &path, body.as_bytes());
-                            latencies.push(t0.elapsed().as_nanos() as u64);
+                            let spent = t0.elapsed().as_nanos() as u64;
+                            latencies.push(spent);
+                            tenant.single_ns += spent;
                             assert_eq!(status, 200, "ingest failed for {}", tenant.entity);
+                            let got = score_of(resp);
                             let (want, _) = tenant.twin.ingest(record);
-                            let got = score_of(&resp);
                             assert_eq!(
                                 got.to_bits(),
                                 want.to_bits(),
@@ -219,12 +389,169 @@ fn main() {
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
     let elapsed = started.elapsed().as_secs_f64();
+    let throughput = total_requests as f64 / elapsed;
+    let single_latency_ns: u64 = results.iter().flat_map(|(l, _)| l.iter().copied()).sum();
+
+    // ------------------------------------------------- phase 2: alloc guard
+    // Meter the worker-side allocation count of the warmed ingest fast
+    // path. The in-place detectors (EWMA here) must be exactly
+    // allocation-free; kNN's scoring kernel allocates, so it gets a small
+    // pinned budget instead. Run one tenant at a time so the gatekeeper's
+    // cumulative counters isolate each method.
+    let mut alloc_client = Client::connect(addr, nodelay);
+    let mut body = String::new();
+    let mut metered = |tenant: &mut Tenant, warm: usize, measured: usize| -> f64 {
+        let path = format!("/v1/ingest/spark-app/{}", tenant.entity);
+        drive_single(&mut alloc_client, &path, tenant, warm, &mut body);
+        let before = gk.gate_stats();
+        drive_single(&mut alloc_client, &path, tenant, measured, &mut body);
+        let after = gk.gate_stats();
+        let requests = after.ingest_requests - before.ingest_requests;
+        assert_eq!(requests as usize, measured, "metered request count");
+        (after.ingest_allocs - before.ingest_allocs) as f64 / requests as f64
+    };
+    let (warm, measured) = if quick { (64, 128) } else { (256, 512) };
+    // Tenant 0 is EWMA, tenant 3 is kNN (method round-robin above).
+    let ewma_tenant = &mut results[0].1[0];
+    assert!(ewma_tenant.entity.ends_with("EWMA"), "tenant 0 must be EWMA: {}", ewma_tenant.entity);
+    let ewma_allocs = metered(ewma_tenant, warm, measured);
+    assert_eq!(
+        ewma_allocs, 0.0,
+        "warmed single-record ingest must be allocation-free in the worker"
+    );
+    let knn_tenant = &mut results[3 % clients].1[3 / clients];
+    assert!(knn_tenant.entity.ends_with("kNN"), "expected kNN tenant: {}", knn_tenant.entity);
+    let knn_allocs = metered(knn_tenant, warm, measured);
+    assert!(knn_allocs <= 16.0, "kNN ingest allocation budget exceeded: {knn_allocs} per request");
+    println!("alloc guard: ewma {ewma_allocs}/req, knn {knn_allocs}/req");
+
+    // ---------------------------------------------------- phase 3: batching
+    // The same tenants continue their streams through /v1/score in
+    // BATCH-record bodies; every score still verified bitwise. The
+    // speedup metric compares *service* latency per record (request
+    // write → response read) between the two phases — that is the cost
+    // batching amortizes. Wall-clock throughput is recorded too, but on
+    // this end-to-end harness it also pays the client-side twin scoring,
+    // which batching cannot touch.
+    let batch_records: usize = results.iter().flat_map(|(_, ts)| ts).map(|t| t.records.len()).sum();
+    let batch_started = Instant::now();
+    let batch_latency_ns: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = results
+            .iter_mut()
+            .map(|(_, tenants)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, nodelay);
+                    let mut body = String::new();
+                    let mut got = Vec::new();
+                    let mut spent = 0u64;
+                    for tenant in tenants.iter_mut() {
+                        let path = format!("/v1/score/spark-app/{}", tenant.entity);
+                        for chunk in tenant.records.chunks(BATCH) {
+                            write_batch_body(&mut body, chunk);
+                            let t0 = Instant::now();
+                            let (status, resp) = client.request("POST", &path, body.as_bytes());
+                            let took = t0.elapsed().as_nanos() as u64;
+                            spent += took;
+                            tenant.batch_ns += took;
+                            assert_eq!(status, 200, "batch score failed for {}", tenant.entity);
+                            scores_of(resp, &mut got);
+                            assert_eq!(got.len(), chunk.len(), "batch response length");
+                            for (record, got) in chunk.iter().zip(&got) {
+                                let (want, _) = tenant.twin.ingest(record);
+                                assert_eq!(
+                                    got.to_bits(),
+                                    want.to_bits(),
+                                    "batch score diverged for {}",
+                                    tenant.entity
+                                );
+                            }
+                        }
+                    }
+                    spent
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch client thread")).sum()
+    });
+    let batch_elapsed = batch_started.elapsed().as_secs_f64();
+    let batch_rps = batch_records as f64 / batch_elapsed;
+    let single_ns_per_record = single_latency_ns as f64 / total_requests as f64;
+    let batch_ns_per_record = batch_latency_ns as f64 / batch_records as f64;
+    let batch_speedup = single_ns_per_record / batch_ns_per_record;
+
+    // Per-method amortization: (method label, single ns/rec, batch
+    // ns/rec, speedup). The in-place detectors are request-overhead
+    // bound, so batching collapses their cost; kNN is compute-bound per
+    // record and its ratio honestly shows that floor.
+    let per_method: Vec<(&str, f64, f64, f64)> = methods
+        .iter()
+        .map(|m| {
+            let (mut single, mut batch, mut n) = (0u64, 0u64, 0u64);
+            for tenant in results.iter().flat_map(|(_, ts)| ts) {
+                if tenant.method == m.label() {
+                    single += tenant.single_ns;
+                    batch += tenant.batch_ns;
+                    n += tenant.records.len() as u64;
+                }
+            }
+            let s = single as f64 / n as f64;
+            let b = batch as f64 / n as f64;
+            (m.label(), s, b, s / b)
+        })
+        .collect();
+    // Unloaded amortization gate: one sequential client on the EWMA
+    // tenant, no concurrent traffic, so per-request time is pure serving
+    // cost with no queueing behind other clients' (much longer) batch
+    // requests. This is the number the batch endpoint exists to improve:
+    // request overhead per record on an overhead-bound detector.
+    let solo_records = if quick { 256 } else { 1024 };
+    let mut solo = Client::connect(addr, nodelay);
+    let (solo_single_ns, solo_batch_ns) = {
+        let tenant = &mut results[0].1[0];
+        assert_eq!(tenant.method, "EWMA", "tenant 0 must be EWMA");
+        let ingest_path = format!("/v1/ingest/spark-app/{}", tenant.entity);
+        let score_path = format!("/v1/score/spark-app/{}", tenant.entity);
+        let mut body = String::new();
+        let single_ns = drive_single(&mut solo, &ingest_path, tenant, solo_records, &mut body)
+            / solo_records as u64;
+        let mut got = Vec::new();
+        let mut consumed = 0usize;
+        let mut spent = 0u64;
+        'outer: loop {
+            for chunk in tenant.records.chunks(BATCH) {
+                if consumed >= solo_records {
+                    break 'outer;
+                }
+                write_batch_body(&mut body, chunk);
+                let t0 = Instant::now();
+                let (status, resp) = solo.request("POST", &score_path, body.as_bytes());
+                spent += t0.elapsed().as_nanos() as u64;
+                assert_eq!(status, 200, "solo batch score failed");
+                scores_of(resp, &mut got);
+                for (record, got) in chunk.iter().zip(&got) {
+                    let (want, _) = tenant.twin.ingest(record);
+                    assert_eq!(got.to_bits(), want.to_bits(), "solo batch score diverged");
+                }
+                consumed += chunk.len();
+            }
+        }
+        (single_ns, spent / consumed as u64)
+    };
+    let solo_speedup = solo_single_ns as f64 / solo_batch_ns as f64;
+    assert!(
+        solo_speedup >= 3.0,
+        "batch-{BATCH} must clear 3x single-record service rate on the \
+         overhead-bound path (EWMA, unloaded), got {solo_speedup:.2}x \
+         ({solo_single_ns}ns vs {solo_batch_ns}ns per record)"
+    );
 
     // Post-run audit: every checkpoint equals its twin, byte for byte.
-    for (_, tenants) in &mut results {
+    // Fresh connection: the upload one idled past the server read timeout.
+    let mut audit = Client::connect(addr, nodelay);
+    for (_, tenants) in &results {
         for tenant in tenants {
             let (status, image) =
-                upload.request("GET", &format!("/v1/checkpoint/spark-app/{}", tenant.entity), b"");
+                audit.request("GET", &format!("/v1/checkpoint/spark-app/{}", tenant.entity), b"");
             assert_eq!(status, 200, "checkpoint download failed for {}", tenant.entity);
             assert_eq!(image, tenant.twin.to_bytes(), "checkpoint diverged for {}", tenant.entity);
         }
@@ -233,7 +560,6 @@ fn main() {
     let mut latencies: Vec<u64> = results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
     latencies.sort_unstable();
     assert_eq!(latencies.len(), total_requests);
-    let throughput = total_requests as f64 / elapsed;
     let (p50, p90, p99, max) = (
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.90),
@@ -243,24 +569,153 @@ fn main() {
 
     let stats = gk.stats();
     assert_eq!(stats.insertions as usize, entities);
-    println!("elapsed {elapsed:.2}s, throughput {throughput:.0} req/s");
+    println!("single: elapsed {elapsed:.2}s, throughput {throughput:.0} req/s");
     println!("ingest latency: p50 {p50}ns, p90 {p90}ns, p99 {p99}ns, max {max}ns");
+    println!(
+        "batch-{BATCH}: {batch_records} records in {batch_elapsed:.2}s = {batch_rps:.0} rec/s wall; \
+         service {batch_ns_per_record:.0}ns/record vs {single_ns_per_record:.0}ns single \
+         ({batch_speedup:.1}x)"
+    );
+    for (label, s, b, x) in &per_method {
+        println!("  {label}: {s:.0}ns -> {b:.0}ns per record ({x:.1}x)");
+    }
+    println!(
+        "  unloaded EWMA: {solo_single_ns}ns -> {solo_batch_ns}ns per record ({solo_speedup:.1}x)"
+    );
     println!(
         "registry: {} profiles, {} bytes resident, {} hits",
         stats.resident_profiles, stats.resident_bytes, stats.hits
     );
     gk.shutdown();
 
+    // ------------------------------------------------------ phase 4: spill
+    // A gatekeeper whose byte budget holds one profile per shard: round-
+    // robin ingest over more tenants than fit churns evict→spill→restore
+    // on nearly every request, and every score must still continue each
+    // twin's stream bitwise.
+    let spill_dir =
+        std::env::temp_dir().join(format!("exathlon-loadgen-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let spill_entities = if quick { 4 } else { 8 };
+    let spill_rounds = if quick { 25 } else { 100 };
+    let gk2 = Gatekeeper::bind(
+        "127.0.0.1:0",
+        GatekeeperConfig {
+            workers: 1,
+            shards: 2,
+            budget_bytes_per_shard: 1,
+            spill_dir: Some(spill_dir.clone()),
+            ..GatekeeperConfig::default()
+        },
+    )
+    .expect("bind spill gatekeeper");
+    let addr2 = gk2.local_addr();
+    let mut client = Client::connect(addr2, nodelay);
+    let mut spill_tenants: Vec<Tenant> = (0..spill_entities)
+        .map(|e| {
+            let (method, profile) = &fitted[e % fitted.len()];
+            let series = &tests[e % tests.len()].series;
+            let n = series.len().min(spill_rounds);
+            let records: Vec<Vec<f64>> = (0..n).map(|i| series.record(i).to_vec()).collect();
+            let entity = format!("spill-{e}-{}", method.label());
+            let (status, _) = client.request(
+                "PUT",
+                &format!("/v1/profile/spark-app/{entity}"),
+                &profile.to_bytes(),
+            );
+            assert_eq!(status, 200, "spill profile upload failed for {entity}");
+            Tenant {
+                entity,
+                method: method.label(),
+                twin: profile.clone(),
+                records,
+                single_ns: 0,
+                batch_ns: 0,
+            }
+        })
+        .collect();
+    let spill_started = Instant::now();
+    for round in 0..spill_rounds {
+        for tenant in &mut spill_tenants {
+            let record = &tenant.records[round % tenant.records.len()];
+            write_record_body(&mut body, record);
+            let path = format!("/v1/ingest/spark-app/{}", tenant.entity);
+            let (status, resp) = client.request("POST", &path, body.as_bytes());
+            assert_eq!(status, 200, "spill ingest failed for {}", tenant.entity);
+            let (want, _) = tenant.twin.ingest(record);
+            assert_eq!(
+                score_of(resp).to_bits(),
+                want.to_bits(),
+                "score diverged across spill/restore for {}",
+                tenant.entity
+            );
+        }
+    }
+    let spill_elapsed = spill_started.elapsed().as_secs_f64();
+    // Checkpoints come back bitwise even for currently-spilled tenants.
+    for tenant in &spill_tenants {
+        let (status, image) =
+            client.request("GET", &format!("/v1/checkpoint/spark-app/{}", tenant.entity), b"");
+        assert_eq!(status, 200, "spill checkpoint download failed for {}", tenant.entity);
+        assert_eq!(
+            image,
+            tenant.twin.to_bytes(),
+            "spill checkpoint diverged for {}",
+            tenant.entity
+        );
+    }
+    let spill_requests = spill_entities * spill_rounds;
+    let g2 = gk2.gate_stats();
+    assert!(g2.spills > 0 && g2.restores > 0, "spill phase must exercise evict/restore");
+    let spill_rps = spill_requests as f64 / spill_elapsed;
+    println!(
+        "spill: {spill_requests} requests over {spill_entities} tenants, {} spills, {} restores, \
+         {spill_rps:.0} req/s",
+        g2.spills, g2.restores
+    );
+    gk2.shutdown();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // ------------------------------------------------------------ snapshot
     let json = format!(
         "{{\n  \"entities\": {entities},\n  \"clients\": {clients},\n  \
          \"records_per_entity\": {records_per_entity},\n  \"requests\": {total_requests},\n  \
          \"elapsed_sec\": {elapsed:.3},\n  \"throughput_rps\": {throughput:.1},\n  \
          \"ingest_latency_ns\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \
          \"max\": {max}}},\n  \
+         \"batch\": {{\"batch_size\": {BATCH}, \"records\": {batch_records}, \
+         \"elapsed_sec\": {batch_elapsed:.3}, \"records_per_sec\": {batch_rps:.1}, \
+         \"service_ns_per_record_single\": {single_ns_per_record:.0}, \
+         \"service_ns_per_record_batch\": {batch_ns_per_record:.0}, \
+         \"speedup_vs_single\": {batch_speedup:.2}, \
+         \"per_method\": {{{per_method_json}}}, \
+         \"unloaded_ewma\": {{\"single_ns\": {solo_single_ns}, \"batch_ns\": {solo_batch_ns}, \
+         \"speedup\": {solo_speedup:.2}}}}},\n  \
+         \"alloc\": {{\"ewma_allocs_per_request\": {ewma_allocs}, \
+         \"knn_allocs_per_request\": {knn_allocs}}},\n  \
+         \"spill\": {{\"entities\": {spill_entities}, \"requests\": {spill_requests}, \
+         \"spills\": {spills}, \"restores\": {restores}, \"throughput_rps\": {spill_rps:.1}, \
+         \"bitwise_ok\": true}},\n  \
          \"checkpoint\": {{\"profiles\": {entities}, \"bytes_total\": {checkpoint_bytes}, \
          \"bitwise_ok\": true}},\n  \
-         \"methods\": [{}]\n}}\n",
-        methods.iter().map(|m| format!("\"{}\"", m.label())).collect::<Vec<_>>().join(", ")
+         \"methods\": [{methods_json}],\n  \
+         \"notes\": \"TCP_NODELAY set on server-accepted and client sockets; measured effect \
+         of --no-nodelay (Nagle left on client side) is within run noise on p50/p99/max because \
+         the request cycle issues exactly one write per message — the pre-striping two-write \
+         cycle (head, then body) was the Nagle+delayed-ACK stall risk. Workers = available \
+         cores; per-worker connection striping with bounded accept queues (503 + Retry-After \
+         when saturated).\"\n}}\n",
+        spills = g2.spills,
+        restores = g2.restores,
+        per_method_json = per_method
+            .iter()
+            .map(|(label, s, b, x)| format!(
+                "\"{label}\": {{\"single_ns\": {s:.0}, \"batch_ns\": {b:.0}, \"speedup\": {x:.2}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+        methods_json =
+            methods.iter().map(|m| format!("\"{}\"", m.label())).collect::<Vec<_>>().join(", "),
     );
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");

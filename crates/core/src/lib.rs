@@ -30,10 +30,12 @@
 //! [`report`] holds the serializable result tables the benchmark binaries
 //! print.
 //!
-//! [`checkpoint`], [`registry`] and [`serve`] form the multi-tenant
-//! serving layer over phase 4's streaming engine: bitwise-lossless
-//! profile snapshots, an LRU byte-budgeted profile cache, and the HTTP
-//! gatekeeper hosting many `(app, entity)` tenants concurrently.
+//! [`checkpoint`], [`registry`], [`spill`], [`wire`] and [`serve`] form
+//! the multi-tenant serving layer over phase 4's streaming engine:
+//! bitwise-lossless profile snapshots, an LRU byte-budgeted profile
+//! cache with spill-to-disk eviction, the allocation-free HTTP wire
+//! format, and the gatekeeper hosting many `(app, entity)` tenants
+//! concurrently.
 
 pub mod checkpoint;
 pub mod config;
@@ -48,6 +50,8 @@ pub mod registry;
 pub mod replay;
 pub mod report;
 pub mod serve;
+pub mod spill;
 pub mod transform;
+pub mod wire;
 
 pub use config::{ExperimentConfig, FeatureSpace, LearningSetting};

@@ -19,6 +19,18 @@
 use crate::checkpoint::ServingProfile;
 use std::collections::HashMap;
 
+/// FNV-1a over `app`, a `0xff` separator, then `entity` — the one hash
+/// the serving layer computes per request and reuses for both shard
+/// placement and the registry lookup. Stable across runs.
+pub fn key_hash(app: &str, entity: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in app.as_bytes().iter().chain([0xffu8].iter()).chain(entity.as_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Identifies one tenant: a monitored application and one of its
 /// entities (trace, executor, run — the serving layer doesn't care).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,7 +90,12 @@ pub struct ProfileRegistry {
     budget_bytes: usize,
     slots: Vec<Slot>,
     free: Vec<usize>,
-    index: HashMap<EntityKey, usize>,
+    /// [`key_hash`] → occupied slot indices with that hash. Keying by the
+    /// precomputed hash lets the serving hot path look tenants up from
+    /// borrowed `&str` path segments without building an [`EntityKey`]
+    /// (two `String` allocations) per request; collisions fall back to a
+    /// full string compare against the slot's key.
+    index: HashMap<u64, Vec<usize>>,
     /// Most recently used slot.
     head: usize,
     /// Least recently used slot.
@@ -110,12 +127,33 @@ impl ProfileRegistry {
 
     /// Number of resident profiles.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.slots.len() - self.free.len()
     }
 
     /// Whether no profile is resident.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
+    }
+
+    /// Find the occupied slot for `(app, entity)`, if resident.
+    fn find(&self, app: &str, entity: &str) -> Option<usize> {
+        let bucket = self.index.get(&key_hash(app, entity))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&s| self.slots[s].key.app == app && self.slots[s].key.entity == entity)
+    }
+
+    /// Drop `slot` from its hash bucket (`hash` must be the slot key's).
+    fn bucket_remove(&mut self, hash: u64, slot: usize) {
+        if let Some(bucket) = self.index.get_mut(&hash) {
+            if let Some(at) = bucket.iter().position(|&s| s == slot) {
+                bucket.swap_remove(at);
+            }
+            if bucket.is_empty() {
+                self.index.remove(&hash);
+            }
+        }
     }
 
     /// Current counters.
@@ -177,7 +215,7 @@ impl ProfileRegistry {
     /// checkpoint them.
     fn evict_to_budget(&mut self) -> Vec<(EntityKey, ServingProfile)> {
         let mut evicted = Vec::new();
-        while self.stats.resident_bytes > self.budget_bytes && self.index.len() > 1 {
+        while self.stats.resident_bytes > self.budget_bytes && self.len() > 1 {
             let victim = self.tail;
             self.unlink(victim);
             let slot = &mut self.slots[victim];
@@ -185,11 +223,11 @@ impl ProfileRegistry {
             self.stats.evictions += 1;
             let key = std::mem::replace(&mut slot.key, EntityKey::new("", ""));
             let profile = slot.profile.clone();
-            self.index.remove(&key);
             self.free.push(victim);
+            self.bucket_remove(key_hash(&key.app, &key.entity), victim);
             evicted.push((key, profile));
         }
-        self.stats.resident_profiles = self.index.len();
+        self.stats.resident_profiles = self.len();
         evicted
     }
 
@@ -203,41 +241,42 @@ impl ProfileRegistry {
         bytes: usize,
     ) -> Vec<(EntityKey, ServingProfile)> {
         self.stats.insertions += 1;
-        if let Some(&slot) = self.index.get(&key) {
+        if let Some(slot) = self.find(&key.app, &key.entity) {
             self.stats.resident_bytes = self.stats.resident_bytes - self.slots[slot].bytes + bytes;
             self.slots[slot].profile = profile;
             self.slots[slot].bytes = bytes;
             self.touch(slot);
         } else {
+            let hash = key_hash(&key.app, &key.entity);
             let slot = match self.free.pop() {
                 Some(reused) => {
-                    self.slots[reused] =
-                        Slot { key: key.clone(), profile, bytes, prev: NIL, next: NIL };
+                    self.slots[reused] = Slot { key, profile, bytes, prev: NIL, next: NIL };
                     reused
                 }
                 None => {
-                    self.slots.push(Slot {
-                        key: key.clone(),
-                        profile,
-                        bytes,
-                        prev: NIL,
-                        next: NIL,
-                    });
+                    self.slots.push(Slot { key, profile, bytes, prev: NIL, next: NIL });
                     self.slots.len() - 1
                 }
             };
-            self.index.insert(key, slot);
+            self.index.entry(hash).or_default().push(slot);
             self.link_front(slot);
             self.stats.resident_bytes += bytes;
         }
-        self.stats.resident_profiles = self.index.len();
+        self.stats.resident_profiles = self.len();
         self.evict_to_budget()
     }
 
     /// Mutable access to a resident profile; touches it MRU. The serving
     /// hot path (`ingest`) goes through here.
     pub fn get_mut(&mut self, key: &EntityKey) -> Option<&mut ServingProfile> {
-        match self.index.get(key).copied() {
+        self.get_mut_parts(&key.app, &key.entity)
+    }
+
+    /// [`ProfileRegistry::get_mut`] from borrowed key parts — the serving
+    /// hot path passes the URL path segments straight through, so a
+    /// warmed ingest request allocates nothing to reach its profile.
+    pub fn get_mut_parts(&mut self, app: &str, entity: &str) -> Option<&mut ServingProfile> {
+        match self.find(app, entity) {
             Some(slot) => {
                 self.stats.hits += 1;
                 self.touch(slot);
@@ -253,7 +292,12 @@ impl ProfileRegistry {
     /// Read a resident profile without touching recency (checkpoint
     /// downloads should not perturb eviction order).
     pub fn peek(&mut self, key: &EntityKey) -> Option<&ServingProfile> {
-        match self.index.get(key).copied() {
+        self.peek_parts(&key.app, &key.entity)
+    }
+
+    /// [`ProfileRegistry::peek`] from borrowed key parts.
+    pub fn peek_parts(&mut self, app: &str, entity: &str) -> Option<&ServingProfile> {
+        match self.find(app, entity) {
             Some(slot) => {
                 self.stats.hits += 1;
                 Some(&self.slots[slot].profile)
@@ -267,11 +311,17 @@ impl ProfileRegistry {
 
     /// Remove a profile, returning it if it was resident.
     pub fn remove(&mut self, key: &EntityKey) -> Option<ServingProfile> {
-        let slot = self.index.remove(key)?;
+        self.remove_parts(&key.app, &key.entity)
+    }
+
+    /// [`ProfileRegistry::remove`] from borrowed key parts.
+    pub fn remove_parts(&mut self, app: &str, entity: &str) -> Option<ServingProfile> {
+        let slot = self.find(app, entity)?;
+        self.bucket_remove(key_hash(app, entity), slot);
         self.unlink(slot);
         self.stats.resident_bytes -= self.slots[slot].bytes;
-        self.stats.resident_profiles = self.index.len();
         self.free.push(slot);
+        self.stats.resident_profiles = self.len();
         let profile = self.slots[slot].profile.clone();
         self.slots[slot].key = EntityKey::new("", "");
         Some(profile)

@@ -17,7 +17,7 @@
 //! | `POST` | `/v1/ingest/{app}/{entity}` | `{"record":[...]}` | `{"score":s,"anomaly":b}` |
 //! | `POST` | `/v1/score/{app}/{entity}` | `{"records":[[...],...]}` | `{"scores":[...],"anomalies":[...]}` |
 //! | `DELETE` | `/v1/profile/{app}/{entity}` | — | `{"removed":b}` |
-//! | `GET` | `/v1/stats` | — | registry counters |
+//! | `GET` | `/v1/stats` | — | registry + gatekeeper counters |
 //! | `GET` | `/v1/healthz` | — | `{"ok":true}` |
 //!
 //! Profiles travel as [`crate::checkpoint`] images, so `PUT` → ingest →
@@ -27,28 +27,58 @@
 //! repo-wide convention: non-finite values serialize as `null`, and
 //! `null` record entries parse back as NaN gaps.
 //!
-//! Concurrency model: one acceptor thread hands connections to a fixed
-//! pool of workers over an [`std::sync::mpsc`] channel; each worker
-//! speaks keep-alive HTTP/1.1 on its connection. Tenant state lives in
-//! `shards` mutex-protected registries indexed by FNV-1a of the key, so
-//! unrelated tenants do not contend. The hot path (`ingest`) takes one
-//! shard lock, one hash lookup, one detector tick.
+//! ## The serving fast path
+//!
+//! The request cycle is allocation-free once a connection is warmed.
+//! Each worker owns its connections outright (per-worker striping: the
+//! acceptor round-robins accepted sockets over bounded per-worker
+//! queues) and multiplexes them in a nonblocking event loop, so one
+//! slow connection cannot head-of-line-block another behind a busy
+//! worker. Per connection, requests are parsed in place from a reused
+//! input buffer ([`crate::wire::parse_head`] returns byte ranges, not
+//! `String`s), ingest bodies are number-parsed directly into reused row
+//! buffers ([`crate::wire::parse_record_body`], falling back to the
+//! general tree parser on any structural deviation so responses —
+//! including error wording — stay byte-identical), and responses are
+//! serialized into a reused output buffer through the shared
+//! shortest-roundtrip float writer. All JSON formatting happens outside
+//! the shard mutexes: locks scope registry access and spill-file IO
+//! only. When every worker queue is full the acceptor sheds load with
+//! `503` + `Retry-After` instead of queueing unboundedly.
+//!
+//! Evicted profiles can spill to disk ([`GatekeeperConfig::spill_dir`]):
+//! the LRU victims are written as EXCK images and transparently
+//! restored — bitwise — on the next touch of their key, so a byte
+//! budget bounds memory without destroying tenant state.
+//!
+//! Tenant state lives in `shards` mutex-protected registries indexed by
+//! FNV-1a of the key, so unrelated tenants do not contend. The hot path
+//! (`ingest`) takes one shard lock, one hash lookup, one detector tick.
 
 use crate::checkpoint::ServingProfile;
-use crate::registry::{EntityKey, ProfileRegistry, RegistryStats};
+use crate::registry::{key_hash, EntityKey, ProfileRegistry, RegistryStats};
+use crate::spill::SpillDir;
+use crate::wire::{self, BodyParse, HeadParse};
+use exathlon_linalg::codec::ByteWriter;
 use parking_lot::Mutex;
 use serde_json::Value;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 << 10;
 
 /// Gatekeeper tuning knobs.
 #[derive(Debug, Clone)]
 pub struct GatekeeperConfig {
-    /// Worker threads serving connections.
+    /// Worker threads; each owns a stripe of the connections.
     pub workers: usize,
     /// Registry shards (keys spread by FNV-1a).
     pub shards: usize,
@@ -56,8 +86,18 @@ pub struct GatekeeperConfig {
     pub budget_bytes_per_shard: usize,
     /// Largest accepted request body; larger requests get 413.
     pub max_body_bytes: usize,
-    /// Per-connection read timeout (also bounds shutdown latency).
+    /// Idle-connection timeout (also bounds shutdown latency).
     pub read_timeout: Duration,
+    /// Accepted-but-unserved connections queued per worker. When every
+    /// worker's queue is full the acceptor answers `503` with
+    /// `Retry-After` instead of queueing without bound.
+    pub accept_queue: usize,
+    /// Connections one worker multiplexes concurrently; beyond this it
+    /// stops draining its accept queue (new connections wait there).
+    pub max_conns_per_worker: usize,
+    /// When set, evicted profiles spill here as EXCK images and are
+    /// transparently restored on the next touch of their key.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for GatekeeperConfig {
@@ -68,29 +108,65 @@ impl Default for GatekeeperConfig {
             budget_bytes_per_shard: 64 << 20,
             max_body_bytes: 16 << 20,
             read_timeout: Duration::from_secs(2),
+            accept_queue: 64,
+            max_conns_per_worker: 256,
+            spill_dir: None,
         }
     }
 }
 
-/// FNV-1a over the key's parts; stable shard placement across runs.
-fn fnv1a(key: &EntityKey) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in key.app.as_bytes().iter().chain([0xffu8].iter()).chain(key.entity.as_bytes()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+/// Gatekeeper-level counters (the registry keeps its own; see
+/// [`RegistryStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Evicted profiles written to the spill directory.
+    pub spills: u64,
+    /// Spilled profiles transparently restored on touch.
+    pub restores: u64,
+    /// Connections shed with 503 because every worker queue was full.
+    pub rejected: u64,
+    /// Single-record ingest requests metered by the allocation probe.
+    pub ingest_requests: u64,
+    /// Heap allocations those requests performed (worker-thread side).
+    pub ingest_allocs: u64,
+}
+
+/// Per-process allocation probe, read by workers at spawn time.
+///
+/// A benchmark or test that installs a counting global allocator calls
+/// [`set_alloc_probe`] with a function returning the calling thread's
+/// cumulative allocation count **before** [`Gatekeeper::bind`]; each
+/// worker then meters the probe delta across every single-record ingest
+/// request and accumulates it into [`GateStats::ingest_allocs`]. The
+/// warmed fast path holds that delta at zero (the CI allocation guard).
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Install the worker allocation probe. Call before [`Gatekeeper::bind`];
+/// later calls are ignored (the probe is read once per worker at spawn).
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+#[derive(Default)]
+struct GateCounters {
+    spills: AtomicU64,
+    restores: AtomicU64,
+    rejected: AtomicU64,
+    ingest_requests: AtomicU64,
+    ingest_allocs: AtomicU64,
 }
 
 /// State shared by every worker.
 struct Shared {
     shards: Vec<Mutex<ProfileRegistry>>,
     max_body_bytes: usize,
+    spill: Option<SpillDir>,
+    gate: GateCounters,
 }
 
 impl Shared {
-    fn shard(&self, key: &EntityKey) -> &Mutex<ProfileRegistry> {
-        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+    fn shard(&self, app: &str, entity: &str) -> &Mutex<ProfileRegistry> {
+        &self.shards[(key_hash(app, entity) % self.shards.len() as u64) as usize]
     }
 
     /// Counters summed across shards.
@@ -107,6 +183,50 @@ impl Shared {
         }
         total
     }
+
+    fn gate_stats(&self) -> GateStats {
+        GateStats {
+            spills: self.gate.spills.load(Ordering::Relaxed),
+            restores: self.gate.restores.load(Ordering::Relaxed),
+            rejected: self.gate.rejected.load(Ordering::Relaxed),
+            ingest_requests: self.gate.ingest_requests.load(Ordering::Relaxed),
+            ingest_allocs: self.gate.ingest_allocs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write eviction victims to the spill tier. The caller must hold
+    /// the owning shard's lock: the lock is what serializes all image IO
+    /// for a key (see [`crate::spill`]), so a concurrent PUT/DELETE can
+    /// never interleave with an in-flight spill and resurrect or lose
+    /// state.
+    fn spill_victims(&self, victims: &[(EntityKey, ServingProfile)], scratch: &mut ByteWriter) {
+        let Some(spill) = &self.spill else { return };
+        for (key, profile) in victims {
+            if spill.spill(&key.app, &key.entity, profile, scratch).is_ok() {
+                self.gate.spills.fetch_add(1, Ordering::Relaxed);
+                crate::obs::counter("serve.spills", 1);
+            }
+        }
+    }
+
+    /// Bring a spilled profile back into `reg` (the caller holds its
+    /// lock). Returns whether a restore happened.
+    fn try_restore(
+        &self,
+        reg: &mut ProfileRegistry,
+        app: &str,
+        entity: &str,
+        scratch: &mut ByteWriter,
+    ) -> bool {
+        let Some(spill) = &self.spill else { return false };
+        let Ok(Some((profile, bytes))) = spill.restore(app, entity) else { return false };
+        let victims = reg.insert(EntityKey::new(app, entity), profile, bytes);
+        self.spill_victims(&victims, scratch);
+        let _ = spill.remove(app, entity);
+        self.gate.restores.fetch_add(1, Ordering::Relaxed);
+        crate::obs::counter("serve.restores", 1);
+        true
+    }
 }
 
 /// A running gatekeeper. Dropping it (or calling
@@ -119,6 +239,12 @@ pub struct Gatekeeper {
     workers: Vec<JoinHandle<()>>,
 }
 
+#[derive(Clone, Copy)]
+struct WorkerCfg {
+    read_timeout: Duration,
+    max_conns: usize,
+}
+
 impl Gatekeeper {
     /// Bind and start serving. Pass port 0 for an ephemeral port and read
     /// it back with [`Gatekeeper::local_addr`].
@@ -126,50 +252,46 @@ impl Gatekeeper {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shards = config.shards.max(1);
+        let spill = match &config.spill_dir {
+            Some(dir) => Some(SpillDir::create(dir)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             shards: (0..shards)
                 .map(|_| Mutex::new(ProfileRegistry::new(config.budget_bytes_per_shard)))
                 .collect(),
             max_body_bytes: config.max_body_bytes,
+            spill,
+            gate: GateCounters::default(),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+        let probe = ALLOC_PROBE.get().copied();
+        let wcfg = WorkerCfg {
+            read_timeout: config.read_timeout,
+            max_conns: config.max_conns_per_worker.max(1),
+        };
 
+        let mut txs = Vec::new();
         let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
+            .map(|i| {
+                let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_queue.max(1));
+                txs.push(tx);
                 let shared = Arc::clone(&shared);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || loop {
-                    // Hold the receiver lock only while dequeuing.
-                    let conn = rx.lock().recv();
-                    match conn {
-                        Ok(stream) => serve_connection(stream, &shared, &stop),
-                        Err(_) => break, // acceptor gone: drain complete
-                    }
-                })
+                std::thread::Builder::new()
+                    .name(format!("gk-worker-{i}"))
+                    .spawn(move || worker_loop(rx, &shared, &stop, wcfg, probe))
+                    .expect("spawn gatekeeper worker")
             })
             .collect();
 
         let acceptor = {
             let stop = Arc::clone(&stop);
-            let read_timeout = config.read_timeout;
-            std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break; // the shutdown self-connect lands here
-                    }
-                    if let Ok(stream) = conn {
-                        let _ = stream.set_read_timeout(Some(read_timeout));
-                        let _ = stream.set_nodelay(true);
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                }
-                // `tx` drops here; workers drain the queue and exit.
-            })
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gk-acceptor".into())
+                .spawn(move || accept_loop(listener, txs, &shared, &stop))
+                .expect("spawn gatekeeper acceptor")
         };
 
         Ok(Self { addr: local, shared, stop, acceptor: Some(acceptor), workers })
@@ -185,7 +307,13 @@ impl Gatekeeper {
         self.shared.stats()
     }
 
-    /// Stop accepting, drain the connection queue, join every thread.
+    /// Gatekeeper-level counters (spills, restores, shed connections,
+    /// allocation metering).
+    pub fn gate_stats(&self) -> GateStats {
+        self.shared.gate_stats()
+    }
+
+    /// Stop accepting, close striped connections, join every thread.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
@@ -211,216 +339,535 @@ impl Drop for Gatekeeper {
     }
 }
 
-// ------------------------------------------------------------- HTTP layer
+// --------------------------------------------------------- accept striping
 
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-    keep_alive: bool,
-}
+fn accept_loop(
+    listener: TcpListener,
+    txs: Vec<SyncSender<TcpStream>>,
+    shared: &Shared,
+    stop: &AtomicBool,
+) {
+    // The saturation response is fixed; build it once.
+    let body = br#"{"error":"server overloaded"}"#;
+    let mut reject = format!(
+        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\n\
+         retry-after: 1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    reject.extend_from_slice(body);
 
-enum ReadOutcome {
-    Request(Request),
-    /// Clean close (EOF before a request line) or I/O error / timeout.
-    Hangup,
-    /// Malformed request; answer with this status and close.
-    Bad(u16, &'static str),
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) | Err(_) => return ReadOutcome::Hangup,
-        Ok(_) => {}
-    }
-    let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
-        _ => return ReadOutcome::Bad(400, "malformed request line"),
-    };
-    let mut keep_alive = version == "HTTP/1.1";
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) | Err(_) => return ReadOutcome::Hangup,
-            Ok(_) => {}
+    let mut next = 0usize;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break; // the shutdown self-connect lands here
         }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = match value.parse() {
-                    Ok(n) => n,
-                    Err(_) => return ReadOutcome::Bad(400, "bad content-length"),
-                };
-            } else if name.eq_ignore_ascii_case("connection") {
-                keep_alive = !value.eq_ignore_ascii_case("close");
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(true);
+        // Round-robin striping over the per-worker queues: the first
+        // worker with queue room owns this connection for its lifetime.
+        let mut stream = Some(stream);
+        for i in 0..txs.len() {
+            let w = (next + i) % txs.len();
+            match txs[w].try_send(stream.take().expect("stream present until sent")) {
+                Ok(()) => {
+                    next = (w + 1) % txs.len();
+                    break;
+                }
+                Err(TrySendError::Full(s)) | Err(TrySendError::Disconnected(s)) => {
+                    stream = Some(s);
+                }
             }
         }
+        if let Some(s) = stream {
+            // Every queue is full: shed load now, tell the client when
+            // to come back, and never block the accept loop on it.
+            shared.gate.rejected.fetch_add(1, Ordering::Relaxed);
+            crate::obs::counter("serve.rejected", 1);
+            let _ = s.set_nonblocking(false);
+            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+            let mut s = s;
+            let _ = s.write_all(&reject);
+            let _ = s.shutdown(Shutdown::Both);
+        }
     }
-    if content_length > max_body {
-        return ReadOutcome::Bad(413, "body too large");
-    }
-    let mut body = vec![0u8; content_length];
-    if reader.read_exact(&mut body).is_err() {
-        return ReadOutcome::Hangup;
-    }
-    ReadOutcome::Request(Request { method, path, body, keep_alive })
+    // `txs` drop here; idle workers see Disconnected and exit.
 }
 
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: Vec<u8>,
+// ------------------------------------------------------------ worker loop
+
+/// One multiplexed connection: reused buffers plus framing state.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (complete requests are consumed in place).
+    inbuf: Vec<u8>,
+    /// Serialized responses not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written.
+    out_pos: usize,
+    last_active: Instant,
+    /// Flush what is pending, then close (explicit `connection: close`,
+    /// protocol errors, EOF).
+    close_after_flush: bool,
 }
 
-impl Response {
-    fn json(status: u16, body: String) -> Self {
-        Self { status, content_type: "application/json", body: body.into_bytes() }
+/// Per-worker reusable workspaces; nothing here is allocated per request
+/// once warmed.
+struct Scratch {
+    /// Parsed record values, all rows flattened.
+    rows: Vec<f64>,
+    /// Exclusive end offset of each row in `rows`.
+    row_ends: Vec<usize>,
+    /// One `(score, anomaly)` per scored record.
+    scores: Vec<(f64, bool)>,
+    /// Response body staging.
+    body: String,
+    /// Spill-image encode buffer.
+    writer: ByteWriter,
+    /// Socket read staging.
+    tmp: Vec<u8>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            row_ends: Vec::new(),
+            scores: Vec::new(),
+            body: String::new(),
+            writer: ByteWriter::new(),
+            tmp: vec![0u8; 64 << 10],
+        }
     }
-
-    fn error(status: u16, message: &str) -> Self {
-        let mut body = String::from("{\"error\":");
-        serde::write_json_string(&mut body, message);
-        body.push('}');
-        Self::json(status, body)
-    }
 }
 
-fn reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        413 => "Payload Too Large",
-        500 => "Internal Server Error",
-        _ => "Unknown",
-    }
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    resp: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-        resp.status,
-        reason(resp.status),
-        resp.content_type,
-        resp.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
-    stream.flush()
-}
-
-fn serve_connection(mut stream: TcpStream, shared: &Shared, stop: &AtomicBool) {
-    let mut reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
-    };
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    shared: &Shared,
+    stop: &AtomicBool,
+    cfg: WorkerCfg,
+    probe: Option<fn() -> u64>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut pool: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut scratch = Scratch::new();
+    let mut idle_spins = 0u32;
     loop {
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        let request = match read_request(&mut reader, shared.max_body_bytes) {
-            ReadOutcome::Request(r) => r,
-            ReadOutcome::Hangup => break,
-            ReadOutcome::Bad(status, msg) => {
-                let _ = write_response(&mut stream, &Response::error(status, msg), false);
-                break;
+        // Admit queued connections up to this worker's multiplex cap.
+        while conns.len() < cfg.max_conns {
+            match rx.try_recv() {
+                Ok(s) => conns.push(admit(s, &mut pool)),
+                Err(_) => break,
             }
-        };
-        crate::obs::counter("serve.requests", 1);
-        crate::obs::counter("serve.bytes_in", request.body.len() as u64);
-        let response = route(&request, shared);
-        crate::obs::counter("serve.bytes_out", response.body.len() as u64);
-        if write_response(&mut stream, &response, request.keep_alive).is_err() {
-            break;
         }
-        if !request.keep_alive {
-            break;
+        if conns.is_empty() {
+            // Nothing to poll: block on the queue instead of spinning.
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(s) => conns.push(admit(s, &mut pool)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let now = Instant::now();
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match poll_conn(&mut conns[i], shared, &mut scratch, now, cfg, probe) {
+                Poll::Keep(p) => {
+                    progressed |= p;
+                    i += 1;
+                }
+                Poll::Close => {
+                    let c = conns.swap_remove(i);
+                    let _ = c.stream.shutdown(Shutdown::Both);
+                    pool.push((c.inbuf, c.outbuf));
+                    progressed = true;
+                }
+            }
+        }
+        // Single-core friendly backoff: yield first, then sleep with an
+        // escalating cap so an idle worker never busy-spins a shared CPU
+        // while waking fast once traffic resumes.
+        if progressed {
+            idle_spins = 0;
+        } else {
+            idle_spins += 1;
+            if idle_spins <= 16 {
+                std::thread::yield_now();
+            } else {
+                let us = (100u64 << (idle_spins - 16).min(5)).min(2_000);
+                std::thread::sleep(Duration::from_micros(us));
+            }
         }
     }
-    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn admit(stream: TcpStream, pool: &mut Vec<(Vec<u8>, Vec<u8>)>) -> Conn {
+    let (mut inbuf, mut outbuf) = pool.pop().unwrap_or_default();
+    inbuf.clear();
+    outbuf.clear();
+    Conn {
+        stream,
+        inbuf,
+        outbuf,
+        out_pos: 0,
+        last_active: Instant::now(),
+        close_after_flush: false,
+    }
+}
+
+enum Poll {
+    /// Connection stays; the flag reports whether any bytes moved.
+    Keep(bool),
+    Close,
+}
+
+fn poll_conn(
+    conn: &mut Conn,
+    shared: &Shared,
+    scratch: &mut Scratch,
+    now: Instant,
+    cfg: WorkerCfg,
+    probe: Option<fn() -> u64>,
+) -> Poll {
+    let mut progressed = false;
+    match flush_out(conn, now) {
+        Flush::Closed => return Poll::Close,
+        Flush::Progress(p) => progressed |= p,
+    }
+    if conn.close_after_flush {
+        if conn.out_pos == conn.outbuf.len() {
+            return Poll::Close;
+        }
+        // Still draining; the idle timeout below bounds a stuck peer.
+    } else {
+        // Read until the socket would block (bounded so a pipelining
+        // peer cannot grow the buffer past one max-size request).
+        let cap = shared.max_body_bytes + MAX_HEAD_BYTES + (64 << 10);
+        let mut eof = false;
+        while conn.inbuf.len() < cap {
+            match conn.stream.read(&mut scratch.tmp) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&scratch.tmp[..n]);
+                    conn.last_active = now;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Poll::Close,
+            }
+        }
+
+        // Handle every complete request buffered so far.
+        let mut consumed = 0usize;
+        loop {
+            let buf = &conn.inbuf[consumed..];
+            if buf.is_empty() {
+                break;
+            }
+            match wire::parse_head(buf, MAX_HEAD_BYTES) {
+                HeadParse::Partial => break,
+                HeadParse::Hangup => return Poll::Close,
+                HeadParse::Bad(status, msg) => {
+                    stage_error_response(scratch, &mut conn.outbuf, status, msg);
+                    conn.close_after_flush = true;
+                    consumed = conn.inbuf.len();
+                    progressed = true;
+                    break;
+                }
+                HeadParse::Complete(head) => {
+                    if head.content_length > shared.max_body_bytes {
+                        stage_error_response(scratch, &mut conn.outbuf, 413, "body too large");
+                        conn.close_after_flush = true;
+                        consumed = conn.inbuf.len();
+                        progressed = true;
+                        break;
+                    }
+                    let total = head.head_len + head.content_length;
+                    if buf.len() < total {
+                        break; // body not fully buffered yet
+                    }
+                    // Head lines were UTF-8-validated by the parser.
+                    let method =
+                        std::str::from_utf8(&buf[head.method.0..head.method.1]).unwrap_or_default();
+                    let path =
+                        std::str::from_utf8(&buf[head.path.0..head.path.1]).unwrap_or_default();
+                    let body = &buf[head.head_len..total];
+                    handle(
+                        shared,
+                        scratch,
+                        method,
+                        path,
+                        body,
+                        head.keep_alive,
+                        &mut conn.outbuf,
+                        probe,
+                    );
+                    progressed = true;
+                    conn.last_active = now;
+                    consumed += total;
+                    if !head.keep_alive {
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if consumed > 0 {
+            conn.inbuf.drain(..consumed);
+        }
+        if eof {
+            // Peer is done sending; flush whatever is staged, then close
+            // (an incomplete buffered request is dropped silently, like
+            // the old reader's Hangup).
+            conn.close_after_flush = true;
+        }
+        match flush_out(conn, now) {
+            Flush::Closed => return Poll::Close,
+            Flush::Progress(p) => progressed |= p,
+        }
+        if conn.close_after_flush && conn.out_pos == conn.outbuf.len() {
+            return Poll::Close;
+        }
+    }
+    if now.duration_since(conn.last_active) > cfg.read_timeout {
+        return Poll::Close;
+    }
+    Poll::Keep(progressed)
+}
+
+enum Flush {
+    Progress(bool),
+    Closed,
+}
+
+fn flush_out(conn: &mut Conn, now: Instant) -> Flush {
+    let mut progressed = false;
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => return Flush::Closed,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_active = now;
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Flush::Closed,
+        }
+    }
+    if conn.out_pos == conn.outbuf.len() && conn.out_pos > 0 {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+    Flush::Progress(progressed)
 }
 
 // --------------------------------------------------------------- routing
 
-fn route(req: &Request, shared: &Shared) -> Response {
-    let path = req.path.split('?').next().unwrap_or("");
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => Response::json(200, "{\"ok\":true}".into()),
-        ("GET", ["v1", "stats"]) => stats_response(shared),
-        ("PUT", ["v1", "profile", app, entity]) => {
-            put_profile(shared, EntityKey::new(*app, *entity), &req.body)
+/// What a handler produced: a JSON body staged in `scratch.body`, or an
+/// owned binary payload (checkpoint images).
+enum Reply {
+    Json(u16),
+    Octets(Vec<u8>),
+}
+
+fn stage_error(scratch: &mut Scratch, status: u16, message: &str) -> Reply {
+    scratch.body.clear();
+    wire::write_error_body(&mut scratch.body, message);
+    Reply::Json(status)
+}
+
+/// Serialize an error straight to a connection's output buffer (protocol
+/// errors that bypass routing). Always closes, mirroring the old server.
+fn stage_error_response(scratch: &mut Scratch, out: &mut Vec<u8>, status: u16, message: &str) {
+    scratch.body.clear();
+    wire::write_error_body(&mut scratch.body, message);
+    wire::write_head(out, status, "application/json", scratch.body.len(), false);
+    out.extend_from_slice(scratch.body.as_bytes());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+    out: &mut Vec<u8>,
+    probe: Option<fn() -> u64>,
+) {
+    crate::obs::counter("serve.requests", 1);
+    crate::obs::counter("serve.bytes_in", body.len() as u64);
+    let clean = path.split('?').next().unwrap_or("");
+    // The single-record ingest route is the allocation-metered hot path.
+    let metered = probe.is_some() && method == "POST" && clean.starts_with("/v1/ingest/");
+    let allocs_before = if metered { (probe.expect("metered"))() } else { 0 };
+
+    let mut segs = [""; 4];
+    let mut n = 0usize;
+    let mut overflow = false;
+    for s in clean.split('/').filter(|s| !s.is_empty()) {
+        if n < segs.len() {
+            segs[n] = s;
+            n += 1;
+        } else {
+            overflow = true;
+            break;
         }
-        ("DELETE", ["v1", "profile", app, entity]) => {
-            let removed = shared
-                .shard(&EntityKey::new(*app, *entity))
-                .lock()
-                .remove(&EntityKey::new(*app, *entity))
-                .is_some();
-            Response::json(200, format!("{{\"removed\":{removed}}}"))
+    }
+    let reply = if overflow {
+        stage_error(scratch, 404, "no such route")
+    } else {
+        match (method, &segs[..n]) {
+            ("GET", ["v1", "healthz"]) => {
+                scratch.body.clear();
+                scratch.body.push_str("{\"ok\":true}");
+                Reply::Json(200)
+            }
+            ("GET", ["v1", "stats"]) => stats_reply(shared, scratch),
+            ("PUT", ["v1", "profile", app, entity]) => {
+                put_profile(shared, scratch, app, entity, body)
+            }
+            ("DELETE", ["v1", "profile", app, entity]) => {
+                delete_profile(shared, scratch, app, entity)
+            }
+            ("GET", ["v1", "checkpoint", app, entity]) => {
+                get_checkpoint(shared, scratch, app, entity)
+            }
+            ("POST", ["v1", "ingest", app, entity]) => {
+                ingest(shared, scratch, app, entity, body, false)
+            }
+            ("POST", ["v1", "score", app, entity]) => {
+                ingest(shared, scratch, app, entity, body, true)
+            }
+            _ => stage_error(scratch, 404, "no such route"),
         }
-        ("GET", ["v1", "checkpoint", app, entity]) => {
-            get_checkpoint(shared, EntityKey::new(*app, *entity))
+    };
+    match reply {
+        Reply::Json(status) => {
+            crate::obs::counter("serve.bytes_out", scratch.body.len() as u64);
+            wire::write_head(out, status, "application/json", scratch.body.len(), keep_alive);
+            out.extend_from_slice(scratch.body.as_bytes());
         }
-        ("POST", ["v1", "ingest", app, entity]) => {
-            ingest(shared, EntityKey::new(*app, *entity), &req.body, false)
+        Reply::Octets(bytes) => {
+            crate::obs::counter("serve.bytes_out", bytes.len() as u64);
+            wire::write_head(out, 200, "application/octet-stream", bytes.len(), keep_alive);
+            out.extend_from_slice(&bytes);
         }
-        ("POST", ["v1", "score", app, entity]) => {
-            ingest(shared, EntityKey::new(*app, *entity), &req.body, true)
-        }
-        _ => Response::error(404, "no such route"),
+    }
+    if metered {
+        let delta = (probe.expect("metered"))() - allocs_before;
+        shared.gate.ingest_requests.fetch_add(1, Ordering::Relaxed);
+        shared.gate.ingest_allocs.fetch_add(delta, Ordering::Relaxed);
     }
 }
 
-fn stats_response(shared: &Shared) -> Response {
+fn stats_reply(shared: &Shared, scratch: &mut Scratch) -> Reply {
+    // Counters are collected under the shard locks; all JSON formatting
+    // happens after every lock is released.
     let s = shared.stats();
-    Response::json(
-        200,
-        format!(
-            "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
-             \"resident_bytes\":{},\"resident_profiles\":{}}}",
-            s.hits, s.misses, s.insertions, s.evictions, s.resident_bytes, s.resident_profiles
-        ),
-    )
+    let g = shared.gate_stats();
+    scratch.body.clear();
+    let _ = write!(
+        scratch.body,
+        "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+         \"resident_bytes\":{},\"resident_profiles\":{},\"spills\":{},\"restores\":{},\
+         \"rejected\":{},\"ingest_requests\":{},\"ingest_allocs\":{}}}",
+        s.hits,
+        s.misses,
+        s.insertions,
+        s.evictions,
+        s.resident_bytes,
+        s.resident_profiles,
+        g.spills,
+        g.restores,
+        g.rejected,
+        g.ingest_requests,
+        g.ingest_allocs,
+    );
+    Reply::Json(200)
 }
 
-fn put_profile(shared: &Shared, key: EntityKey, body: &[u8]) -> Response {
+fn put_profile(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    app: &str,
+    entity: &str,
+    body: &[u8],
+) -> Reply {
     let profile = match ServingProfile::from_bytes(body) {
         Ok(p) => p,
-        Err(e) => return Response::error(400, &format!("bad checkpoint image: {e}")),
+        Err(e) => {
+            let msg = format!("bad checkpoint image: {e}");
+            return stage_error(scratch, 400, &msg);
+        }
     };
-    let evicted = shared.shard(&key).lock().insert(key, profile, body.len());
-    let mut out = format!("{{\"stored\":true,\"bytes\":{},\"evicted\":[", body.len());
+    let evicted = {
+        let mut reg = shared.shard(app, entity).lock();
+        let victims = reg.insert(EntityKey::new(app, entity), profile, body.len());
+        shared.spill_victims(&victims, &mut scratch.writer);
+        // This PUT supersedes any image spilled from an earlier
+        // eviction; drop it so a later miss cannot resurrect old state.
+        if let Some(spill) = &shared.spill {
+            let _ = spill.remove(app, entity);
+        }
+        victims
+    };
+    // Eviction list formatting happens outside the shard lock.
+    scratch.body.clear();
+    let _ = write!(scratch.body, "{{\"stored\":true,\"bytes\":{},\"evicted\":[", body.len());
     for (i, (victim, _)) in evicted.iter().enumerate() {
         if i > 0 {
-            out.push(',');
+            scratch.body.push(',');
         }
-        serde::write_json_string(&mut out, &victim.to_string());
+        serde::write_json_string(&mut scratch.body, &victim.to_string());
     }
-    out.push_str("]}");
-    Response::json(200, out)
+    scratch.body.push_str("]}");
+    Reply::Json(200)
 }
 
-fn get_checkpoint(shared: &Shared, key: EntityKey) -> Response {
-    match shared.shard(&key).lock().peek(&key) {
-        Some(profile) => Response {
-            status: 200,
-            content_type: "application/octet-stream",
-            body: profile.to_bytes(),
-        },
-        None => Response::error(404, "unknown profile"),
+fn delete_profile(shared: &Shared, scratch: &mut Scratch, app: &str, entity: &str) -> Reply {
+    let removed = {
+        let mut reg = shared.shard(app, entity).lock();
+        let resident = reg.remove_parts(app, entity).is_some();
+        let imaged = match &shared.spill {
+            Some(spill) => spill.remove(app, entity).unwrap_or(false),
+            None => false,
+        };
+        resident || imaged
+    };
+    scratch.body.clear();
+    let _ = write!(scratch.body, "{{\"removed\":{removed}}}");
+    Reply::Json(200)
+}
+
+fn get_checkpoint(shared: &Shared, scratch: &mut Scratch, app: &str, entity: &str) -> Reply {
+    let bytes = {
+        let mut reg = shared.shard(app, entity).lock();
+        match reg.peek_parts(app, entity) {
+            Some(p) => Some(p.to_bytes()),
+            None => {
+                if shared.try_restore(&mut reg, app, entity, &mut scratch.writer) {
+                    reg.peek_parts(app, entity).map(|p| p.to_bytes())
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    match bytes {
+        Some(b) => Reply::Octets(b),
+        None => stage_error(scratch, 404, "unknown profile"),
     }
 }
 
@@ -436,85 +883,111 @@ fn json_num(v: &Value) -> Option<f64> {
     }
 }
 
-fn json_record(v: &Value) -> Option<Vec<f64>> {
-    v.as_array()?.iter().map(json_num).collect()
-}
-
-/// A float as JSON: non-finite becomes `null`; finite values print the
-/// shortest representation that parses back to the same bits.
-fn fmt_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
-    }
-}
-
-fn ingest(shared: &Shared, key: EntityKey, body: &[u8], batch: bool) -> Response {
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
-    };
-    let parsed = match serde_json::parse_value(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
-    };
-    let records: Vec<Vec<f64>> = if batch {
-        match parsed.get("records").and_then(|v| v.as_array()) {
-            Some(rows) => match rows.iter().map(json_record).collect() {
-                Some(rs) => rs,
-                None => return Response::error(400, "records must be arrays of numbers"),
-            },
-            None => return Response::error(400, "missing \"records\" array"),
-        }
-    } else {
-        match parsed.get("record").and_then(json_record) {
-            Some(r) => vec![r],
-            None => return Response::error(400, "missing \"record\" array of numbers"),
-        }
-    };
-
-    let mut scores = Vec::with_capacity(records.len());
-    {
-        let shard = shared.shard(&key);
-        let mut reg = shard.lock();
-        let profile = match reg.get_mut(&key) {
-            Some(p) => p,
-            None => return Response::error(404, "unknown profile"),
-        };
-        for record in &records {
-            // A record of the wrong width panics deep in the detector;
-            // surface that as a client error instead of losing a worker.
-            let scored =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| profile.ingest(record)));
-            match scored {
-                Ok(pair) => scores.push(pair),
-                Err(_) => return Response::error(400, "record rejected by detector"),
-            }
-        }
-    }
-    crate::obs::counter("serve.ingest_records", records.len() as u64);
-
+/// The general (tree-parser) body parse, used whenever the strict fast
+/// path declines. Owns every error message so wording is unchanged from
+/// the pre-fast-path server.
+fn parse_records_slow(
+    body: &[u8],
+    batch: bool,
+    scratch: &mut Scratch,
+) -> Result<(), (u16, String)> {
+    scratch.rows.clear();
+    scratch.row_ends.clear();
+    let text = std::str::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    let parsed = serde_json::parse_value(text).map_err(|e| (400, format!("bad JSON: {e}")))?;
     if batch {
-        let mut out = String::from("{\"scores\":[");
-        for (i, (s, _)) in scores.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        let rows = parsed
+            .get("records")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| (400, "missing \"records\" array".to_string()))?;
+        for row in rows {
+            let arr = row
+                .as_array()
+                .ok_or_else(|| (400, "records must be arrays of numbers".to_string()))?;
+            for v in arr {
+                let x = json_num(v)
+                    .ok_or_else(|| (400, "records must be arrays of numbers".to_string()))?;
+                scratch.rows.push(x);
             }
-            out.push_str(&fmt_f64(*s));
+            scratch.row_ends.push(scratch.rows.len());
         }
-        out.push_str("],\"anomalies\":[");
-        for (i, (_, a)) in scores.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(if *a { "true" } else { "false" });
-        }
-        out.push_str("]}");
-        Response::json(200, out)
     } else {
-        let (s, a) = scores[0];
-        Response::json(200, format!("{{\"score\":{},\"anomaly\":{}}}", fmt_f64(s), a))
+        let arr = parsed
+            .get("record")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| (400, "missing \"record\" array of numbers".to_string()))?;
+        for v in arr {
+            let x = json_num(v)
+                .ok_or_else(|| (400, "missing \"record\" array of numbers".to_string()))?;
+            scratch.rows.push(x);
+        }
+        scratch.row_ends.push(scratch.rows.len());
+    }
+    Ok(())
+}
+
+fn ingest(
+    shared: &Shared,
+    scratch: &mut Scratch,
+    app: &str,
+    entity: &str,
+    body: &[u8],
+    batch: bool,
+) -> Reply {
+    if wire::parse_record_body(body, batch, &mut scratch.rows, &mut scratch.row_ends)
+        == BodyParse::Fallback
+    {
+        if let Err((status, msg)) = parse_records_slow(body, batch, scratch) {
+            return stage_error(scratch, status, &msg);
+        }
+    }
+
+    scratch.scores.clear();
+    let verdict: Result<(), (u16, &'static str)> = {
+        let mut reg = shared.shard(app, entity).lock();
+        if reg.get_mut_parts(app, entity).is_none() {
+            shared.try_restore(&mut reg, app, entity, &mut scratch.writer);
+        }
+        match reg.get_mut_parts(app, entity) {
+            None => Err((404, "unknown profile")),
+            Some(profile) => {
+                let mut verdict = Ok(());
+                let mut start = 0usize;
+                for &end in &scratch.row_ends {
+                    let record = &scratch.rows[start..end];
+                    // A record of the wrong width panics deep in the
+                    // detector; surface that as a client error instead
+                    // of losing a worker.
+                    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        profile.ingest(record)
+                    }));
+                    match scored {
+                        Ok(pair) => scratch.scores.push(pair),
+                        Err(_) => {
+                            verdict = Err((400, "record rejected by detector"));
+                            break;
+                        }
+                    }
+                    start = end;
+                }
+                verdict
+            }
+        }
+    };
+    match verdict {
+        Err((status, msg)) => stage_error(scratch, status, msg),
+        Ok(()) => {
+            crate::obs::counter("serve.ingest_records", scratch.row_ends.len() as u64);
+            // Response formatting happens after the shard lock dropped.
+            scratch.body.clear();
+            if batch {
+                wire::write_batch_scores(&mut scratch.body, &scratch.scores);
+            } else {
+                let (s, a) = scratch.scores[0];
+                wire::write_single_score(&mut scratch.body, s, a);
+            }
+            Reply::Json(200)
+        }
     }
 }
 
@@ -522,6 +995,8 @@ fn ingest(shared: &Shared, key: EntityKey, body: &[u8], batch: bool) -> Response
 mod tests {
     use super::*;
     use exathlon_ad::stream::StreamingEwma;
+    use std::io::BufRead as _;
+    use std::io::BufReader;
 
     /// Minimal test client: one request per call over a fresh connection.
     fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
@@ -683,6 +1158,127 @@ mod tests {
             }
             let mut body = vec![0u8; len];
             reader.read_exact(&mut body).unwrap();
+        }
+        gk.shutdown();
+    }
+
+    #[test]
+    fn saturated_accept_queues_answer_503_with_retry_after() {
+        let config = GatekeeperConfig {
+            workers: 1,
+            accept_queue: 1,
+            max_conns_per_worker: 1,
+            ..GatekeeperConfig::default()
+        };
+        let gk = Gatekeeper::bind("127.0.0.1:0", config).unwrap();
+        let addr = gk.local_addr();
+
+        // c1: admitted by the only worker (a served round-trip proves it
+        // occupies the worker's single connection slot).
+        let mut c1 = TcpStream::connect(addr).unwrap();
+        c1.write_all(b"GET /v1/healthz HTTP/1.1\r\ncontent-length: 0\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(c1.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("200"), "{line}");
+
+        // c2: parks in the worker's accept queue (capacity 1).
+        let c2 = TcpStream::connect(addr).unwrap();
+        // Give the acceptor a moment to enqueue c2 before c3 arrives.
+        std::thread::sleep(Duration::from_millis(50));
+
+        // c3: every queue is full — the acceptor must shed it.
+        let mut c3 = TcpStream::connect(addr).unwrap();
+        let mut raw = Vec::new();
+        c3.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"), "{text}");
+        assert!(text.contains("retry-after: 1"), "{text}");
+        assert!(text.contains("server overloaded"), "{text}");
+        assert_eq!(gk.gate_stats().rejected, 1);
+
+        // Freeing c1 lets the worker drain the queue and serve c2.
+        drop(reader);
+        drop(c1);
+        let mut c2 = c2;
+        c2.write_all(b"GET /v1/healthz HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        c2.read_to_end(&mut raw).unwrap();
+        assert!(
+            String::from_utf8_lossy(&raw).contains("200 OK"),
+            "c2 must be served after c1 frees its slot"
+        );
+        gk.shutdown();
+    }
+
+    #[test]
+    fn evicted_profiles_spill_to_disk_and_restore_bitwise() {
+        let dir = std::env::temp_dir().join(format!("exathlon-gk-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = GatekeeperConfig {
+            shards: 1,
+            budget_bytes_per_shard: 1, // every insert evicts the previous LRU
+            spill_dir: Some(dir.clone()),
+            ..GatekeeperConfig::default()
+        };
+        let gk = Gatekeeper::bind("127.0.0.1:0", config).unwrap();
+        let addr = gk.local_addr();
+
+        let mut twin_a = profile();
+        let mut twin_b = profile();
+        call(addr, "PUT", "/v1/profile/app/a", &twin_a.to_bytes());
+        // Advance a while resident.
+        for i in 0..5 {
+            let (want, _) = twin_a.ingest(&[i as f64, 0.25]);
+            let req = format!("{{\"record\":[{},0.25]}}", i);
+            let (status, body) = call(addr, "POST", "/v1/ingest/app/a", req.as_bytes());
+            assert_eq!(status, 200);
+            let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+            assert_eq!(json_num(v.get("score").unwrap()).unwrap().to_bits(), want.to_bits());
+        }
+
+        // Inserting b evicts a (budget holds one profile); a's advanced
+        // state must land on disk, not vanish.
+        call(addr, "PUT", "/v1/profile/app/b", &twin_b.to_bytes());
+        assert!(gk.gate_stats().spills >= 1, "eviction must spill");
+
+        // Touching a restores it transparently and the score stream
+        // continues bitwise from the pre-eviction state.
+        let (want, _) = twin_a.ingest(&[9.0, -1.0]);
+        let (status, body) = call(addr, "POST", "/v1/ingest/app/a", b"{\"record\":[9,-1]}");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(json_num(v.get("score").unwrap()).unwrap().to_bits(), want.to_bits());
+        assert_eq!(gk.gate_stats().restores, 1);
+
+        // b was evicted by a's restore; its checkpoint must also come
+        // back through the spill tier, bitwise.
+        let _ = twin_b.ingest(&[1.0, 1.0]);
+        let (status, body) = call(addr, "POST", "/v1/ingest/app/b", b"{\"record\":[1,1]}");
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let (status, image) = call(addr, "GET", "/v1/checkpoint/app/b", b"");
+        assert_eq!(status, 200);
+        assert_eq!(image, twin_b.to_bytes(), "restore must be bitwise lossless");
+
+        // DELETE removes both the resident profile and any spill image.
+        assert_eq!(call(addr, "DELETE", "/v1/profile/app/a", b"").0, 200);
+        assert_eq!(call(addr, "POST", "/v1/ingest/app/a", b"{\"record\":[1,1]}").0, 404);
+        gk.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_expose_gatekeeper_counters() {
+        let gk = Gatekeeper::bind("127.0.0.1:0", GatekeeperConfig::default()).unwrap();
+        let addr = gk.local_addr();
+        let (status, body) = call(addr, "GET", "/v1/stats", b"");
+        assert_eq!(status, 200);
+        let v = serde_json::parse_value(std::str::from_utf8(&body).unwrap()).unwrap();
+        for field in
+            ["hits", "misses", "spills", "restores", "rejected", "ingest_requests", "ingest_allocs"]
+        {
+            assert!(v.get(field).is_some(), "stats must expose {field}");
         }
         gk.shutdown();
     }

@@ -95,6 +95,52 @@ proptest! {
         prop_assert_eq!(original.to_bytes(), restored.to_bytes());
     }
 
+    /// Evict → spill-to-disk → lazy restore at an arbitrary cut point
+    /// continues the score stream bitwise for both detector families:
+    /// spilling is a tier demotion, never data loss. This is the
+    /// contract the gatekeeper's spill tier ([`exathlon_core::spill`])
+    /// leans on when a byte-budgeted shard evicts a hot profile.
+    #[test]
+    fn spill_restore_continues_bitwise(
+        seed in 0u64..500,
+        dims in 1usize..5,
+        cut in 0usize..40,
+        family in 0u8..2,
+    ) {
+        use exathlon_core::spill::SpillDir;
+        use exathlon_linalg::codec::ByteWriter;
+
+        let dir = std::env::temp_dir()
+            .join(format!("exathlon-spill-prop-{}", std::process::id()));
+        let spill = SpillDir::create(&dir).unwrap();
+        let train = trace(120, dims, seed);
+        let mut twin =
+            if family == 0 { knn_profile(&train, 1.0) } else { cusum_profile(&train, 2.0) };
+        let mut served = twin.clone();
+        let test = trace(40, dims, seed.wrapping_add(3));
+        for i in 0..cut {
+            let (a, _) = twin.ingest(test.record(i));
+            let (b, _) = served.ingest(test.record(i));
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "pre-spill diverged at {}", i);
+        }
+        // Evict: write the profile out and drop the resident copy.
+        let entity = format!("e-{seed}-{dims}-{cut}-{family}");
+        let mut scratch = ByteWriter::new();
+        let written = spill.spill("app", &entity, &served, &mut scratch).unwrap();
+        drop(served);
+        // Next touch: lazy restore, image removed, stream continues.
+        let (mut served, size) = spill.restore("app", &entity).unwrap().unwrap();
+        prop_assert_eq!(size, written);
+        prop_assert!(spill.remove("app", &entity).unwrap());
+        for i in cut..test.len() {
+            let (a, fa) = twin.ingest(test.record(i));
+            let (b, fb) = served.ingest(test.record(i));
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "post-restore diverged at {}", i);
+            prop_assert_eq!(fa, fb);
+        }
+        prop_assert_eq!(served.to_bytes(), twin.to_bytes());
+    }
+
     /// Every strict prefix of a valid image is an error, never a panic —
     /// for both detector families.
     #[test]

@@ -73,6 +73,12 @@ impl ByteWriter {
         self.buf
     }
 
+    /// Forget the contents but keep the allocation, so one writer can
+    /// serve many encodes (the spill path reuses a single buffer).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Append raw bytes verbatim (magic headers).
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);

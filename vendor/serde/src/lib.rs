@@ -137,6 +137,20 @@ pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Write an `f64` as a JSON value into a reused buffer: non-finite maps
+/// to `null`, finite values use Rust's shortest-roundtrip `Display` so
+/// the printed text parses back to the same bits. Allocation-free once
+/// `out` has capacity — this is the hot-route float writer the serving
+/// layer shares with [`write_json_string`]'s escape path.
+pub fn write_json_f64(out: &mut String, x: f64) {
+    use std::fmt::Write;
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
 // ------------------------------------------------------------ primitives
 
 macro_rules! int_impls {

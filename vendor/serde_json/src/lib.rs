@@ -92,14 +92,11 @@ fn write_value(v: &Value, out: &mut String) {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::Float(f) => {
-            if f.is_finite() {
-                out.push_str(&f.to_string())
-            } else {
-                out.push_str("null")
-            }
+        Value::Int(i) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{i}");
         }
+        Value::Float(f) => serde::write_json_f64(out, *f),
         Value::Str(s) => serde::write_json_string(out, s),
         Value::Array(items) => {
             out.push('[');
